@@ -1,0 +1,115 @@
+// Command v10bench regenerates every table and figure of the paper from the
+// simulator and writes them under a results directory as aligned text and
+// CSV. Run with -list to see experiment IDs, or -only to regenerate a subset.
+//
+//	v10bench -out results               # everything (takes a minute or two)
+//	v10bench -only fig18,fig21          # just those
+//	v10bench -requests 8                # longer steady-state runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"v10/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "results", "directory to write tables into")
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	requests := flag.Int("requests", 4, "requests per workload per collocated run")
+	profileReqs := flag.Int("profile-requests", 3, "requests per single-tenant characterization run")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	quiet := flag.Bool("quiet", false, "suppress table output on stdout")
+	bars := flag.Bool("bars", false, "render tables as ASCII bar charts on stdout")
+	markdown := flag.Bool("markdown", false, "additionally write <id>.md files")
+	flag.Parse()
+
+	if *list {
+		for _, g := range experiments.Generators() {
+			fmt.Printf("%-8s %s\n", g.ID, g.Name)
+		}
+		return
+	}
+
+	ctx := experiments.NewContext()
+	ctx.Requests = *requests
+	ctx.ProfileRequests = *profileReqs
+	ctx.Seed = *seed
+
+	var gens []experiments.Generator
+	if *only == "" {
+		gens = experiments.Generators()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			g, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			gens = append(gens, g)
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for _, g := range gens {
+		tb, err := g.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", g.ID, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			if *bars {
+				fmt.Println(tb.Bars(50))
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+		txt := filepath.Join(*out, g.ID+".txt")
+		if err := os.WriteFile(txt, []byte(tb.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		csv := filepath.Join(*out, g.ID+".csv")
+		if err := os.WriteFile(csv, []byte(tb.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			md := filepath.Join(*out, g.ID+".md")
+			if err := os.WriteFile(md, []byte(tb.Markdown()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	// Headline summary (abstract-level claims) when running everything.
+	if *only == "" {
+		s, err := ctx.HeadlineSummary()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		summary := fmt.Sprintf(
+			"V10-Full vs PMT geomeans over the 11 evaluation pairs (paper values in parens):\n"+
+				"  NPU utilization:  %.2fx (1.64x)\n"+
+				"  throughput (STP): %.2fx (1.57x)\n"+
+				"  average latency:  %.2fx (1.56x)\n"+
+				"  95%% tail latency: %.2fx (1.74x)\n",
+			s.UtilizationX, s.ThroughputX, s.AvgLatencyX, s.TailLatencyX)
+		fmt.Print(summary)
+		if err := os.WriteFile(filepath.Join(*out, "summary.txt"), []byte(summary), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command v10cluster trains the clustering-based collocation advisor (§3.4)
+// on the model zoo and reports cluster assignments, pairwise predictions,
+// and a greedy collocation plan.
+//
+//	v10cluster                      # cluster the zoo, print assignments
+//	v10cluster -plan BERT:32,NCF:32,DLRM:32,ResNet:32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	v10 "v10"
+	"v10/internal/models"
+)
+
+func main() {
+	k := flag.Int("k", 5, "number of clusters")
+	batches := flag.String("batches", "8,32,64", "batch sizes for the training population")
+	requests := flag.Int("requests", 2, "requests per profiling simulation")
+	plan := flag.String("plan", "", "comma-separated model:batch list to plan collocations for")
+	seed := flag.Uint64("seed", 1, "training seed")
+	flag.Parse()
+
+	cfg := v10.DefaultConfig()
+	var training []*v10.Workload
+	for i, spec := range models.Specs() {
+		for _, bs := range strings.Split(*batches, ",") {
+			b, err := strconv.Atoi(strings.TrimSpace(bs))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad batch %q\n", bs)
+				os.Exit(2)
+			}
+			w, err := v10.NewWorkload(spec.Name, b, *seed+uint64(i*100+b), cfg)
+			if err != nil {
+				continue // OOM at this batch
+			}
+			training = append(training, w)
+		}
+	}
+	fmt.Printf("training on %d workload instances (profiling pairs, may take a minute)...\n", len(training))
+	adv, err := v10.TrainAdvisor(training, v10.AdvisorOptions{
+		Clusters: *k, ProfileRequests: *requests, PairSamples: 8, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	byCluster := map[int][]string{}
+	for _, w := range training {
+		c := adv.Cluster(w)
+		byCluster[c] = append(byCluster[c], w.Name)
+	}
+	var ids []int
+	for c := range byCluster {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	fmt.Printf("\ncluster database (%d clusters):\n", adv.Clusters())
+	for _, c := range ids {
+		sort.Strings(byCluster[c])
+		fmt.Printf("  cluster %d: %s\n", c, strings.Join(byCluster[c], ", "))
+	}
+
+	if *plan == "" {
+		return
+	}
+	var ws []*v10.Workload
+	for i, item := range strings.Split(*plan, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) != 2 {
+			fmt.Fprintf(os.Stderr, "bad plan item %q: want model:batch\n", item)
+			os.Exit(2)
+		}
+		b, err := strconv.Atoi(parts[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad batch in %q\n", item)
+			os.Exit(2)
+		}
+		w, err := v10.NewWorkload(parts[0], b, uint64(1000+i), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ws = append(ws, w)
+	}
+	pairs, alone := adv.PlanPairs(ws)
+	fmt.Println("\ncollocation plan:")
+	for _, p := range pairs {
+		fmt.Printf("  core: %s + %s (predicted gain %.2fx over PMT)\n",
+			ws[p[0]].Name, ws[p[1]].Name, adv.PredictGain(ws[p[0]], ws[p[1]]))
+	}
+	for _, i := range alone {
+		fmt.Printf("  core: %s (dedicated — no compatible partner)\n", ws[i].Name)
+	}
+}

@@ -1,0 +1,82 @@
+// Command v10profile characterizes a single workload on a dedicated NPU core
+// (the paper's §2 methodology): FLOPS/MXU/VPU/HBM utilization, operator
+// statistics, roofline placement, and the ideal DAG speedup, across batch
+// sizes.
+//
+//	v10profile -model BERT
+//	v10profile -model DLRM -batches 1,32,512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	v10 "v10"
+	"v10/internal/models"
+)
+
+func main() {
+	model := flag.String("model", "BERT", "model name or abbreviation (see -listmodels)")
+	batches := flag.String("batches", "1,8,32,64,128,256,512,1024,2048", "batch sizes to sweep")
+	requests := flag.Int("requests", 4, "requests per run")
+	listModels := flag.Bool("listmodels", false, "list models and exit")
+	flag.Parse()
+
+	if *listModels {
+		for _, s := range models.Specs() {
+			fmt.Printf("%-13s %-6s %s\n", s.Name, s.Abbrev, s.Description)
+		}
+		return
+	}
+
+	cfg := v10.DefaultConfig()
+	spec, ok := models.ByName(*model)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q (use -listmodels)\n", *model)
+		os.Exit(2)
+	}
+	peakPerCycle := cfg.PeakFLOPS() / cfg.FrequencyHz
+
+	fmt.Printf("%s (%s) — single-tenant characterization\n", spec.Name, spec.Description)
+	fmt.Printf("%6s %9s %9s %9s %9s %12s %10s %10s\n",
+		"batch", "FLOPS%", "MXU%", "VPU%", "HBM%", "latency(ms)", "OI(F/B)", "speedup")
+	for _, bs := range strings.Split(*batches, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(bs))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad batch %q\n", bs)
+			os.Exit(2)
+		}
+		w, err := v10.NewWorkload(*model, b, 1, cfg)
+		if err != nil {
+			fmt.Printf("%6d %s\n", b, "OOM (paper: workloads with large batch sizes fail)")
+			continue
+		}
+		res, err := v10.Profile(w, v10.Options{Requests: *requests})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var flops, bytes float64
+		for _, ws := range res.Workloads {
+			flops += ws.FLOPs
+			bytes += ws.HBMBytes
+		}
+		oi := 0.0
+		if bytes > 0 {
+			oi = flops / bytes
+		}
+		speedup := 0.0
+		for r := 0; r < *requests; r++ {
+			speedup += w.Request(r).IdealSpeedup()
+		}
+		speedup /= float64(*requests)
+		fmt.Printf("%6d %8.1f%% %8.1f%% %8.1f%% %8.1f%% %12.2f %10.1f %10.3f\n",
+			b,
+			100*res.FLOPSUtil(peakPerCycle),
+			100*res.SAUtil(), 100*res.VUUtil(), 100*res.HBMUtil(),
+			res.Workloads[0].AvgLatency()/700e3, oi, speedup)
+	}
+}

@@ -1,0 +1,170 @@
+// Command v10sim simulates a multi-tenant NPU scenario and prints the
+// measured utilization, throughput, and latency for each scheme.
+//
+//	v10sim -workloads BERT:32,NCF:32                 # compare all schemes
+//	v10sim -workloads BERT:32:0.8,DLRM:32:0.2        # with priorities
+//	v10sim -workloads BERT:32,NCF:32 -scheme V10-Full -slice 4096
+//	v10sim -workloads BERT:32 -record bert.trace.json # capture a trace
+//	v10sim -traces bert.trace.json,ncf.trace.json     # replay traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	v10 "v10"
+)
+
+func main() {
+	spec := flag.String("workloads", "BERT:32,NCF:32",
+		"comma-separated workloads as model:batch[:priority]")
+	scheme := flag.String("scheme", "",
+		"one of PMT, V10-Base, V10-Fair, V10-Full (default: compare all)")
+	requests := flag.Int("requests", 8, "requests per workload")
+	slice := flag.Int64("slice", 0, "scheduler time slice override in cycles")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	record := flag.String("record", "", "record the first workload's trace to this file and exit")
+	traces := flag.String("traces", "", "comma-separated trace files to replay instead of -workloads")
+	flag.Parse()
+
+	cfg := v10.DefaultConfig()
+	var workloads []*v10.Workload
+	var err error
+	if *traces != "" {
+		workloads, err = loadTraces(*traces)
+	} else {
+		workloads, err = parseWorkloads(*spec, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *record != "" {
+		f := v10.RecordTrace(workloads[0], *requests)
+		out, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer out.Close()
+		if err := v10.WriteTrace(out, f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d requests of %s to %s\n", *requests, workloads[0].Name, *record)
+		return
+	}
+	opt := v10.Options{Config: cfg, Requests: *requests, TimeSlice: *slice, Seed: *seed}
+
+	if *scheme != "" {
+		s, ok := schemeByName(*scheme)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+			os.Exit(2)
+		}
+		res, err := v10.Collocate(workloads, s, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printResult(res, nil)
+		return
+	}
+
+	results, rates, err := v10.CompareSchemes(workloads, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, name := range []string{"PMT", "V10-Base", "V10-Fair", "V10-Full"} {
+		printResult(results[name], rates)
+		fmt.Println()
+	}
+}
+
+func loadTraces(paths string) ([]*v10.Workload, error) {
+	var out []*v10.Workload
+	for _, p := range strings.Split(paths, ",") {
+		f, err := os.Open(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		tf, err := v10.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		w, err := tf.Workload()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func parseWorkloads(spec string, cfg v10.Config) ([]*v10.Workload, error) {
+	var out []*v10.Workload
+	for i, item := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("bad workload %q: want model:batch[:priority]", item)
+		}
+		batch, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad batch in %q: %v", item, err)
+		}
+		w, err := v10.NewWorkload(parts[0], batch, uint64(i+1), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if len(parts) == 3 {
+			prio, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad priority in %q: %v", item, err)
+			}
+			w = w.WithPriority(prio)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func schemeByName(name string) (v10.Scheme, bool) {
+	switch strings.ToLower(name) {
+	case "pmt":
+		return v10.SchemePMT, true
+	case "v10-base", "base":
+		return v10.SchemeV10Base, true
+	case "v10-fair", "fair":
+		return v10.SchemeV10Fair, true
+	case "v10-full", "full":
+		return v10.SchemeV10Full, true
+	}
+	return 0, false
+}
+
+func printResult(res *v10.Result, rates []float64) {
+	fmt.Printf("=== %s ===\n", res.Scheme)
+	fmt.Printf("simulated %d cycles (%.2f ms of device time)\n",
+		res.TotalCycles, float64(res.TotalCycles)/700e3)
+	both, saOnly, vuOnly := res.OverlapBreakdown()
+	fmt.Printf("utilization: SA %.1f%%  VU %.1f%%  aggregate %.1f%%  HBM %.1f%%\n",
+		100*res.SAUtil(), 100*res.VUUtil(), 100*res.AggregateUtil(), 100*res.HBMUtil())
+	fmt.Printf("overlap: both %.1f%%  SA-only %.1f%%  VU-only %.1f%%\n",
+		100*both, 100*saOnly, 100*vuOnly)
+	if rates != nil {
+		fmt.Printf("system throughput (STP): %.3f\n", res.STP(rates))
+	}
+	for i, w := range res.Workloads {
+		fmt.Printf("  %-14s requests=%d  avg=%.2f ms  p95=%.2f ms  preempts=%d  switch=%.0f µs\n",
+			w.Name, w.Requests,
+			w.AvgLatency()/700e3, w.TailLatency(95)/700e3,
+			w.Preemptions, float64(w.SwitchCycles)/700)
+		_ = i
+	}
+}

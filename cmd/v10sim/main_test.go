@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	v10 "v10"
+)
+
+func TestParseWorkloads(t *testing.T) {
+	cfg := v10.DefaultConfig()
+	ws, err := parseWorkloads("BERT:32,DLRM:32:0.25", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[0].Name != "BERT-b32" {
+		t.Fatalf("parsed %v", ws)
+	}
+	if ws[1].Priority != 0.25 {
+		t.Fatalf("priority = %v", ws[1].Priority)
+	}
+	for _, bad := range []string{
+		"BERT",           // missing batch
+		"BERT:x",         // bad batch
+		"BERT:32:x",      // bad priority
+		"NoSuchModel:32", // unknown model
+		"BERT:32:1:1",    // too many fields
+		"Mask-RCNN:999",  // OOM
+	} {
+		if _, err := parseWorkloads(bad, cfg); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	cases := map[string]v10.Scheme{
+		"pmt": v10.SchemePMT, "PMT": v10.SchemePMT,
+		"V10-Full": v10.SchemeV10Full, "full": v10.SchemeV10Full,
+		"base": v10.SchemeV10Base, "fair": v10.SchemeV10Fair,
+	}
+	for in, want := range cases {
+		got, ok := schemeByName(in)
+		if !ok || got != want {
+			t.Errorf("schemeByName(%q) = %v,%v", in, got, ok)
+		}
+	}
+	if _, ok := schemeByName("bogus"); ok {
+		t.Error("bogus scheme accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package v10_test
+
+import (
+	"fmt"
+	"log"
+
+	v10 "v10"
+)
+
+// Collocating an SA-heavy and a VU-heavy service under the full V10 design
+// and reading the headline metrics.
+func ExampleCollocate() {
+	cfg := v10.DefaultConfig()
+	bert, err := v10.NewWorkload("BERT", 32, 1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ncf, err := v10.NewWorkload("NCF", 32, 2, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := v10.Collocate([]*v10.Workload{bert, ncf}, v10.SchemeV10Full,
+		v10.Options{Requests: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Closed-loop serving: the run ends once the slowest tenant (BERT)
+	// finishes its quota; the faster NCF will have served more by then.
+	fmt.Printf("BERT served %d requests; NCF at least %d\n",
+		res.Workloads[0].Requests, min(res.Workloads[1].Requests, 5))
+	// Output: BERT served 5 requests; NCF at least 5
+}
+
+// Profiling a single workload on a dedicated core (the §2 characterization
+// methodology).
+func ExampleProfile() {
+	cfg := v10.DefaultConfig()
+	w, err := v10.NewWorkload("MNIST", 32, 1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := v10.Profile(w, v10.Options{Requests: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Scheme, res.Workloads[0].Requests)
+	// Output: Single 3
+}
+
+// Driving the simulator with a custom operator trace instead of the
+// built-in model zoo.
+func ExampleCustomWorkload() {
+	w := v10.CustomWorkload("mine", func(request int) *v10.Graph {
+		return &v10.Graph{Ops: []v10.Op{
+			{ID: 0, Kind: 0, Compute: 7000},                // 10 µs SA op
+			{ID: 1, Kind: 1, Compute: 700, Deps: []int{0}}, // 1 µs VU op
+		}}
+	})
+	res, err := v10.Profile(w, v10.Options{Requests: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("request latency: %.0f µs\n", res.Workloads[0].AvgLatency()/700)
+	// Output: request latency: 11 µs
+}
+
+// Recording a workload's trace and replaying it — the paper's
+// trace-capture methodology.
+func ExampleRecordTrace() {
+	cfg := v10.DefaultConfig()
+	w, err := v10.NewWorkload("DLRM", 32, 1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := v10.RecordTrace(w, 4)
+	replay, err := f.Workload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(replay.Name, len(f.Requests))
+	// Output: DLRM-b32 4
+}

@@ -1,0 +1,62 @@
+// Custom-traces example: drive the V10 simulator with your own operator
+// traces instead of the built-in model zoo, and scale the core (paper §5.9).
+// Here we model a hypothetical speech pipeline: a convolution front-end
+// (long SA ops) feeding a feature post-processor (many short VU ops), and
+// collocate it with a copy of itself on cores with 1–4 SAs/VUs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	v10 "v10"
+)
+
+// speechPipeline emits one request: 6 conv blocks, each a 150 µs SA operator
+// followed by four 8 µs VU operators (resampling, log-mel, normalization).
+func speechPipeline(request int) *v10.Graph {
+	g := &v10.Graph{}
+	add := func(kind uint8, compute int64, bytes float64) {
+		op := v10.Op{
+			ID:       len(g.Ops),
+			Compute:  compute,
+			HBMBytes: bytes,
+		}
+		if kind == 1 {
+			op.Kind = 1 // VU
+		}
+		if len(g.Ops) > 0 {
+			op.Deps = []int{len(g.Ops) - 1}
+		}
+		g.Ops = append(g.Ops, op)
+	}
+	for block := 0; block < 6; block++ {
+		add(0, 150*700, 2e6) // SA: 150 µs at 700 cycles/µs
+		for i := 0; i < 4; i++ {
+			add(1, 8*700, 1e5)
+		}
+	}
+	return g
+}
+
+func main() {
+	front := v10.CustomWorkload("speech-a", speechPipeline)
+	back := v10.CustomWorkload("speech-b", speechPipeline)
+
+	fmt.Println("two identical speech pipelines sharing one core:")
+	fmt.Printf("%-8s %10s %10s %12s\n", "#SA/#VU", "SA util", "VU util", "avg lat (ms)")
+	for _, fus := range []int{1, 2, 4} {
+		cfg := v10.DefaultConfig().WithFUs(fus)
+		res, err := v10.Collocate([]*v10.Workload{front, back}, v10.SchemeV10Full,
+			v10.Options{Config: cfg, Requests: 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("(%d,%d)   %9.1f%% %9.1f%% %12.2f\n",
+			fus, fus, 100*res.SAUtil(), 100*res.VUUtil(),
+			res.Workloads[0].AvgLatency()/700e3)
+	}
+
+	fmt.Println("\nWith one SA the twin pipelines serialize on the convolution front-end;")
+	fmt.Println("doubling the SAs removes the bottleneck without touching the traces.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: collocate an SA-heavy language model (BERT) with a VU-heavy
+// recommender (NCF) on one NPU core and compare the paper's four designs —
+// PMT (preemptive multitasking, the prior state of the art) against the
+// three V10 variants.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	v10 "v10"
+)
+
+func main() {
+	cfg := v10.DefaultConfig()
+
+	bert, err := v10.NewWorkload("BERT", 32, 1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ncf, err := v10.NewWorkload("NCF", 32, 2, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair := []*v10.Workload{bert, ncf}
+
+	results, singleRates, err := v10.CompareSchemes(pair, v10.Options{Requests: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("BERT + NCF on one NPU core (128×128 SA, 8×128×2 VU, 700 MHz):")
+	fmt.Printf("%-10s %10s %10s %10s %12s\n", "scheme", "SA util", "VU util", "STP", "BERT avg lat")
+	for _, name := range []string{"PMT", "V10-Base", "V10-Fair", "V10-Full"} {
+		r := results[name]
+		fmt.Printf("%-10s %9.1f%% %9.1f%% %10.2f %9.1f ms\n",
+			name, 100*r.SAUtil(), 100*r.VUUtil(), r.STP(singleRates),
+			r.Workloads[0].AvgLatency()/700e3)
+	}
+
+	pmt, full := results["PMT"], results["V10-Full"]
+	fmt.Printf("\nV10-Full vs PMT: %.2fx utilization, %.2fx throughput\n",
+		full.AggregateUtil()/pmt.AggregateUtil(),
+		full.STP(singleRates)/pmt.STP(singleRates))
+}

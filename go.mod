@@ -1,0 +1,3 @@
+module v10
+
+go 1.22

@@ -1,0 +1,73 @@
+// Package bf16 implements the bfloat16 floating-point format used by TPU
+// systolic arrays (paper §3.3, footnote 2): 1 sign bit, 8 exponent bits,
+// 7 mantissa bits — the top half of an IEEE-754 float32. Inputs and weights
+// are bfloat16 (2 bytes); partial sums accumulate in float32 (4 bytes),
+// which is why V10's input-replay checkpoint is 25% smaller than draining
+// the array.
+package bf16
+
+import "math"
+
+// Bits is a raw bfloat16 value.
+type Bits uint16
+
+// FromFloat32 rounds a float32 to the nearest bfloat16 (round-to-nearest-
+// even, matching hardware behaviour). NaN is preserved as a quiet NaN.
+func FromFloat32(f float32) Bits {
+	u := math.Float32bits(f)
+	if f != f { // NaN: keep the top mantissa bit set
+		return Bits(u>>16 | 0x0040)
+	}
+	// Round to nearest even on the truncated 16 bits.
+	rounding := uint32(0x7FFF + ((u >> 16) & 1))
+	return Bits((u + rounding) >> 16)
+}
+
+// Float32 expands a bfloat16 back to float32 exactly.
+func (b Bits) Float32() float32 {
+	return math.Float32frombits(uint32(b) << 16)
+}
+
+// Quantize rounds a float32 through bfloat16 and back: the value the
+// hardware actually computes with.
+func Quantize(f float32) float32 { return FromFloat32(f).Float32() }
+
+// QuantizeSlice quantizes a slice in place and returns it.
+func QuantizeSlice(xs []float32) []float32 {
+	for i, x := range xs {
+		xs[i] = Quantize(x)
+	}
+	return xs
+}
+
+// Encode packs float32 values into bfloat16 bytes (big-endian within each
+// value, 2 bytes each) — the wire format of a §3.3 checkpoint.
+func Encode(xs []float32) []byte {
+	out := make([]byte, 2*len(xs))
+	for i, x := range xs {
+		b := FromFloat32(x)
+		out[2*i] = byte(b >> 8)
+		out[2*i+1] = byte(b)
+	}
+	return out
+}
+
+// Decode unpacks bfloat16 bytes back into float32 values. The byte count
+// must be even.
+func Decode(bs []byte) []float32 {
+	out := make([]float32, len(bs)/2)
+	for i := range out {
+		b := Bits(bs[2*i])<<8 | Bits(bs[2*i+1])
+		out[i] = b.Float32()
+	}
+	return out
+}
+
+// RelativeError returns |quantize(x) − x| / |x| (0 for x == 0), bounded by
+// 2⁻⁸ for normal values — the precision DNN inference tolerates.
+func RelativeError(x float32) float64 {
+	if x == 0 {
+		return 0
+	}
+	return math.Abs(float64(Quantize(x)-x)) / math.Abs(float64(x))
+}

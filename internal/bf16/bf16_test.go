@@ -1,0 +1,121 @@
+package bf16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"v10/internal/mathx"
+)
+
+func TestExactValues(t *testing.T) {
+	// Powers of two and small integers are exactly representable.
+	for _, v := range []float32{0, 1, -1, 2, 0.5, -0.25, 128, 65536} {
+		if got := Quantize(v); got != v {
+			t.Errorf("Quantize(%v) = %v, want exact", v, got)
+		}
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-8 is exactly halfway between 1.0 and the next bf16 (1+2^-7):
+	// round-to-even chooses 1.0 (even mantissa).
+	half := float32(1) + float32(math.Exp2(-8))
+	if got := Quantize(half); got != 1 {
+		t.Errorf("halfway rounding = %v, want 1 (round to even)", got)
+	}
+	// Slightly above halfway rounds up.
+	up := float32(1) + float32(math.Exp2(-8))*1.001
+	if got := Quantize(up); got <= 1 {
+		t.Errorf("above-halfway rounding = %v, want > 1", got)
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	inf := float32(math.Inf(1))
+	if Quantize(inf) != inf || Quantize(-inf) != -inf {
+		t.Error("infinities must survive")
+	}
+	nan := float32(math.NaN())
+	if q := Quantize(nan); q == q {
+		t.Error("NaN must stay NaN")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	xs := []float32{1.5, -2.25, 0, 1e10, -1e-10, 3.14159}
+	enc := Encode(xs)
+	if len(enc) != 2*len(xs) {
+		t.Fatalf("encoded length = %d", len(enc))
+	}
+	dec := Decode(enc)
+	for i := range xs {
+		if dec[i] != Quantize(xs[i]) {
+			t.Errorf("decode[%d] = %v, want %v", i, dec[i], Quantize(xs[i]))
+		}
+	}
+}
+
+func TestQuantizeSliceInPlace(t *testing.T) {
+	xs := []float32{1.00001, 2.00002}
+	out := QuantizeSlice(xs)
+	if &out[0] != &xs[0] {
+		t.Fatal("QuantizeSlice must work in place")
+	}
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	if RelativeError(0) != 0 {
+		t.Fatal("zero has no error")
+	}
+	for _, v := range []float32{1.2345, -987.65, 3e-5, 2.9e20} {
+		if e := RelativeError(v); e > math.Exp2(-8) {
+			t.Errorf("RelativeError(%v) = %v, above 2^-8", v, e)
+		}
+	}
+}
+
+// Property: quantization is idempotent, monotone, and within the bf16
+// relative-error bound for normal floats.
+func TestQuantizeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		x := float32(rng.Uniform(-1e6, 1e6))
+		q := Quantize(x)
+		if Quantize(q) != q {
+			return false // idempotence
+		}
+		if x != 0 && RelativeError(x) > math.Exp2(-7) {
+			return false
+		}
+		y := float32(rng.Uniform(-1e6, 1e6))
+		if x <= y && Quantize(x) > Quantize(y) {
+			return false // monotonicity
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Encode/Decode is the identity on already-quantized data.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		xs := make([]float32, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = Quantize(float32(rng.Uniform(-1e4, 1e4)))
+		}
+		dec := Decode(Encode(xs))
+		for i := range xs {
+			if dec[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"testing"
+
+	"v10/internal/collocate"
+	"v10/internal/models"
+	"v10/internal/npu"
+	"v10/internal/trace"
+)
+
+var cfg = npu.DefaultConfig()
+
+func fleet(t *testing.T, names []string) []*trace.Workload {
+	t.Helper()
+	var ws []*trace.Workload
+	for i, n := range names {
+		s, ok := models.ByName(n)
+		if !ok {
+			t.Fatalf("unknown model %s", n)
+		}
+		ws = append(ws, s.Workload(s.RefBatch, uint64(i+1), cfg))
+	}
+	return ws
+}
+
+func TestPlacementValidate(t *testing.T) {
+	if err := (Placement{{0, 1}, {2}}).Validate(3); err != nil {
+		t.Fatalf("valid placement rejected: %v", err)
+	}
+	cases := []Placement{
+		{{0, 1}},         // workload 2 unplaced
+		{{0, 1}, {1, 2}}, // workload 1 twice
+		{{0, 1}, {}},     // empty core
+		{{0, 5}},         // out of range
+	}
+	for i, p := range cases {
+		if p.Validate(3) == nil {
+			t.Errorf("bad placement %d accepted", i)
+		}
+	}
+}
+
+func TestNaivePlacementShape(t *testing.T) {
+	p := NaivePlacement(5)
+	if err := p.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cores() != 3 || len(p[2]) != 1 {
+		t.Fatalf("naive placement wrong: %v", p)
+	}
+}
+
+func TestAdvisorPlacementCoversAll(t *testing.T) {
+	ws := fleet(t, []string{"BERT", "DLRM", "NCF", "ResNet", "Transformer", "MNIST"})
+	feats := make([]collocate.Features, len(ws))
+	for i, w := range ws {
+		feats[i] = collocate.ExtractFeatures(w, cfg, 2)
+	}
+	perf := func(a, b *trace.Workload) (float64, error) {
+		fa := collocate.ExtractFeatures(a, cfg, 1)
+		fb := collocate.ExtractFeatures(b, cfg, 1)
+		return 1 + absF(fa.Vec[7]-fb.Vec[7]), nil
+	}
+	model, err := collocate.Train(ws, feats, perf, collocate.TrainConfig{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := AdvisorPlacement(model, feats)
+	if err := p.Validate(len(ws)); err != nil {
+		t.Fatalf("advisor placement invalid: %v", err)
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestClusterRunV10BeatsPMT(t *testing.T) {
+	ws := fleet(t, []string{"BERT", "NCF", "DLRM", "ResNet"})
+	p := Placement{{0, 1}, {2, 3}} // complementary pairs
+	v10res, err := Run(ws, p, Options{Requests: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmtRes, err := Run(ws, p, Options{Requests: 3, UsePMT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v10res.TotalSTP <= pmtRes.TotalSTP {
+		t.Fatalf("cluster V10 STP %v <= PMT %v", v10res.TotalSTP, pmtRes.TotalSTP)
+	}
+	if v10res.CoresUsed != 2 || len(v10res.PerCore) != 2 {
+		t.Fatalf("core accounting wrong: %+v", v10res)
+	}
+	// Four workloads on two cores: should deliver well over 2 cores' worth.
+	if v10res.TotalSTP < 2.4 {
+		t.Fatalf("cluster STP = %v, want > 2.4", v10res.TotalSTP)
+	}
+	if v10res.WorstTenant <= 0 || v10res.WorstTenant > 1.1 {
+		t.Fatalf("worst tenant progress = %v", v10res.WorstTenant)
+	}
+	if v10res.AggUtil <= pmtRes.AggUtil {
+		t.Fatalf("cluster V10 util %v <= PMT %v", v10res.AggUtil, pmtRes.AggUtil)
+	}
+}
+
+func TestClusterRejectsBadPlacement(t *testing.T) {
+	ws := fleet(t, []string{"BERT", "NCF"})
+	if _, err := Run(ws, Placement{{0}}, Options{Requests: 2}); err == nil {
+		t.Fatal("incomplete placement accepted")
+	}
+}
+
+func TestClusterSingleWorkloadCores(t *testing.T) {
+	ws := fleet(t, []string{"MNIST"})
+	res, err := Run(ws, Placement{{0}}, Options{Requests: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dedicated core delivers ≈ 1.0 normalized progress.
+	if res.Normalized[0] < 0.9 || res.Normalized[0] > 1.1 {
+		t.Fatalf("dedicated-core progress = %v, want ≈ 1", res.Normalized[0])
+	}
+}
+
+func TestAdvisorGroupsRespectsCapAndCoverage(t *testing.T) {
+	ws := fleet(t, []string{"BERT", "DLRM", "NCF", "ResNet", "Transformer", "MNIST", "RetinaNet"})
+	feats := make([]collocate.Features, len(ws))
+	for i, w := range ws {
+		feats[i] = collocate.ExtractFeatures(w, cfg, 2)
+	}
+	perf := func(a, b *trace.Workload) (float64, error) {
+		fa := collocate.ExtractFeatures(a, cfg, 1)
+		fb := collocate.ExtractFeatures(b, cfg, 1)
+		return 1 + absF(fa.Vec[7]-fb.Vec[7]), nil
+	}
+	model, err := collocate.Train(ws, feats, perf, collocate.TrainConfig{K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cap := range []int{1, 2, 3, 4} {
+		p := AdvisorGroups(model, feats, cap)
+		if err := p.Validate(len(ws)); err != nil {
+			t.Fatalf("cap %d: invalid placement: %v", cap, err)
+		}
+		for _, g := range p {
+			if len(g) > cap {
+				t.Fatalf("cap %d violated: group %v", cap, g)
+			}
+		}
+	}
+	// Larger caps should never need more cores.
+	small := AdvisorGroups(model, feats, 2).Cores()
+	large := AdvisorGroups(model, feats, 4).Cores()
+	if large > small {
+		t.Fatalf("cap 4 uses %d cores, cap 2 uses %d", large, small)
+	}
+}

@@ -1,0 +1,547 @@
+// Package collocate implements V10's clustering-based workload collocation
+// mechanism (paper §3.4): workloads are characterized by resource-utilization
+// features, compressed with PCA, clustered with K-Means, and pairwise
+// inter-cluster collocation performance profiled offline predicts whether two
+// workloads should share an NPU core. The Random (collocate blindly) and
+// Heuristic (aggregate utilization must fit) baselines from Table 2 are also
+// provided, along with the leave-two-models-out cross-validation used there.
+package collocate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"v10/internal/baseline"
+	"v10/internal/mathx"
+	"v10/internal/npu"
+	"v10/internal/sched"
+	"v10/internal/trace"
+)
+
+// Features is a workload's resource signature: exactly what the paper lists —
+// SA/VU utilizations, HBM bandwidth consumption, and operator length
+// statistics (mean, min, max, log-scaled because lengths span four decades).
+type Features struct {
+	Name  string // workload instance name, e.g. "BERT-b32"
+	Model string // model family (cross-validation groups by this)
+	Vec   []float64
+}
+
+// FeatureNames documents the order of Features.Vec entries.
+var FeatureNames = []string{
+	"sa_util", "vu_util", "hbm_util",
+	"log_mean_sa_len", "log_mean_vu_len",
+	"log_max_sa_len", "log_max_vu_len",
+	"sa_time_frac",
+}
+
+// ExtractFeatures profiles a workload from its own traces (compiler-style
+// offline profiling, no collocation needed) over n requests.
+func ExtractFeatures(w *trace.Workload, cfg npu.CoreConfig, n int) Features {
+	if n < 1 {
+		n = 1
+	}
+	var sa, vu, serial, bytes float64
+	var meanSA, meanVU, maxSA, maxVU float64
+	for r := 0; r < n; r++ {
+		st := w.Request(r).ComputeStats()
+		// Useful cycles: what hardware performance counters expose. The
+		// heuristic baseline therefore under-estimates occupancy conflicts —
+		// the paper's 57.6% false-positive rate comes from exactly this gap.
+		sa += st.UsefulSACycles
+		vu += st.UsefulVUCycles
+		serial += float64(st.SerialCycles)
+		bytes += st.HBMBytes
+		meanSA += st.MeanSALen
+		meanVU += st.MeanVULen
+		maxSA = math.Max(maxSA, float64(st.MaxSALen))
+		maxVU = math.Max(maxVU, float64(st.MaxVULen))
+	}
+	meanSA /= float64(n)
+	meanVU /= float64(n)
+	saFrac := 0.0
+	if sa+vu > 0 {
+		saFrac = sa / (sa + vu)
+	}
+	vec := []float64{
+		safeDiv(sa, serial),
+		safeDiv(vu, serial),
+		safeDiv(bytes, serial*cfg.HBMBytesPerCycle()),
+		log1p(meanSA), log1p(meanVU),
+		log1p(maxSA), log1p(maxVU),
+		saFrac,
+	}
+	return Features{Name: w.Name, Model: w.Model, Vec: vec}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func log1p(x float64) float64 { return math.Log1p(x) }
+
+// PairPerf is the collocation-performance oracle: the aggregated throughput
+// (STP) of the pair under V10-Full divided by under PMT — Table 2 predicts
+// whether this ratio reaches 1.3×.
+type PairPerf func(a, b *trace.Workload) (float64, error)
+
+// SimPairPerf returns a PairPerf that measures performance by simulation
+// (V10-Full STP over PMT STP, both normalized by single-tenant rates),
+// memoizing by workload-name pair.
+func SimPairPerf(cfg npu.CoreConfig, requests int) PairPerf {
+	cache := map[[2]string]float64{}
+	return func(a, b *trace.Workload) (float64, error) {
+		key := [2]string{a.Name, b.Name}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if v, ok := cache[key]; ok {
+			return v, nil
+		}
+		pair := []*trace.Workload{a, b}
+		rates, err := baseline.SingleTenantRates(pair, cfg, requests)
+		if err != nil {
+			return 0, err
+		}
+		pmt, err := baseline.RunPMT(pair, baseline.PMTOptions{
+			Config: cfg, RequestsPerWorkload: requests, Seed: 1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		opts := sched.FullOptions()
+		opts.Config = cfg
+		opts.RequestsPerWorkload = requests
+		full, err := sched.Run(pair, opts)
+		if err != nil {
+			return 0, err
+		}
+		stpPMT := pmt.STP(rates)
+		if stpPMT <= 0 {
+			return 0, fmt.Errorf("collocate: PMT STP is zero for %s+%s", a.Name, b.Name)
+		}
+		v := full.STP(rates) / stpPMT
+		cache[key] = v
+		return v, nil
+	}
+}
+
+// TrainConfig controls clustering-model training.
+type TrainConfig struct {
+	K           int     // number of clusters (paper Fig. 15 shows 5)
+	PCADims     int     // principal components kept
+	Threshold   float64 // predicted-beneficial cutoff (paper: 1.3)
+	PairSamples int     // max workload pairs profiled per cluster pair (0 = all)
+	Seed        uint64
+}
+
+func (tc TrainConfig) withDefaults() TrainConfig {
+	if tc.K <= 0 {
+		tc.K = 5
+	}
+	if tc.PCADims <= 0 {
+		tc.PCADims = 3
+	}
+	if tc.Threshold <= 0 {
+		tc.Threshold = 1.3
+	}
+	return tc
+}
+
+// Model is a trained collocation predictor.
+type Model struct {
+	cfg        TrainConfig
+	pca        *mathx.PCA
+	km         *mathx.KMeansResult
+	perf       [][]float64 // cluster-pair mean collocation performance
+	perfKnown  [][]bool
+	globalMean float64
+}
+
+// ClusterOnly fits the PCA + K-Means stage without pairwise profiling. The
+// returned model can assign clusters (Fig. 15) but predicts the neutral
+// performance 1.0 for every pair until profiled via Train.
+func ClusterOnly(feats []Features, tc TrainConfig) (*Model, error) {
+	tc = tc.withDefaults()
+	if len(feats) < 2 {
+		return nil, fmt.Errorf("collocate: need at least 2 workloads to cluster")
+	}
+	rows := make([][]float64, len(feats))
+	for i, f := range feats {
+		rows[i] = f.Vec
+	}
+	data := mathx.MatrixFromRows(rows)
+	pca := mathx.FitPCA(data, tc.PCADims)
+	projected := pca.TransformAll(data)
+	rng := mathx.NewRNG(tc.Seed + 0xc0110ca7e)
+	km := mathx.KMeans(projected, tc.K, 50, rng)
+
+	k := km.Centroids.Rows
+	m := &Model{cfg: tc, pca: pca, km: km, globalMean: 1}
+	m.perf = make([][]float64, k)
+	m.perfKnown = make([][]bool, k)
+	for i := range m.perf {
+		m.perf[i] = make([]float64, k)
+		m.perfKnown[i] = make([]bool, k)
+	}
+	return m, nil
+}
+
+// Train builds the cluster database: PCA + K-Means over the training
+// workloads' features, then offline pairwise collocation profiling between
+// clusters (paper Fig. 14).
+func Train(workloads []*trace.Workload, feats []Features, perf PairPerf, tc TrainConfig) (*Model, error) {
+	tc = tc.withDefaults()
+	if len(workloads) != len(feats) {
+		return nil, fmt.Errorf("collocate: %d workloads but %d feature rows", len(workloads), len(feats))
+	}
+	m, err := ClusterOnly(feats, tc)
+	if err != nil {
+		return nil, err
+	}
+	km := m.km
+	k := km.Centroids.Rows
+	rng := mathx.NewRNG(tc.Seed + 0x9a1f5)
+
+	// Group training instances by cluster.
+	byCluster := make([][]int, k)
+	for i, c := range km.Labels {
+		byCluster[c] = append(byCluster[c], i)
+	}
+
+	// Offline inter-cluster pairwise collocation profiling.
+	var total, count float64
+	for ci := 0; ci < k; ci++ {
+		for cj := ci; cj < k; cj++ {
+			pairs := clusterPairs(byCluster[ci], byCluster[cj], ci == cj)
+			if tc.PairSamples > 0 && len(pairs) > tc.PairSamples {
+				shufflePairs(pairs, rng)
+				pairs = pairs[:tc.PairSamples]
+			}
+			var sum float64
+			var n int
+			for _, p := range pairs {
+				v, err := perf(workloads[p[0]], workloads[p[1]])
+				if err != nil {
+					return nil, fmt.Errorf("collocate: profiling %s+%s: %w",
+						workloads[p[0]].Name, workloads[p[1]].Name, err)
+				}
+				sum += v
+				n++
+			}
+			if n > 0 {
+				mean := sum / float64(n)
+				m.perf[ci][cj], m.perf[cj][ci] = mean, mean
+				m.perfKnown[ci][cj], m.perfKnown[cj][ci] = true, true
+				total += sum
+				count += float64(n)
+			}
+		}
+	}
+	if count > 0 {
+		m.globalMean = total / count
+	} else {
+		m.globalMean = 1
+	}
+	return m, nil
+}
+
+func clusterPairs(a, b []int, same bool) [][2]int {
+	var out [][2]int
+	if same {
+		for i := 0; i < len(a); i++ {
+			for j := i + 1; j < len(a); j++ {
+				out = append(out, [2]int{a[i], a[j]})
+			}
+		}
+		return out
+	}
+	for _, i := range a {
+		for _, j := range b {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+func shufflePairs(ps [][2]int, rng *mathx.RNG) {
+	for i := len(ps) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		ps[i], ps[j] = ps[j], ps[i]
+	}
+}
+
+// K returns the number of clusters in the trained model.
+func (m *Model) K() int { return m.km.Centroids.Rows }
+
+// PredictCluster maps a workload's features to its cluster.
+func (m *Model) PredictCluster(f Features) int {
+	return m.km.Predict(m.pca.Transform(f.Vec))
+}
+
+// PredictPerf estimates the collocation performance of two workloads from
+// their clusters' profiled performance; unprofiled cluster pairs fall back to
+// the global mean.
+func (m *Model) PredictPerf(a, b Features) float64 {
+	ca, cb := m.PredictCluster(a), m.PredictCluster(b)
+	if m.perfKnown[ca][cb] {
+		return m.perf[ca][cb]
+	}
+	return m.globalMean
+}
+
+// ShouldCollocate predicts whether the pair clears the benefit threshold.
+func (m *Model) ShouldCollocate(a, b Features) bool {
+	return m.PredictPerf(a, b) >= m.cfg.Threshold
+}
+
+// ClusterAssignments returns instance name → cluster for the training set
+// ordering given (used by the Fig. 15 scatter experiment).
+func (m *Model) ClusterAssignments(feats []Features) map[string]int {
+	out := make(map[string]int, len(feats))
+	for _, f := range feats {
+		out[f.Name] = m.PredictCluster(f)
+	}
+	return out
+}
+
+// Predictor decides whether to collocate a pair, given their features.
+type Predictor interface {
+	Name() string
+	Predict(a, b Features) bool
+}
+
+// RandomPolicy is the paper's "Random" baseline: collocate blindly (always
+// predict beneficial), i.e. random pairing with no filtering.
+type RandomPolicy struct{}
+
+// Name implements Predictor.
+func (RandomPolicy) Name() string { return "Random" }
+
+// Predict always collocates.
+func (RandomPolicy) Predict(a, b Features) bool { return true }
+
+// HeuristicPolicy is the paper's heuristic baseline: "the aggregated
+// resource utilization of collocated workloads should not exceed the total
+// available resource". It sums each workload's aggregate compute utilization
+// (mean of SA and VU) and HBM utilization. Because it aggregates across FU
+// types and sees only useful-cycle counters, it misses per-FU occupancy
+// conflicts and dynamic contention — the source of its high false-positive
+// rate in Table 2.
+type HeuristicPolicy struct{}
+
+// Name implements Predictor.
+func (HeuristicPolicy) Name() string { return "Heuristic" }
+
+// Predict implements the aggregate-capacity check.
+func (HeuristicPolicy) Predict(a, b Features) bool {
+	aggA := (a.Vec[0] + a.Vec[1]) / 2
+	aggB := (b.Vec[0] + b.Vec[1]) / 2
+	return aggA+aggB <= 1 && a.Vec[2]+b.Vec[2] <= 1
+}
+
+// ClusteringPolicy wraps a trained Model as a Predictor.
+type ClusteringPolicy struct{ Model *Model }
+
+// Name implements Predictor.
+func (ClusteringPolicy) Name() string { return "Clustering" }
+
+// Predict implements Predictor.
+func (c ClusteringPolicy) Predict(a, b Features) bool { return c.Model.ShouldCollocate(a, b) }
+
+// EvalResult mirrors a row of the paper's Table 2.
+type EvalResult struct {
+	Predictor string
+	Accuracy  float64 // (TP+TN)/N
+	TPRate    float64 // TP/(TP+FN): share of actual positives predicted positive
+	TNRate    float64 // TN/(TN+FP)
+	FPRate    float64 // FP/(FP+TN)
+	FNRate    float64 // FN/(FN+TP)
+	WorstPerf float64 // minimum actual performance among predicted positives
+	N         int
+}
+
+// TestPair is one labeled evaluation case.
+type TestPair struct {
+	A, B Features
+	Perf float64 // ground-truth collocation performance
+}
+
+// Evaluate scores a predictor against labeled pairs with the given benefit
+// threshold.
+func Evaluate(p Predictor, pairs []TestPair, threshold float64) EvalResult {
+	var tp, tn, fp, fn int
+	worst := math.Inf(1)
+	for _, tc := range pairs {
+		pred := p.Predict(tc.A, tc.B)
+		actual := tc.Perf >= threshold
+		switch {
+		case pred && actual:
+			tp++
+		case !pred && !actual:
+			tn++
+		case pred && !actual:
+			fp++
+		default:
+			fn++
+		}
+		if pred && tc.Perf < worst {
+			worst = tc.Perf
+		}
+	}
+	n := len(pairs)
+	res := EvalResult{Predictor: p.Name(), N: n}
+	if n > 0 {
+		res.Accuracy = float64(tp+tn) / float64(n)
+	}
+	if tp+fn > 0 {
+		res.TPRate = float64(tp) / float64(tp+fn)
+		res.FNRate = float64(fn) / float64(tp+fn)
+	}
+	if tn+fp > 0 {
+		res.TNRate = float64(tn) / float64(tn+fp)
+		res.FPRate = float64(fp) / float64(tn+fp)
+	}
+	if math.IsInf(worst, 1) {
+		res.WorstPerf = 1
+	} else {
+		res.WorstPerf = worst
+	}
+	return res
+}
+
+// CrossValidate runs the paper's leave-two-models-out protocol: for every
+// pair of model families, train on all instances of the other families and
+// test on pairs drawn from the held-out instances, aggregating the confusion
+// counts across splits. Instances sharing a model family are held out
+// together. It returns one EvalResult per predictor-builder.
+func CrossValidate(
+	workloads []*trace.Workload,
+	feats []Features,
+	perf PairPerf,
+	tc TrainConfig,
+	buildPredictors func(m *Model) []Predictor,
+) ([]EvalResult, error) {
+	tc = tc.withDefaults()
+	if len(workloads) != len(feats) {
+		return nil, fmt.Errorf("collocate: workload/feature count mismatch")
+	}
+	modelsOf := map[string][]int{}
+	var names []string
+	for i, f := range feats {
+		if _, ok := modelsOf[f.Model]; !ok {
+			names = append(names, f.Model)
+		}
+		modelsOf[f.Model] = append(modelsOf[f.Model], i)
+	}
+	sort.Strings(names)
+	if len(names) < 3 {
+		return nil, fmt.Errorf("collocate: cross-validation needs >= 3 model families, got %d", len(names))
+	}
+
+	type agg struct {
+		pairs []TestPair
+		pred  []bool
+	}
+	aggregates := map[string]*agg{}
+	order := []string{}
+
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			heldOut := map[string]bool{names[i]: true, names[j]: true}
+			var trainW []*trace.Workload
+			var trainF []Features
+			var testIdx []int
+			for k, f := range feats {
+				if heldOut[f.Model] {
+					testIdx = append(testIdx, k)
+				} else {
+					trainW = append(trainW, workloads[k])
+					trainF = append(trainF, f)
+				}
+			}
+			model, err := Train(trainW, trainF, perf, tc)
+			if err != nil {
+				return nil, fmt.Errorf("collocate: split (%s,%s): %w", names[i], names[j], err)
+			}
+			// Label held-out pairs with ground truth.
+			var cases []TestPair
+			for a := 0; a < len(testIdx); a++ {
+				for b := a + 1; b < len(testIdx); b++ {
+					ia, ib := testIdx[a], testIdx[b]
+					if feats[ia].Model == feats[ib].Model {
+						continue // the paper pairs distinct services
+					}
+					v, err := perf(workloads[ia], workloads[ib])
+					if err != nil {
+						return nil, err
+					}
+					cases = append(cases, TestPair{A: feats[ia], B: feats[ib], Perf: v})
+				}
+			}
+			for _, p := range buildPredictors(model) {
+				a, ok := aggregates[p.Name()]
+				if !ok {
+					a = &agg{}
+					aggregates[p.Name()] = a
+					order = append(order, p.Name())
+				}
+				for _, c := range cases {
+					a.pairs = append(a.pairs, c)
+					a.pred = append(a.pred, p.Predict(c.A, c.B))
+				}
+			}
+		}
+	}
+
+	var results []EvalResult
+	for _, name := range order {
+		a := aggregates[name]
+		results = append(results, scorePredictions(name, a.pairs, a.pred, tc.Threshold))
+	}
+	return results, nil
+}
+
+// scorePredictions aggregates already-made predictions into an EvalResult.
+func scorePredictions(name string, pairs []TestPair, preds []bool, threshold float64) EvalResult {
+	var tp, tn, fp, fn int
+	worst := math.Inf(1)
+	for i, tc := range pairs {
+		actual := tc.Perf >= threshold
+		switch {
+		case preds[i] && actual:
+			tp++
+		case !preds[i] && !actual:
+			tn++
+		case preds[i] && !actual:
+			fp++
+		default:
+			fn++
+		}
+		if preds[i] && tc.Perf < worst {
+			worst = tc.Perf
+		}
+	}
+	res := EvalResult{Predictor: name, N: len(pairs)}
+	if len(pairs) > 0 {
+		res.Accuracy = float64(tp+tn) / float64(len(pairs))
+	}
+	if tp+fn > 0 {
+		res.TPRate = float64(tp) / float64(tp+fn)
+		res.FNRate = float64(fn) / float64(tp+fn)
+	}
+	if tn+fp > 0 {
+		res.TNRate = float64(tn) / float64(tn+fp)
+		res.FPRate = float64(fp) / float64(tn+fp)
+	}
+	if math.IsInf(worst, 1) {
+		res.WorstPerf = 1
+	} else {
+		res.WorstPerf = worst
+	}
+	return res
+}

@@ -1,0 +1,146 @@
+// Package dma models the NPU's DMA engine (paper §2.1): transfers between
+// off-chip HBM and the on-chip SRAM buffers execute independently from the
+// core pipeline, so computation and data movement overlap. The operator
+// scheduler relies on exactly this engine: it "uses DMA to load the
+// instructions from the off-chip HBM into the on-chip instruction memory.
+// The Ready bit indicates whether the DMA is completed" (§3.2).
+//
+// The engine serializes queued transfers at a fixed bandwidth over a
+// discrete-event simulation; DoubleBuffer demonstrates the §2.1 overlap that
+// motivates treating operator stall time as hideable.
+package dma
+
+import (
+	"fmt"
+
+	"v10/internal/sim"
+)
+
+// Engine is a single DMA channel moving bytes at a fixed rate.
+type Engine struct {
+	engine    *sim.Engine
+	bandwidth float64 // bytes per cycle
+
+	busyUntil  sim.Cycle
+	bytesMoved int64
+	busyCycles int64
+	pending    int
+}
+
+// New creates a DMA channel on the simulation engine.
+func New(engine *sim.Engine, bytesPerCycle float64) *Engine {
+	if bytesPerCycle <= 0 {
+		panic("dma: non-positive bandwidth")
+	}
+	return &Engine{engine: engine, bandwidth: bytesPerCycle}
+}
+
+// BytesMoved returns the total traffic completed.
+func (d *Engine) BytesMoved() int64 { return d.bytesMoved }
+
+// BusyCycles returns the cycles the channel has spent transferring.
+func (d *Engine) BusyCycles() int64 { return d.busyCycles }
+
+// Pending returns the number of queued-but-unfinished transfers.
+func (d *Engine) Pending() int { return d.pending }
+
+// Enqueue schedules a transfer of the given size; onDone fires at its
+// completion cycle (transfers are FIFO and serialized on the channel — this
+// sets the Ready bit in the scheduler's context table).
+func (d *Engine) Enqueue(bytes int64, onDone func(now sim.Cycle)) error {
+	if bytes < 0 {
+		return fmt.Errorf("dma: negative transfer size %d", bytes)
+	}
+	cycles := sim.Cycle(float64(bytes)/d.bandwidth + 0.999999)
+	if cycles < 1 && bytes > 0 {
+		cycles = 1
+	}
+	start := d.engine.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	done := start + cycles
+	d.busyUntil = done
+	d.busyCycles += cycles
+	d.pending++
+	d.engine.Schedule(done, func(now sim.Cycle) {
+		d.bytesMoved += bytes
+		d.pending--
+		if onDone != nil {
+			onDone(now)
+		}
+	})
+	return nil
+}
+
+// Chunk is one unit of a double-buffered pipeline: fetch Bytes via DMA, then
+// spend ComputeCycles on it.
+type Chunk struct {
+	Bytes         int64
+	ComputeCycles int64
+}
+
+// DoubleBufferStats reports a pipeline execution.
+type DoubleBufferStats struct {
+	TotalCycles    int64
+	TransferCycles int64
+	ComputeCycles  int64
+	SerialCycles   int64 // what a non-overlapped execution would cost
+}
+
+// Overlap returns the fraction of the serial cost hidden by the pipeline.
+func (s DoubleBufferStats) Overlap() float64 {
+	if s.SerialCycles == 0 {
+		return 0
+	}
+	return 1 - float64(s.TotalCycles)/float64(s.SerialCycles)
+}
+
+// DoubleBuffer runs chunks through a two-stage pipeline on a fresh
+// simulation: chunk i+1's DMA overlaps chunk i's compute, the §2.1 pattern.
+// It returns the measured statistics.
+func DoubleBuffer(bytesPerCycle float64, chunks []Chunk) (DoubleBufferStats, error) {
+	var stats DoubleBufferStats
+	engine := &sim.Engine{}
+	d := New(engine, bytesPerCycle)
+
+	computeFree := sim.Cycle(0) // when the compute unit becomes free
+	var issue func(i int, now sim.Cycle)
+	issue = func(i int, now sim.Cycle) {
+		if i >= len(chunks) {
+			return
+		}
+		c := chunks[i]
+		err := d.Enqueue(c.Bytes, func(ready sim.Cycle) {
+			start := ready
+			if computeFree > start {
+				start = computeFree
+			}
+			computeFree = start + c.ComputeCycles
+			stats.ComputeCycles += c.ComputeCycles
+			// Fetch the next chunk while this one computes.
+			issue(i+1, ready)
+		})
+		if err != nil {
+			panic(err) // sizes validated below
+		}
+	}
+	for _, c := range chunks {
+		if c.Bytes < 0 || c.ComputeCycles < 0 {
+			return stats, fmt.Errorf("dma: invalid chunk %+v", c)
+		}
+		transfer := int64(float64(c.Bytes)/bytesPerCycle + 0.999999)
+		stats.SerialCycles += transfer + c.ComputeCycles
+	}
+	if len(chunks) > 0 {
+		issue(0, 0)
+	}
+	for engine.Step() {
+	}
+	stats.TotalCycles = int64(computeFree)
+	if engine.Now() > computeFree {
+		stats.TotalCycles = engine.Now()
+	}
+	stats.TransferCycles = d.BusyCycles()
+	return stats, nil
+}

@@ -1,0 +1,159 @@
+package dma
+
+import (
+	"testing"
+	"testing/quick"
+
+	"v10/internal/mathx"
+	"v10/internal/sim"
+)
+
+func TestEnqueueSerializesFIFO(t *testing.T) {
+	engine := &sim.Engine{}
+	d := New(engine, 100) // 100 B/cycle
+	var order []int
+	var times []sim.Cycle
+	for i := 0; i < 3; i++ {
+		i := i
+		if err := d.Enqueue(1000, func(now sim.Cycle) { // 10 cycles each
+			order = append(order, i)
+			times = append(times, now)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for engine.Step() {
+	}
+	if len(order) != 3 || order[0] != 0 || order[2] != 2 {
+		t.Fatalf("completion order = %v", order)
+	}
+	if times[0] != 10 || times[1] != 20 || times[2] != 30 {
+		t.Fatalf("completion times = %v, want [10 20 30]", times)
+	}
+	if d.BytesMoved() != 3000 || d.BusyCycles() != 30 || d.Pending() != 0 {
+		t.Fatalf("accounting wrong: %d bytes, %d cycles, %d pending",
+			d.BytesMoved(), d.BusyCycles(), d.Pending())
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	engine := &sim.Engine{}
+	d := New(engine, 100)
+	if err := d.Enqueue(-1, nil); err == nil {
+		t.Fatal("negative transfer accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bandwidth accepted")
+		}
+	}()
+	New(engine, 0)
+}
+
+func TestZeroByteTransferCompletes(t *testing.T) {
+	engine := &sim.Engine{}
+	d := New(engine, 100)
+	fired := false
+	if err := d.Enqueue(0, func(sim.Cycle) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	for engine.Step() {
+	}
+	if !fired {
+		t.Fatal("zero-byte transfer never completed")
+	}
+}
+
+func TestDoubleBufferBalanced(t *testing.T) {
+	// Transfer time == compute time per chunk: the pipeline should hide
+	// nearly half of the serial cost.
+	chunks := make([]Chunk, 10)
+	for i := range chunks {
+		chunks[i] = Chunk{Bytes: 1000, ComputeCycles: 10} // 10cy transfer + 10cy compute
+	}
+	stats, err := DoubleBuffer(100, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SerialCycles != 200 {
+		t.Fatalf("serial = %d, want 200", stats.SerialCycles)
+	}
+	// Pipelined: first transfer (10) + 10 computes (100) = 110.
+	if stats.TotalCycles != 110 {
+		t.Fatalf("pipelined = %d, want 110", stats.TotalCycles)
+	}
+	if ov := stats.Overlap(); ov < 0.4 {
+		t.Fatalf("overlap = %v, want ≈ 0.45", ov)
+	}
+}
+
+func TestDoubleBufferComputeBound(t *testing.T) {
+	chunks := make([]Chunk, 5)
+	for i := range chunks {
+		chunks[i] = Chunk{Bytes: 100, ComputeCycles: 100} // 1cy transfer
+	}
+	stats, err := DoubleBuffer(100, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfers hide completely behind compute: 1 + 5×100.
+	if stats.TotalCycles != 501 {
+		t.Fatalf("compute-bound total = %d, want 501", stats.TotalCycles)
+	}
+}
+
+func TestDoubleBufferTransferBound(t *testing.T) {
+	chunks := make([]Chunk, 5)
+	for i := range chunks {
+		chunks[i] = Chunk{Bytes: 10000, ComputeCycles: 10} // 100cy transfer
+	}
+	stats, err := DoubleBuffer(100, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute hides behind transfers: 5×100 + final compute 10.
+	if stats.TotalCycles != 510 {
+		t.Fatalf("transfer-bound total = %d, want 510", stats.TotalCycles)
+	}
+}
+
+func TestDoubleBufferEmptyAndInvalid(t *testing.T) {
+	stats, err := DoubleBuffer(100, nil)
+	if err != nil || stats.TotalCycles != 0 {
+		t.Fatalf("empty pipeline: %+v, %v", stats, err)
+	}
+	if _, err := DoubleBuffer(100, []Chunk{{Bytes: -1}}); err == nil {
+		t.Fatal("invalid chunk accepted")
+	}
+}
+
+// Property: the pipeline never beats max(Σtransfer, Σcompute) and never
+// loses to the serial schedule.
+func TestDoubleBufferBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 1 + rng.Intn(12)
+		chunks := make([]Chunk, n)
+		var xfer, comp int64
+		for i := range chunks {
+			chunks[i] = Chunk{
+				Bytes:         int64(rng.Intn(5000)),
+				ComputeCycles: int64(rng.Intn(200)),
+			}
+			xfer += int64(float64(chunks[i].Bytes)/100 + 0.999999)
+			comp += chunks[i].ComputeCycles
+		}
+		stats, err := DoubleBuffer(100, chunks)
+		if err != nil {
+			return false
+		}
+		lower := xfer
+		if comp > lower {
+			lower = comp
+		}
+		return stats.TotalCycles >= lower && stats.TotalCycles <= stats.SerialCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

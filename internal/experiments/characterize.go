@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+
+	"v10/internal/models"
+	"v10/internal/report"
+)
+
+// sweepBatches returns the batch sizes a model can run without OOM.
+func (c *Context) sweepBatches(spec models.Spec) []int {
+	var out []int
+	for _, b := range models.StandardBatches {
+		if !spec.OOM(b, c.Config.HBMBytes) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// characterizationTable builds a model×batch table from a per-run metric.
+func (c *Context) characterizationTable(id, title, note string,
+	metric func(abbrev string, batch int) (float64, error)) (*report.Table, error) {
+
+	t := &report.Table{ID: id, Title: title, Note: note}
+	t.Header = []string{"model"}
+	for _, b := range models.StandardBatches {
+		t.Header = append(t.Header, fmt.Sprintf("b%d", b))
+	}
+	for _, spec := range models.Specs() {
+		row := []string{spec.Name}
+		allowed := map[int]bool{}
+		for _, b := range c.sweepBatches(spec) {
+			allowed[b] = true
+		}
+		for _, b := range models.StandardBatches {
+			if !allowed[b] {
+				row = append(row, "OOM")
+				continue
+			}
+			v, err := metric(spec.Abbrev, b)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.Percent(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig3 regenerates the overall FLOPS utilization of single DNN inference
+// workloads across batch sizes (deeper color = larger batch in the paper).
+func (c *Context) Fig3() (*report.Table, error) {
+	peak := c.Config.PeakFLOPS() / c.Config.FrequencyHz // FLOPs per cycle
+	return c.characterizationTable("fig3",
+		"Overall FLOPS utilization of DNN inference workloads",
+		"single-tenant runs; OOM entries mirror the paper's out-of-memory failures",
+		func(abbrev string, batch int) (float64, error) {
+			res, err := c.profile(abbrev, batch)
+			if err != nil {
+				return 0, err
+			}
+			return res.FLOPSUtil(peak), nil
+		})
+}
+
+// Fig4 regenerates MXU (systolic array) temporal utilization.
+func (c *Context) Fig4() (*report.Table, error) {
+	return c.characterizationTable("fig4",
+		"MXU temporal utilization of inference workloads",
+		"",
+		func(abbrev string, batch int) (float64, error) {
+			res, err := c.profile(abbrev, batch)
+			if err != nil {
+				return 0, err
+			}
+			return res.SAUtil(), nil
+		})
+}
+
+// Fig5 regenerates VPU (vector unit) temporal utilization.
+func (c *Context) Fig5() (*report.Table, error) {
+	return c.characterizationTable("fig5",
+		"VPU temporal utilization of inference workloads",
+		"",
+		func(abbrev string, batch int) (float64, error) {
+			res, err := c.profile(abbrev, batch)
+			if err != nil {
+				return 0, err
+			}
+			return res.VUUtil(), nil
+		})
+}
+
+// Fig6 regenerates the theoretical maximum speedup from intra-workload
+// operator parallelism: serial time over DAG critical path.
+func (c *Context) Fig6() (*report.Table, error) {
+	t := &report.Table{
+		ID:    "fig6",
+		Title: "Theoretical maximum speedup with operator-level parallelism",
+		Note:  "serial/critical-path per request DAG; paper average is 1.067",
+	}
+	t.Header = []string{"model"}
+	for _, b := range models.StandardBatches {
+		t.Header = append(t.Header, fmt.Sprintf("b%d", b))
+	}
+	sum, n := 0.0, 0
+	for _, spec := range models.Specs() {
+		row := []string{spec.Name}
+		allowed := map[int]bool{}
+		for _, b := range c.sweepBatches(spec) {
+			allowed[b] = true
+		}
+		for _, b := range models.StandardBatches {
+			if !allowed[b] {
+				row = append(row, "OOM")
+				continue
+			}
+			w := c.batchWorkload(spec.Abbrev, b)
+			avg := 0.0
+			for r := 0; r < c.ProfileRequests; r++ {
+				avg += w.Request(r).IdealSpeedup()
+			}
+			avg /= float64(c.ProfileRequests)
+			sum += avg
+			n++
+			row = append(row, report.FormatFloat(avg))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Note += fmt.Sprintf("; measured mean %.3f", sum/float64(n))
+	return t, nil
+}
+
+// Fig7 regenerates HBM bandwidth utilization of single DNN inferences.
+func (c *Context) Fig7() (*report.Table, error) {
+	return c.characterizationTable("fig7",
+		"HBM bandwidth utilization of DNN inferences",
+		"utilization generally falls with batch size; Transformer rises (beam search)",
+		func(abbrev string, batch int) (float64, error) {
+			res, err := c.profile(abbrev, batch)
+			if err != nil {
+				return 0, err
+			}
+			return res.HBMUtil(), nil
+		})
+}
+
+// Fig8 regenerates the roofline plot: operation intensity vs achieved
+// TFLOP/s per model and batch, with the paper's compute and bandwidth roofs.
+func (c *Context) Fig8() (*report.Table, error) {
+	t := &report.Table{
+		ID:    "fig8",
+		Title: "Roofline placement of DNN inference workloads",
+		Note: fmt.Sprintf("compute roof %.1f TFLOP/s, bandwidth roof %.0f GB/s",
+			c.Config.PeakFLOPS()/1e12, c.Config.HBMBandwidth/1e9),
+		Header: []string{"model", "batch", "OI (FLOPs/B)", "TFLOP/s", "roof-limited-by"},
+	}
+	for _, spec := range models.Specs() {
+		for _, b := range c.sweepBatches(spec) {
+			res, err := c.profile(spec.Abbrev, b)
+			if err != nil {
+				return nil, err
+			}
+			var flops, bytes float64
+			for _, w := range res.Workloads {
+				flops += w.FLOPs
+				bytes += w.HBMBytes
+			}
+			oi := 0.0
+			if bytes > 0 {
+				oi = flops / bytes
+			}
+			seconds := float64(res.TotalCycles) / c.Config.FrequencyHz
+			tflops := flops / seconds / 1e12
+			limit := "bandwidth"
+			if oi*c.Config.HBMBandwidth > c.Config.PeakFLOPS() {
+				limit = "compute"
+			}
+			t.AddRow(spec.Name, b, oi, tflops, limit)
+		}
+	}
+	return t, nil
+}
+
+// Table1 regenerates the average operator lengths of the DNN models.
+func (c *Context) Table1() (*report.Table, error) {
+	t := &report.Table{
+		ID:     "table1",
+		Title:  "Average operator lengths of DNN models (µs)",
+		Note:   "batch 32 except ShapeMask (8) and Mask-RCNN (16)",
+		Header: []string{"model", "avg SA op len (µs)", "avg VU op len (µs)"},
+	}
+	for _, row := range models.Table1(10, c.Config) {
+		t.AddRow(row.Model, row.AvgSAUS, row.AvgVUUS)
+	}
+	return t, nil
+}

@@ -1,0 +1,192 @@
+// Package experiments regenerates every table and figure of the paper's
+// characterization (§2) and evaluation (§5) sections from the simulator.
+// Each generator returns a report.Table whose rows mirror the paper's
+// bars/series; DESIGN.md maps experiment IDs to generators, and
+// EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+
+	"v10/internal/baseline"
+	"v10/internal/metrics"
+	"v10/internal/models"
+	"v10/internal/npu"
+	"v10/internal/sched"
+	"v10/internal/trace"
+)
+
+// Context carries shared configuration and memoizes simulation runs so that
+// figures drawing on the same runs (e.g. Figs. 16–21) simulate them once.
+type Context struct {
+	Config npu.CoreConfig
+	// Requests per workload per collocated run. The paper runs to steady
+	// state; a few requests per workload already show the shapes, and the
+	// benches scale this up.
+	Requests int
+	// ProfileRequests per single-tenant characterization run (Figs. 3–8).
+	ProfileRequests int
+	Seed            uint64
+
+	profiles map[string]*metrics.RunResult
+	pairs    map[string]*pairRun
+	singles  map[string]*metrics.RunResult
+}
+
+// NewContext returns a Context with the paper's default configuration.
+func NewContext() *Context {
+	return &Context{
+		Config:          npu.DefaultConfig(),
+		Requests:        4,
+		ProfileRequests: 3,
+		Seed:            1,
+	}
+}
+
+type pairRun struct {
+	workloads []string
+	pmt       *metrics.RunResult
+	base      *metrics.RunResult
+	fair      *metrics.RunResult
+	full      *metrics.RunResult
+	rates     []float64
+}
+
+// EvalPairs are the 11 collocation pairs of the evaluation figures
+// (Figs. 16–24), in the paper's x-axis order.
+var EvalPairs = [][2]string{
+	{"BERT", "NCF"}, {"BERT", "RtNt"}, {"RsNt", "RtNt"}, {"NCF", "RsNt"},
+	{"BERT", "TFMR"}, {"BERT", "DLRM"}, {"RNRS", "SMask"}, {"ENet", "RsNt"},
+	{"MNST", "NCF"}, {"DLRM", "RsNt"}, {"RNRS", "MRCN"},
+}
+
+// Fig9Pairs are the 15 pairs of the Fig. 9 PMT characterization.
+var Fig9Pairs = append(append([][2]string{}, EvalPairs...),
+	[2]string{"MNST", "RNRS"}, [2]string{"BERT", "RsNt"},
+	[2]string{"DLRM", "RtNt"}, [2]string{"DLRM", "NCF"},
+)
+
+// PairLabel renders a pair the way the paper labels its x-axes.
+func PairLabel(p [2]string) string { return p[0] + "+" + p[1] }
+
+// workload constructs the Table 4 instance (reference batch) of a model.
+func (c *Context) workload(abbrev string) *trace.Workload {
+	spec, ok := models.ByName(abbrev)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown model %q", abbrev))
+	}
+	seed := c.Seed
+	for _, ch := range abbrev {
+		seed = seed*131 + uint64(ch)
+	}
+	return spec.Workload(spec.RefBatch, seed, c.Config)
+}
+
+// batchWorkload constructs a model instance at an explicit batch size.
+func (c *Context) batchWorkload(abbrev string, batch int) *trace.Workload {
+	spec, ok := models.ByName(abbrev)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown model %q", abbrev))
+	}
+	seed := c.Seed + uint64(batch)*977
+	for _, ch := range abbrev {
+		seed = seed*131 + uint64(ch)
+	}
+	return spec.Workload(batch, seed, c.Config)
+}
+
+// profile memoizes the single-tenant characterization run of model@batch.
+func (c *Context) profile(abbrev string, batch int) (*metrics.RunResult, error) {
+	if c.profiles == nil {
+		c.profiles = map[string]*metrics.RunResult{}
+	}
+	key := fmt.Sprintf("%s@%d", abbrev, batch)
+	if r, ok := c.profiles[key]; ok {
+		return r, nil
+	}
+	res, err := baseline.RunSingle(c.batchWorkload(abbrev, batch), c.Config, c.ProfileRequests)
+	if err != nil {
+		return nil, fmt.Errorf("profile %s: %w", key, err)
+	}
+	c.profiles[key] = res
+	return res, nil
+}
+
+// single memoizes a single-tenant run of a Table 4 instance.
+func (c *Context) single(abbrev string) (*metrics.RunResult, error) {
+	if c.singles == nil {
+		c.singles = map[string]*metrics.RunResult{}
+	}
+	if r, ok := c.singles[abbrev]; ok {
+		return r, nil
+	}
+	res, err := baseline.RunSingle(c.workload(abbrev), c.Config, c.Requests)
+	if err != nil {
+		return nil, fmt.Errorf("single %s: %w", abbrev, err)
+	}
+	c.singles[abbrev] = res
+	return res, nil
+}
+
+// pair memoizes the four-scheme comparison of a collocation pair.
+func (c *Context) pair(p [2]string) (*pairRun, error) {
+	if c.pairs == nil {
+		c.pairs = map[string]*pairRun{}
+	}
+	key := PairLabel(p)
+	if r, ok := c.pairs[key]; ok {
+		return r, nil
+	}
+	mk := func() []*trace.Workload {
+		return []*trace.Workload{c.workload(p[0]), c.workload(p[1])}
+	}
+	run := &pairRun{workloads: []string{p[0], p[1]}}
+
+	var err error
+	if run.rates, err = c.singleRates(p); err != nil {
+		return nil, err
+	}
+	if run.pmt, err = baseline.RunPMT(mk(), baseline.PMTOptions{
+		Config: c.Config, RequestsPerWorkload: c.Requests, Seed: c.Seed,
+	}); err != nil {
+		return nil, fmt.Errorf("PMT %s: %w", key, err)
+	}
+	for _, variant := range []struct {
+		opts sched.Options
+		dst  **metrics.RunResult
+	}{
+		{sched.BaseOptions(), &run.base},
+		{sched.FairOptions(), &run.fair},
+		{sched.FullOptions(), &run.full},
+	} {
+		opts := variant.opts
+		opts.Config = c.Config
+		opts.RequestsPerWorkload = c.Requests
+		res, err := sched.Run(mk(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", opts.Scheme, key, err)
+		}
+		*variant.dst = res
+	}
+	c.pairs[key] = run
+	return run, nil
+}
+
+// singleRates returns the pair's single-tenant progress rates, reusing the
+// memoized single-tenant runs.
+func (c *Context) singleRates(p [2]string) ([]float64, error) {
+	rates := make([]float64, 2)
+	for i, abbrev := range p {
+		res, err := c.single(abbrev)
+		if err != nil {
+			return nil, err
+		}
+		rates[i] = res.ProgressRate(0)
+	}
+	return rates, nil
+}
+
+// schemes iterates the four compared designs in paper order.
+func (r *pairRun) schemes() []*metrics.RunResult {
+	return []*metrics.RunResult{r.pmt, r.base, r.fair, r.full}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"v10/internal/models"
+	"v10/internal/npu"
+	"v10/internal/report"
+)
+
+// Table3 regenerates the tensor-operator-scheduler overhead table from the
+// analytic hardware cost model (area and power normalized to a TPUv3 core).
+func (c *Context) Table3() (*report.Table, error) {
+	t := &report.Table{
+		ID:    "table3",
+		Title: "Overhead of the tensor operator scheduler",
+		Note:  "analytic model calibrated to the paper's FreePDK-15nm synthesis",
+		Header: []string{"#SAs", "#VUs", "#workloads",
+			"context table", "latency", "area", "power"},
+	}
+	for _, row := range [][3]int{{1, 1, 2}, {1, 1, 4}, {2, 2, 4}, {4, 4, 8}} {
+		o := npu.Overhead(row[0], row[1], row[2])
+		t.AddRow(
+			fmt.Sprintf("%d", o.NumSA), fmt.Sprintf("%d", o.NumVU),
+			fmt.Sprintf("%d", o.NumWorkloads),
+			fmt.Sprintf("%d bytes", o.ContextBytes),
+			fmt.Sprintf("%d cycles", o.LatencyCycles),
+			fmt.Sprintf("%.3f%%", o.AreaPercent),
+			fmt.Sprintf("%.3f%%", o.PowerPercent))
+	}
+	return t, nil
+}
+
+// Table4 lists the evaluated ML models.
+func (c *Context) Table4() (*report.Table, error) {
+	t := &report.Table{
+		ID:     "table4",
+		Title:  "ML models used in the evaluation",
+		Note:   "batch size is 32 except ShapeMask (8) and Mask-RCNN (16)",
+		Header: []string{"name", "abbrev", "description", "batch"},
+	}
+	for _, s := range models.Specs() {
+		t.AddRow(s.Name, s.Abbrev, s.Description, s.RefBatch)
+	}
+	return t, nil
+}
+
+// Table5 lists the NPU simulator configuration.
+func (c *Context) Table5() (*report.Table, error) {
+	cfg := c.Config
+	t := &report.Table{
+		ID:     "table5",
+		Title:  "Configuration of the NPU simulator",
+		Header: []string{"parameter", "value"},
+	}
+	t.AddRow("Systolic array (SA) dimension", fmt.Sprintf("%d×%d", cfg.SADim, cfg.SADim))
+	t.AddRow("Vector unit (VU) dimension",
+		fmt.Sprintf("%d×%d×%d FP32 operations/cycle", cfg.VUSubunits, cfg.VULanes, cfg.VUOpsPerLane))
+	t.AddRow("Frequency", fmt.Sprintf("%.0f MHz", cfg.FrequencyHz/1e6))
+	t.AddRow("Vector Memory", fmt.Sprintf("%d MB", cfg.VMemBytes>>20))
+	t.AddRow("HBM Memory Size & Bandwidth",
+		fmt.Sprintf("%d GB, %.0f GB/s", cfg.HBMBytes>>30, cfg.HBMBandwidth/1e9))
+	t.AddRow("Scheduler Time Slice",
+		fmt.Sprintf("%d cycles (≈ %.0f µs)", cfg.TimeSlice, cfg.MicrosecondsFromCycles(cfg.TimeSlice)))
+	return t, nil
+}

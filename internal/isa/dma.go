@@ -1,0 +1,110 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DMA support (paper §2.1): "The SRAM buffers are filled by DMA operations
+// that execute independently from the core pipeline, such that the NPU can
+// overlap computation and data movement between on-chip SRAM and off-chip
+// HBM." Two instructions expose the engine to programs:
+//
+//	dma.in  [vmem], [hbm], n   start an async HBM→vmem copy of n words
+//	dma.wait                   block until all outstanding DMAs complete
+//
+// A dma.in issues in one cycle; the transfer itself proceeds in the
+// background at the HBM interface rate and only dma.wait exposes the
+// remaining latency — so instructions executed between issue and wait hide
+// the transfer (double buffering).
+
+// DMA instruction opcodes (continuing the OpCode space).
+const (
+	OpDmaIn OpCode = iota + 64
+	OpDmaWait
+)
+
+// HBM is the off-chip memory, word-addressed in float32 units like VMem.
+type HBM struct {
+	data []float32
+}
+
+// NewHBM allocates an off-chip memory of the given word capacity.
+func NewHBM(words int64) *HBM {
+	if words <= 0 {
+		panic("isa: non-positive HBM size")
+	}
+	return &HBM{data: make([]float32, words)}
+}
+
+// Words returns the capacity in float32 words.
+func (m *HBM) Words() int64 { return int64(len(m.data)) }
+
+// Write copies values into HBM at addr.
+func (m *HBM) Write(addr int64, vals []float32) error {
+	if addr < 0 || addr+int64(len(vals)) > int64(len(m.data)) {
+		return fmt.Errorf("isa: hbm write [%d, %d) out of range", addr, addr+int64(len(vals)))
+	}
+	copy(m.data[addr:], vals)
+	return nil
+}
+
+// Read copies n words from HBM at addr.
+func (m *HBM) Read(addr, n int64) ([]float32, error) {
+	if addr < 0 || addr+n > int64(len(m.data)) {
+		return nil, fmt.Errorf("isa: hbm read [%d, %d) out of range", addr, addr+n)
+	}
+	out := make([]float32, n)
+	copy(out, m.data[addr:])
+	return out, nil
+}
+
+// AttachHBM connects an off-chip memory to the core. wordsPerCycle is the
+// HBM interface rate in float32 words per cycle (~118 for 330 GB/s at
+// 700 MHz). Programs may then use OpDmaIn/OpDmaWait.
+func (c *Core) AttachHBM(h *HBM, wordsPerCycle float64) {
+	if wordsPerCycle <= 0 {
+		panic("isa: non-positive DMA rate")
+	}
+	c.hbm = h
+	c.dmaRate = wordsPerCycle
+}
+
+// executeDMA handles the DMA opcodes; returns errUnknown for others.
+func (c *Core) executeDMA(in Instr) error {
+	switch in.Op {
+	case OpDmaIn:
+		if c.hbm == nil {
+			return errors.New("dma.in without an attached HBM")
+		}
+		if in.Count <= 0 {
+			return errors.New("dma.in needs a positive word count")
+		}
+		vals, err := c.hbm.Read(in.HAddr, in.Count)
+		if err != nil {
+			return err
+		}
+		if err := c.VMem.Write(in.Addr, vals); err != nil {
+			return err
+		}
+		// The copy lands immediately for functional purposes; timing-wise
+		// the channel is busy for count/rate cycles starting when free.
+		start := c.cycles
+		if c.dmaBusyUntil > start {
+			start = c.dmaBusyUntil
+		}
+		c.dmaBusyUntil = start + int64(float64(in.Count)/c.dmaRate+0.999999)
+	case OpDmaWait:
+		if c.dmaBusyUntil > c.cycles {
+			c.dmaWaited += c.dmaBusyUntil - c.cycles
+			c.cycles = c.dmaBusyUntil
+		}
+	default:
+		return fmt.Errorf("unknown DMA opcode %v", in.Op)
+	}
+	return nil
+}
+
+// DMAWaitedCycles returns the cycles the core stalled in dma.wait — time
+// the program failed to hide behind computation.
+func (c *Core) DMAWaitedCycles() int64 { return c.dmaWaited }

@@ -1,0 +1,167 @@
+package isa
+
+import (
+	"testing"
+
+	"v10/internal/mathx"
+	"v10/internal/systolic"
+)
+
+func dmaCore(dim int) *Core {
+	c := newTestCore(dim)
+	c.AttachHBM(NewHBM(1<<22), 118) // ~330 GB/s at 700 MHz
+	return c
+}
+
+func TestDmaInCopiesAndTimes(t *testing.T) {
+	c := dmaCore(4)
+	vals := []float32{1, 2, 3, 4, 5}
+	if err := c.hbm.Write(100, vals); err != nil {
+		t.Fatal(err)
+	}
+	prog := []Instr{
+		{Op: OpDmaIn, Addr: 0, HAddr: 100, Count: 5},
+		{Op: OpDmaWait},
+		{Op: OpLd, Dst: 1, Addr: 0},
+	}
+	if err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Reg(1)
+	for i, v := range vals {
+		if got[i] != v {
+			t.Fatalf("dma.in[%d] = %v, want %v", i, got[i], v)
+		}
+	}
+}
+
+func TestDmaErrors(t *testing.T) {
+	c := newTestCore(4) // no HBM attached
+	if err := c.Run([]Instr{{Op: OpDmaIn, Count: 1}}); err == nil {
+		t.Fatal("dma.in without HBM accepted")
+	}
+	c = dmaCore(4)
+	if err := c.Run([]Instr{{Op: OpDmaIn, Count: 0}}); err == nil {
+		t.Fatal("zero-count dma.in accepted")
+	}
+	if err := c.Run([]Instr{{Op: OpDmaIn, HAddr: 1 << 40, Count: 8}}); err == nil {
+		t.Fatal("oob HBM read accepted")
+	}
+}
+
+func TestDmaOpNames(t *testing.T) {
+	if OpDmaIn.String() != "dma.in" || OpDmaWait.String() != "dma.wait" {
+		t.Fatalf("DMA op names wrong: %v %v", OpDmaIn, OpDmaWait)
+	}
+}
+
+// The §2.1 claim: issuing DMA ahead of compute hides the transfer latency.
+// A program that prefetches the next group during compute stalls less in
+// dma.wait than one that fetches on demand.
+func TestDoubleBufferingHidesTransfers(t *testing.T) {
+	const dim = 8
+	const groups = 6
+	rng := mathx.NewRNG(4)
+	w := randRows(dim, dim, rng)
+	inputs := randRows(groups*RegRows, dim, rng)
+
+	buildCore := func() *Core {
+		c := dmaCore(dim)
+		// Weights pre-resident in vmem at 0; input groups live in HBM.
+		if err := PackRows(c.VMem, 0, w); err != nil {
+			t.Fatal(err)
+		}
+		hbmImgs := NewVMem(int64(groups) * RegSize) // staging to build images
+		if err := PackRows(hbmImgs, 0, inputs); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := hbmImgs.Read(0, int64(groups)*RegSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.hbm.Write(0, raw); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	weightGroups := (dim + RegRows - 1) / RegRows
+	prologue := func() []Instr {
+		var p []Instr
+		for g := 0; g < weightGroups; g++ {
+			p = append(p,
+				Instr{Op: OpLd, Dst: 0, Addr: int64(g * RegSize)},
+				Instr{Op: OpPushW, A: 0})
+		}
+		return p
+	}
+	// Per group: fetch to a staging vmem region, then push/pop + ALU work.
+	stage := int64(200000)
+	compute := func(buf int64) []Instr {
+		return []Instr{
+			{Op: OpLd, Dst: 1, Addr: buf},
+			{Op: OpPush, A: 1},
+			{Op: OpPop, Dst: 2},
+			{Op: OpVMaxI, Dst: 2, A: 2, Imm: 0},
+			{Op: OpSt, A: 2, Addr: buf},
+		}
+	}
+
+	// On-demand: dma.in → wait → compute, per group.
+	onDemand := buildCore()
+	var progA []Instr
+	progA = append(progA, prologue()...)
+	for g := 0; g < groups; g++ {
+		progA = append(progA,
+			Instr{Op: OpDmaIn, Addr: stage, HAddr: int64(g * RegSize), Count: RegSize},
+			Instr{Op: OpDmaWait})
+		progA = append(progA, compute(stage)...)
+	}
+	if err := onDemand.Run(progA); err != nil {
+		t.Fatal(err)
+	}
+
+	// Double-buffered: prefetch group g+1 before computing group g.
+	pipelined := buildCore()
+	var progB []Instr
+	progB = append(progB, prologue()...)
+	buf := func(g int) int64 { return stage + int64(g%2)*RegSize }
+	progB = append(progB,
+		Instr{Op: OpDmaIn, Addr: buf(0), HAddr: 0, Count: RegSize},
+		Instr{Op: OpDmaWait})
+	for g := 0; g < groups; g++ {
+		if g+1 < groups {
+			progB = append(progB,
+				Instr{Op: OpDmaIn, Addr: buf(g + 1), HAddr: int64((g + 1) * RegSize), Count: RegSize})
+		}
+		progB = append(progB, compute(buf(g))...)
+		if g+1 < groups {
+			progB = append(progB, Instr{Op: OpDmaWait})
+		}
+	}
+	if err := pipelined.Run(progB); err != nil {
+		t.Fatal(err)
+	}
+
+	if pipelined.DMAWaitedCycles() >= onDemand.DMAWaitedCycles() {
+		t.Fatalf("double buffering should stall less: pipelined=%d on-demand=%d",
+			pipelined.DMAWaitedCycles(), onDemand.DMAWaitedCycles())
+	}
+
+	// Verify the last group's output against the reference.
+	lastBuf := buf(groups - 1)
+	got, err := pipelined.VMem.Read(lastBuf, RegSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := systolic.Reference(inputs, w)
+	for r := 0; r < RegRows; r++ {
+		row := ref[(groups-1)*RegRows+r]
+		for j := 0; j < dim; j++ {
+			want := max32(row[j], 0)
+			if diff := got[r*RegLanes+j] - want; diff > 1e-3 || diff < -1e-3 {
+				t.Fatalf("pipelined output[%d][%d] = %v, want %v", r, j, got[r*RegLanes+j], want)
+			}
+		}
+	}
+}

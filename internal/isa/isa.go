@@ -1,0 +1,389 @@
+// Package isa is a functional model of the NPU core's instruction set
+// (paper §2.1): the vector unit with its 2D vector register file and
+// software-managed vector memory, and the push/pushw/pop instructions that
+// stream data between the vector registers and the systolic array's FIFOs.
+//
+//	push/pushw %src   send eight vector-register rows into the SA (8 cycles)
+//	pop  %dst         read eight result rows from the SA FIFO (8 cycles)
+//	ld   %dst,[vmem]  load a register from vector memory (8 cycles)
+//	st   %src,[vmem]  store a register to vector memory (8 cycles)
+//	vadd/vsub/vmul/vmax %dst,%a,%b      element-wise SIMD (1 cycle)
+//	vaddi/vmuli/vmaxi %dst,%a,imm       scalar-immediate variants (1 cycle)
+//
+// The interpreter executes whole programs against a systolic.Array, which is
+// how the repository demonstrates that a compiled layer (matmul + bias +
+// ReLU) runs correctly on the modeled core — including across a VU context
+// switch (§3.3: VU preemption saves only the PC and register values).
+package isa
+
+import (
+	"errors"
+	"fmt"
+
+	"v10/internal/systolic"
+)
+
+// Geometry of the register file (paper Fig. 2): 8×128 2D vector registers.
+const (
+	RegRows  = 8
+	RegLanes = 128
+	RegSize  = RegRows * RegLanes
+	NumRegs  = 32
+)
+
+// OpCode enumerates the core's instructions.
+type OpCode uint8
+
+// Instruction opcodes.
+const (
+	OpNop   OpCode = iota
+	OpLd           // dst ← vmem[addr : addr+RegSize]
+	OpSt           // vmem[addr : addr+RegSize] ← src
+	OpPushW        // stream 8 weight rows from src into the SA
+	OpPush         // stream 8 input rows from src into the SA
+	OpPop          // dst ← 8 result rows from the SA FIFO
+	OpVAdd         // dst ← a + b
+	OpVSub         // dst ← a - b
+	OpVMul         // dst ← a * b
+	OpVMax         // dst ← max(a, b)
+	OpVAddI        // dst ← a + imm
+	OpVMulI        // dst ← a * imm
+	OpVMaxI        // dst ← max(a, imm)
+)
+
+var opNames = map[OpCode]string{
+	OpNop: "nop", OpLd: "ld", OpSt: "st", OpPushW: "pushw", OpPush: "push",
+	OpPop: "pop", OpVAdd: "vadd", OpVSub: "vsub", OpVMul: "vmul",
+	OpVMax: "vmax", OpVAddI: "vaddi", OpVMulI: "vmuli", OpVMaxI: "vmaxi",
+	OpDmaIn: "dma.in", OpDmaWait: "dma.wait",
+}
+
+// String names the opcode.
+func (o OpCode) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cycles returns the instruction's issue cost (paper §2.1: push/pop move
+// eight 128-wide vectors in 8 cycles; ALU ops are single-cycle SIMD).
+func (o OpCode) Cycles() int64 {
+	switch o {
+	case OpLd, OpSt, OpPush, OpPushW, OpPop:
+		return 8
+	default:
+		// ALU ops and DMA issue/wait take one issue cycle; dma.wait adds
+		// the exposed transfer latency separately.
+		return 1
+	}
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op    OpCode
+	Dst   uint8 // destination register
+	A, B  uint8 // source registers
+	Addr  int64 // vector-memory word address (ld/st, dma.in destination)
+	HAddr int64 // HBM word address (dma.in source)
+	Count int64 // word count (dma.in)
+	Imm   float32
+}
+
+// String renders assembly-ish text.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpLd:
+		return fmt.Sprintf("ld v%d, [%d]", in.Dst, in.Addr)
+	case OpSt:
+		return fmt.Sprintf("st v%d, [%d]", in.A, in.Addr)
+	case OpPush, OpPushW:
+		return fmt.Sprintf("%s v%d", in.Op, in.A)
+	case OpPop:
+		return fmt.Sprintf("pop v%d", in.Dst)
+	case OpVAddI, OpVMulI, OpVMaxI:
+		return fmt.Sprintf("%s v%d, v%d, %g", in.Op, in.Dst, in.A, in.Imm)
+	case OpNop:
+		return "nop"
+	default:
+		return fmt.Sprintf("%s v%d, v%d, v%d", in.Op, in.Dst, in.A, in.B)
+	}
+}
+
+// VMem is the software-managed on-chip vector memory, word-addressed in
+// float32 units.
+type VMem struct {
+	data []float32
+}
+
+// NewVMem allocates a vector memory of the given word capacity.
+func NewVMem(words int64) *VMem {
+	if words <= 0 {
+		panic("isa: non-positive vmem size")
+	}
+	return &VMem{data: make([]float32, words)}
+}
+
+// Words returns the capacity in float32 words.
+func (m *VMem) Words() int64 { return int64(len(m.data)) }
+
+// Write copies values into vmem at addr.
+func (m *VMem) Write(addr int64, vals []float32) error {
+	if addr < 0 || addr+int64(len(vals)) > int64(len(m.data)) {
+		return fmt.Errorf("isa: vmem write [%d, %d) out of range", addr, addr+int64(len(vals)))
+	}
+	copy(m.data[addr:], vals)
+	return nil
+}
+
+// Read copies n words from vmem at addr.
+func (m *VMem) Read(addr, n int64) ([]float32, error) {
+	if addr < 0 || addr+n > int64(len(m.data)) {
+		return nil, fmt.Errorf("isa: vmem read [%d, %d) out of range", addr, addr+n)
+	}
+	out := make([]float32, n)
+	copy(out, m.data[addr:])
+	return out, nil
+}
+
+// Core interprets programs: a vector unit (registers + ALU) attached to a
+// systolic array through push/pop FIFOs, sharing a vector memory.
+type Core struct {
+	SA   *systolic.Array
+	VMem *VMem
+
+	regs   [NumRegs][]float32
+	pc     int
+	cycles int64
+
+	pushedInputs [][]float32 // rows pushed since the last flush
+	resultFIFO   [][]float32 // rows popped out of the SA, pending OpPop
+	weightRows   [][]float32 // accumulating pushw rows until dim reached
+
+	hbm          *HBM    // optional off-chip memory (AttachHBM)
+	dmaRate      float64 // words per cycle over the HBM interface
+	dmaBusyUntil int64   // cycle the DMA channel frees up
+	dmaWaited    int64   // cycles stalled in dma.wait
+}
+
+// NewCore builds a core around a dim-sized systolic array and vmem.
+func NewCore(sa *systolic.Array, vmem *VMem) *Core {
+	c := &Core{SA: sa, VMem: vmem}
+	for i := range c.regs {
+		c.regs[i] = make([]float32, RegSize)
+	}
+	return c
+}
+
+// Cycles returns the cycles consumed by executed instructions (including
+// systolic streaming charged at flush points).
+func (c *Core) Cycles() int64 { return c.cycles }
+
+// Reg returns a copy of a register's contents.
+func (c *Core) Reg(i uint8) []float32 {
+	out := make([]float32, RegSize)
+	copy(out, c.regs[i])
+	return out
+}
+
+// Run executes the program from the current PC to completion.
+func (c *Core) Run(prog []Instr) error {
+	for c.pc < len(prog) {
+		if err := c.execute(prog[c.pc]); err != nil {
+			return fmt.Errorf("isa: pc=%d %s: %w", c.pc, prog[c.pc], err)
+		}
+		c.pc++
+	}
+	c.pc = 0
+	return nil
+}
+
+func (c *Core) execute(in Instr) error {
+	if int(in.Dst) >= NumRegs || int(in.A) >= NumRegs || int(in.B) >= NumRegs {
+		return errors.New("register index out of range")
+	}
+	c.cycles += in.Op.Cycles()
+	switch in.Op {
+	case OpNop:
+	case OpLd:
+		vals, err := c.VMem.Read(in.Addr, RegSize)
+		if err != nil {
+			return err
+		}
+		copy(c.regs[in.Dst], vals)
+	case OpSt:
+		return c.VMem.Write(in.Addr, c.regs[in.A])
+	case OpPushW:
+		return c.pushWeights(in.A)
+	case OpPush:
+		return c.pushInputs(in.A)
+	case OpPop:
+		return c.pop(in.Dst)
+	case OpVAdd:
+		for i := 0; i < RegSize; i++ {
+			c.regs[in.Dst][i] = c.regs[in.A][i] + c.regs[in.B][i]
+		}
+	case OpVSub:
+		for i := 0; i < RegSize; i++ {
+			c.regs[in.Dst][i] = c.regs[in.A][i] - c.regs[in.B][i]
+		}
+	case OpVMul:
+		for i := 0; i < RegSize; i++ {
+			c.regs[in.Dst][i] = c.regs[in.A][i] * c.regs[in.B][i]
+		}
+	case OpVMax:
+		for i := 0; i < RegSize; i++ {
+			c.regs[in.Dst][i] = max32(c.regs[in.A][i], c.regs[in.B][i])
+		}
+	case OpVAddI:
+		for i := 0; i < RegSize; i++ {
+			c.regs[in.Dst][i] = c.regs[in.A][i] + in.Imm
+		}
+	case OpVMulI:
+		for i := 0; i < RegSize; i++ {
+			c.regs[in.Dst][i] = c.regs[in.A][i] * in.Imm
+		}
+	case OpVMaxI:
+		for i := 0; i < RegSize; i++ {
+			c.regs[in.Dst][i] = max32(c.regs[in.A][i], in.Imm)
+		}
+	case OpDmaIn, OpDmaWait:
+		return c.executeDMA(in)
+	case OpVMin, OpVNeg, OpVAbs, OpVRecip, OpVExp, OpVSum, OpVBcast, OpVSel:
+		return c.executeVectorExt(in)
+	default:
+		return errors.New("unknown opcode")
+	}
+	return nil
+}
+
+func max32(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pushWeights accumulates eight rows toward a dim×dim weight matrix; when
+// complete, it loads the systolic array.
+func (c *Core) pushWeights(src uint8) error {
+	d := c.SA.Dim()
+	if d > RegLanes {
+		return fmt.Errorf("array dim %d exceeds register lanes %d", d, RegLanes)
+	}
+	for r := 0; r < RegRows && len(c.weightRows) < d; r++ {
+		row := make([]float32, d)
+		copy(row, c.regs[src][r*RegLanes:r*RegLanes+d])
+		c.weightRows = append(c.weightRows, row)
+	}
+	if len(c.weightRows) == d {
+		w := c.weightRows
+		c.weightRows = nil
+		before := c.SA.Cycles()
+		if err := c.SA.LoadWeights(w); err != nil {
+			return err
+		}
+		c.cycles += c.SA.Cycles() - before
+	}
+	return nil
+}
+
+// pushInputs queues eight register rows into the SA input FIFO.
+func (c *Core) pushInputs(src uint8) error {
+	d := c.SA.Dim()
+	for r := 0; r < RegRows; r++ {
+		row := make([]float32, d)
+		copy(row, c.regs[src][r*RegLanes:r*RegLanes+d])
+		c.pushedInputs = append(c.pushedInputs, row)
+	}
+	return nil
+}
+
+// pop returns eight result rows; if the FIFO is dry it flushes the pending
+// pushes through the array (charging the pipeline occupancy).
+func (c *Core) pop(dst uint8) error {
+	if len(c.resultFIFO) < RegRows {
+		if len(c.pushedInputs) == 0 {
+			return errors.New("pop with empty SA pipeline")
+		}
+		before := c.SA.Cycles()
+		results, err := c.SA.Stream(c.pushedInputs)
+		if err != nil {
+			return err
+		}
+		c.cycles += c.SA.Cycles() - before
+		c.pushedInputs = nil
+		c.resultFIFO = append(c.resultFIFO, results...)
+	}
+	if len(c.resultFIFO) < RegRows {
+		return fmt.Errorf("pop needs %d rows, only %d available", RegRows, len(c.resultFIFO))
+	}
+	d := c.SA.Dim()
+	for i := range c.regs[dst] {
+		c.regs[dst][i] = 0
+	}
+	for r := 0; r < RegRows; r++ {
+		copy(c.regs[dst][r*RegLanes:r*RegLanes+d], c.resultFIFO[r])
+	}
+	c.resultFIFO = c.resultFIFO[RegRows:]
+	return nil
+}
+
+// VUContext is a vector-unit checkpoint (§3.3): the PC and register values,
+// spilled to vector memory. The VU holds no other state.
+type VUContext struct {
+	PC   int
+	Addr int64 // where in vmem the registers were saved
+}
+
+// ContextWords is the vmem footprint of a VU context in float32 words.
+const ContextWords = NumRegs * RegSize
+
+// SaveContext spills the PC and all registers to vmem at addr.
+func (c *Core) SaveContext(addr int64) (*VUContext, error) {
+	for i := 0; i < NumRegs; i++ {
+		if err := c.VMem.Write(addr+int64(i*RegSize), c.regs[i]); err != nil {
+			return nil, err
+		}
+	}
+	ctx := &VUContext{PC: c.pc, Addr: addr}
+	c.cycles += int64(NumRegs) // one cycle per register through the store port
+	return ctx, nil
+}
+
+// RestoreContext reloads the PC and registers from a saved context.
+func (c *Core) RestoreContext(ctx *VUContext) error {
+	for i := 0; i < NumRegs; i++ {
+		vals, err := c.VMem.Read(ctx.Addr+int64(i*RegSize), RegSize)
+		if err != nil {
+			return err
+		}
+		copy(c.regs[i], vals)
+	}
+	c.pc = ctx.PC
+	c.cycles += int64(NumRegs)
+	return nil
+}
+
+// RunPreemptible executes prog but stops before instruction stopAt, saves a
+// context, and returns it; ResumeRun continues from the context.
+func (c *Core) RunPreemptible(prog []Instr, stopAt int, saveAddr int64) (*VUContext, error) {
+	if stopAt < 0 || stopAt > len(prog) {
+		return nil, fmt.Errorf("isa: stop point %d out of range", stopAt)
+	}
+	for c.pc < stopAt {
+		if err := c.execute(prog[c.pc]); err != nil {
+			return nil, fmt.Errorf("isa: pc=%d %s: %w", c.pc, prog[c.pc], err)
+		}
+		c.pc++
+	}
+	return c.SaveContext(saveAddr)
+}
+
+// ResumeRun restores the context and finishes the program.
+func (c *Core) ResumeRun(ctx *VUContext, prog []Instr) error {
+	if err := c.RestoreContext(ctx); err != nil {
+		return err
+	}
+	return c.Run(prog)
+}

@@ -1,0 +1,327 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"v10/internal/mathx"
+	"v10/internal/systolic"
+)
+
+func newTestCore(dim int) *Core {
+	return NewCore(systolic.New(dim), NewVMem(1<<20))
+}
+
+func TestOpCodeStringsAndCycles(t *testing.T) {
+	if OpPush.String() != "push" || OpVMaxI.String() != "vmaxi" {
+		t.Fatal("opcode names wrong")
+	}
+	if OpPush.Cycles() != 8 || OpPop.Cycles() != 8 || OpVAdd.Cycles() != 1 {
+		t.Fatal("issue costs wrong (push/pop move 8 vectors in 8 cycles)")
+	}
+	if !strings.Contains((Instr{Op: OpLd, Dst: 3, Addr: 42}).String(), "ld v3, [42]") {
+		t.Fatal("instruction rendering wrong")
+	}
+}
+
+func TestVMemBounds(t *testing.T) {
+	m := NewVMem(100)
+	if err := m.Write(90, make([]float32, 20)); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	if _, err := m.Read(-1, 10); err == nil {
+		t.Fatal("negative read accepted")
+	}
+	if err := m.Write(0, []float32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(0, 3)
+	if err != nil || got[2] != 3 {
+		t.Fatalf("readback wrong: %v %v", got, err)
+	}
+}
+
+func TestALUInstructions(t *testing.T) {
+	c := newTestCore(4)
+	a := make([]float32, RegSize)
+	b := make([]float32, RegSize)
+	for i := range a {
+		a[i] = float32(i%7) - 3
+		b[i] = float32(i % 5)
+	}
+	if err := c.VMem.Write(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VMem.Write(RegSize, b); err != nil {
+		t.Fatal(err)
+	}
+	prog := []Instr{
+		{Op: OpLd, Dst: 1, Addr: 0},
+		{Op: OpLd, Dst: 2, Addr: RegSize},
+		{Op: OpVAdd, Dst: 3, A: 1, B: 2},
+		{Op: OpVSub, Dst: 4, A: 1, B: 2},
+		{Op: OpVMul, Dst: 5, A: 1, B: 2},
+		{Op: OpVMax, Dst: 6, A: 1, B: 2},
+		{Op: OpVAddI, Dst: 7, A: 1, Imm: 10},
+		{Op: OpVMulI, Dst: 8, A: 1, Imm: 2},
+		{Op: OpVMaxI, Dst: 9, A: 1, Imm: 0},
+		{Op: OpSt, A: 3, Addr: 2 * RegSize},
+	}
+	if err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	r3, r9 := c.Reg(3), c.Reg(9)
+	for i := range a {
+		if r3[i] != a[i]+b[i] {
+			t.Fatalf("vadd[%d] = %v, want %v", i, r3[i], a[i]+b[i])
+		}
+		if r9[i] != max32(a[i], 0) {
+			t.Fatalf("relu[%d] = %v", i, r9[i])
+		}
+	}
+	stored, _ := c.VMem.Read(2*RegSize, RegSize)
+	if stored[5] != a[5]+b[5] {
+		t.Fatal("st did not persist")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	c := newTestCore(4)
+	if err := c.Run([]Instr{{Op: OpLd, Dst: 0, Addr: 1 << 40}}); err == nil {
+		t.Fatal("oob load accepted")
+	}
+	c = newTestCore(4)
+	if err := c.Run([]Instr{{Op: OpPop, Dst: 0}}); err == nil {
+		t.Fatal("pop on empty pipeline accepted")
+	}
+	c = newTestCore(4)
+	if err := c.Run([]Instr{{Op: OpCode(200)}}); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+}
+
+// End-to-end: a compiled FC+bias+ReLU layer on the modeled core matches the
+// float reference.
+func TestFCReLULayerEndToEnd(t *testing.T) {
+	const dim, rows = 8, 24
+	rng := mathx.NewRNG(5)
+	c := newTestCore(dim)
+
+	layout := Layout{
+		Dim: dim, Rows: rows,
+		In: 0, Weights: 10000, Bias: 20000, Out: 30000,
+	}
+	if err := layout.Validate(c.VMem.Words()); err != nil {
+		t.Fatal(err)
+	}
+
+	in := randRows(rows, dim, rng)
+	w := randRows(dim, dim, rng)
+	bias := make([]float32, dim)
+	for i := range bias {
+		bias[i] = float32(rng.Uniform(-1, 1))
+	}
+
+	if err := PackRows(c.VMem, layout.In, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := PackRows(c.VMem, layout.Weights, w); err != nil {
+		t.Fatal(err)
+	}
+	biasImg := make([][]float32, RegRows)
+	for r := range biasImg {
+		biasImg[r] = bias // broadcast to every row of the register
+	}
+	if err := PackRows(c.VMem, layout.Bias, biasImg); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, err := BuildFCReLU(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := UnpackRows(c.VMem, layout.Out, rows, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := systolic.Reference(in, w)
+	for r := range want {
+		for j := range want[r] {
+			ref := max32(want[r][j]+bias[j], 0)
+			if math.Abs(float64(got[r][j]-ref)) > 1e-3 {
+				t.Fatalf("out[%d][%d] = %v, want %v", r, j, got[r][j], ref)
+			}
+		}
+	}
+	if c.Cycles() == 0 {
+		t.Fatal("no cycles accounted")
+	}
+}
+
+// §3.3: VU preemption saves the PC and registers only, and a preempted
+// program finishes with identical results after another tenant used the VU.
+func TestVUPreemptResume(t *testing.T) {
+	const dim = 4
+	rng := mathx.NewRNG(9)
+	run := func(preemptAt int) []float32 {
+		c := newTestCore(dim)
+		vals := make([]float32, RegSize)
+		for i := range vals {
+			vals[i] = float32(rng.Uniform(-5, 5))
+		}
+		// Deterministic per call series: reseed.
+		rng = mathx.NewRNG(9)
+		for i := range vals {
+			vals[i] = float32(rng.Uniform(-5, 5))
+		}
+		if err := c.VMem.Write(0, vals); err != nil {
+			t.Fatal(err)
+		}
+		prog := []Instr{
+			{Op: OpLd, Dst: 1, Addr: 0},
+			{Op: OpVMulI, Dst: 2, A: 1, Imm: 3},
+			{Op: OpVAddI, Dst: 2, A: 2, Imm: -1},
+			{Op: OpVMax, Dst: 2, A: 2, B: 1},
+			{Op: OpVMaxI, Dst: 2, A: 2, Imm: 0},
+			{Op: OpSt, A: 2, Addr: RegSize},
+		}
+		if preemptAt < 0 {
+			if err := c.Run(prog); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			ctx, err := c.RunPreemptible(prog, preemptAt, 500000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Another tenant trashes the registers.
+			other := []Instr{
+				{Op: OpVAddI, Dst: 1, A: 1, Imm: 999},
+				{Op: OpVAddI, Dst: 2, A: 2, Imm: 999},
+			}
+			// Execute the intruder directly (same VU, different context).
+			for _, in := range other {
+				if err := c.execute(in); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.pc = 0 // intruder's own PC churn
+			if err := c.ResumeRun(ctx, prog); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := c.VMem.Read(RegSize, RegSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	want := run(-1)
+	for _, at := range []int{0, 1, 3, 5, 6} {
+		got := run(at)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("preempt@%d: output[%d] = %v, want %v", at, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	bad := []Layout{
+		{Dim: 0, Rows: 8},
+		{Dim: 200, Rows: 8},
+		{Dim: 8, Rows: 7},
+		{Dim: 8, Rows: 8, Out: 1 << 40},
+	}
+	for i, l := range bad {
+		if l.Validate(1<<20) == nil {
+			t.Errorf("bad layout %d accepted", i)
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	m := NewVMem(1 << 16)
+	rng := mathx.NewRNG(3)
+	rows := randRows(16, 5, rng)
+	if err := PackRows(m, 100, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnpackRows(m, 100, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range rows {
+		for j := range rows[r] {
+			if got[r][j] != rows[r][j] {
+				t.Fatalf("roundtrip[%d][%d] differs", r, j)
+			}
+		}
+	}
+}
+
+// Property: the compiled FC+ReLU layer matches the reference for random
+// dims, rows, weights and inputs.
+func TestFCReLUProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		dim := 1 + rng.Intn(12)
+		rows := RegRows * (1 + rng.Intn(4))
+		c := newTestCore(dim)
+		layout := Layout{Dim: dim, Rows: rows, In: 0, Weights: 40000, Bias: 80000, Out: 120000}
+		in := randRows(rows, dim, rng)
+		w := randRows(dim, dim, rng)
+		if PackRows(c.VMem, layout.In, in) != nil || PackRows(c.VMem, layout.Weights, w) != nil {
+			return false
+		}
+		zeroBias := make([][]float32, RegRows)
+		for r := range zeroBias {
+			zeroBias[r] = make([]float32, dim)
+		}
+		if PackRows(c.VMem, layout.Bias, zeroBias) != nil {
+			return false
+		}
+		prog, err := BuildFCReLU(layout)
+		if err != nil {
+			return false
+		}
+		if c.Run(prog) != nil {
+			return false
+		}
+		got, err := UnpackRows(c.VMem, layout.Out, rows, dim)
+		if err != nil {
+			return false
+		}
+		want := systolic.Reference(in, w)
+		for r := range want {
+			for j := range want[r] {
+				if math.Abs(float64(got[r][j]-max32(want[r][j], 0))) > 1e-2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randRows(n, d int, rng *mathx.RNG) [][]float32 {
+	m := make([][]float32, n)
+	for i := range m {
+		m[i] = make([]float32, d)
+		for j := range m[i] {
+			m[i][j] = float32(rng.Uniform(-2, 2))
+		}
+	}
+	return m
+}

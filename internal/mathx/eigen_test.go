@@ -1,0 +1,98 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenSymDiagonal(t *testing.T) {
+	m := MatrixFromRows([][]float64{{3, 0}, {0, 1}})
+	vals, vecs := EigenSym(m)
+	if !almostEq(vals[0], 3, 1e-9) || !almostEq(vals[1], 1, 1e-9) {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// First eigenvector should be ±e1.
+	if !almostEq(math.Abs(vecs.At(0, 0)), 1, 1e-9) || !almostEq(vecs.At(1, 0), 0, 1e-9) {
+		t.Fatalf("first eigenvector = [%v %v]", vecs.At(0, 0), vecs.At(1, 0))
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := MatrixFromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := EigenSym(m)
+	if !almostEq(vals[0], 3, 1e-9) || !almostEq(vals[1], 1, 1e-9) {
+		t.Fatalf("eigenvalues = %v", vals)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt2.
+	ratio := vecs.At(0, 0) / vecs.At(1, 0)
+	if !almostEq(ratio, 1, 1e-6) {
+		t.Fatalf("leading eigenvector not (1,1): ratio %v", ratio)
+	}
+}
+
+func TestEigenSymNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-square did not panic")
+		}
+	}()
+	EigenSym(NewMatrix(2, 3))
+}
+
+// Property: for random symmetric matrices, A·v = λ·v for each returned pair,
+// eigenvalues come out sorted descending, and eigenvectors are orthonormal.
+func TestEigenSymReconstructionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 2 + rng.Intn(6)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.Uniform(-5, 5)
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs := EigenSym(a)
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-9 {
+				return false
+			}
+		}
+		// Check A·v_k == λ_k·v_k.
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				av := 0.0
+				for j := 0; j < n; j++ {
+					av += a.At(i, j) * vecs.At(j, k)
+				}
+				if math.Abs(av-vals[k]*vecs.At(i, k)) > 1e-6 {
+					return false
+				}
+			}
+		}
+		// Orthonormality.
+		for p := 0; p < n; p++ {
+			for q := 0; q < n; q++ {
+				dot := 0.0
+				for i := 0; i < n; i++ {
+					dot += vecs.At(i, p) * vecs.At(i, q)
+				}
+				want := 0.0
+				if p == q {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package mathx
+
+import "math"
+
+// KMeansResult holds a fitted K-Means clustering.
+type KMeansResult struct {
+	Centroids  *Matrix // K×D centroid coordinates
+	Labels     []int   // cluster index per input row
+	Inertia    float64 // sum of squared distances to assigned centroids
+	Iterations int     // Lloyd iterations actually run
+}
+
+// KMeans clusters the rows of data into k clusters using K-Means++
+// initialization followed by Lloyd's algorithm. The rng makes the run
+// deterministic. maxIter bounds the Lloyd iterations (25 is plenty for the
+// small feature sets used by the collocation mechanism). It panics if k < 1;
+// when data has fewer rows than k, every row gets its own cluster.
+func KMeans(data *Matrix, k, maxIter int, rng *RNG) *KMeansResult {
+	if k < 1 {
+		panic("mathx: KMeans requires k >= 1")
+	}
+	n, d := data.Rows, data.Cols
+	if n == 0 {
+		return &KMeansResult{Centroids: NewMatrix(0, d)}
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter < 1 {
+		maxIter = 1
+	}
+
+	centroids := kmeansPlusPlusInit(data, k, rng)
+	labels := make([]int, n)
+	counts := make([]int, k)
+
+	var inertia float64
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		// Assignment step.
+		changed := false
+		inertia = 0
+		for i := 0; i < n; i++ {
+			best, bestDist := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				dist := sqDist(data.Data[i*d:(i+1)*d], centroids.Data[c*d:(c+1)*d])
+				if dist < bestDist {
+					best, bestDist = c, dist
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+			inertia += bestDist
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Update step.
+		for i := range centroids.Data {
+			centroids.Data[i] = 0
+		}
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := labels[i]
+			counts[c]++
+			for j := 0; j < d; j++ {
+				centroids.Data[c*d+j] += data.At(i, j)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its centroid.
+				far, farDist := 0, -1.0
+				for i := 0; i < n; i++ {
+					dist := sqDist(data.Data[i*d:(i+1)*d], centroids.Data[labels[i]*d:(labels[i]+1)*d])
+					if dist > farDist {
+						far, farDist = i, dist
+					}
+				}
+				copy(centroids.Data[c*d:(c+1)*d], data.Data[far*d:(far+1)*d])
+				continue
+			}
+			for j := 0; j < d; j++ {
+				centroids.Data[c*d+j] /= float64(counts[c])
+			}
+		}
+	}
+	return &KMeansResult{Centroids: centroids, Labels: labels, Inertia: inertia, Iterations: iter}
+}
+
+// Predict returns the nearest centroid index for x.
+func (r *KMeansResult) Predict(x []float64) int {
+	k, d := r.Centroids.Rows, r.Centroids.Cols
+	if len(x) != d {
+		panic("mathx: KMeansResult.Predict dimension mismatch")
+	}
+	best, bestDist := 0, math.Inf(1)
+	for c := 0; c < k; c++ {
+		dist := sqDist(x, r.Centroids.Data[c*d:(c+1)*d])
+		if dist < bestDist {
+			best, bestDist = c, dist
+		}
+	}
+	return best
+}
+
+func kmeansPlusPlusInit(data *Matrix, k int, rng *RNG) *Matrix {
+	n, d := data.Rows, data.Cols
+	centroids := NewMatrix(k, d)
+	first := rng.Intn(n)
+	copy(centroids.Data[0:d], data.Data[first*d:(first+1)*d])
+
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = sqDist(data.Data[i*d:(i+1)*d], centroids.Data[0:d])
+	}
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for _, v := range minDist {
+			total += v
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, v := range minDist {
+				acc += v
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centroids.Data[c*d:(c+1)*d], data.Data[pick*d:(pick+1)*d])
+		for i := 0; i < n; i++ {
+			dist := sqDist(data.Data[i*d:(i+1)*d], centroids.Data[c*d:(c+1)*d])
+			if dist < minDist[i] {
+				minDist[i] = dist
+			}
+		}
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+package mathx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// threeBlobs builds n points around three well-separated centers.
+func threeBlobs(n int, rng *RNG) (*Matrix, []int) {
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	m := NewMatrix(n, 2)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		truth[i] = c
+		m.Set(i, 0, centers[c][0]+rng.Norm()*0.5)
+		m.Set(i, 1, centers[c][1]+rng.Norm()*0.5)
+	}
+	return m, truth
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := NewRNG(3)
+	data, truth := threeBlobs(150, rng)
+	res := KMeans(data, 3, 50, rng)
+	// Every ground-truth cluster must map to exactly one label.
+	mapping := map[int]map[int]int{}
+	for i, label := range res.Labels {
+		g := truth[i]
+		if mapping[g] == nil {
+			mapping[g] = map[int]int{}
+		}
+		mapping[g][label]++
+	}
+	used := map[int]bool{}
+	for g, labels := range mapping {
+		if len(labels) != 1 {
+			t.Fatalf("ground-truth cluster %d split across labels %v", g, labels)
+		}
+		for l := range labels {
+			if used[l] {
+				t.Fatalf("label %d used by two ground-truth clusters", l)
+			}
+			used[l] = true
+		}
+	}
+}
+
+func TestKMeansDeterministicGivenSeed(t *testing.T) {
+	data, _ := threeBlobs(90, NewRNG(5))
+	a := KMeans(data, 3, 50, NewRNG(7))
+	b := KMeans(data, 3, 50, NewRNG(7))
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same-seed KMeans runs diverged")
+		}
+	}
+}
+
+func TestKMeansKGreaterThanN(t *testing.T) {
+	data := MatrixFromRows([][]float64{{0, 0}, {5, 5}})
+	res := KMeans(data, 10, 10, NewRNG(1))
+	if res.Centroids.Rows != 2 {
+		t.Fatalf("k should clamp to n, got %d centroids", res.Centroids.Rows)
+	}
+}
+
+func TestKMeansEmptyInput(t *testing.T) {
+	res := KMeans(NewMatrix(0, 3), 2, 10, NewRNG(1))
+	if len(res.Labels) != 0 {
+		t.Fatal("empty input should give empty labels")
+	}
+}
+
+func TestKMeansPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	KMeans(NewMatrix(3, 2), 0, 10, NewRNG(1))
+}
+
+func TestKMeansPredictMatchesTraining(t *testing.T) {
+	rng := NewRNG(11)
+	data, _ := threeBlobs(120, rng)
+	res := KMeans(data, 3, 50, rng)
+	for i := 0; i < data.Rows; i++ {
+		if got := res.Predict(data.Row(i)); got != res.Labels[i] {
+			t.Fatalf("Predict(row %d) = %d, want %d", i, got, res.Labels[i])
+		}
+	}
+}
+
+// Property: every label is a valid cluster index and each point is assigned
+// to its nearest centroid (Lloyd fixed point of the assignment step).
+func TestKMeansAssignmentOptimalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 5 + rng.Intn(40)
+		data := NewMatrix(n, 2)
+		for i := range data.Data {
+			data.Data[i] = rng.Uniform(-20, 20)
+		}
+		k := 1 + rng.Intn(4)
+		res := KMeans(data, k, 50, rng)
+		for i := 0; i < n; i++ {
+			if res.Labels[i] < 0 || res.Labels[i] >= res.Centroids.Rows {
+				return false
+			}
+			assigned := sqDist(data.Row(i), res.Centroids.Row(res.Labels[i]))
+			for c := 0; c < res.Centroids.Rows; c++ {
+				if sqDist(data.Row(i), res.Centroids.Row(c)) < assigned-1e-9 {
+					return false
+				}
+			}
+		}
+		return res.Inertia >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

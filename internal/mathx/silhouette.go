@@ -1,0 +1,72 @@
+package mathx
+
+// Silhouette returns the mean silhouette coefficient of a clustering: for
+// each point, (b−a)/max(a,b) where a is the mean distance to its own
+// cluster's other members and b the smallest mean distance to another
+// cluster. Values near 1 mean tight, well-separated clusters; near 0,
+// overlapping ones. Points alone in their cluster score 0 (Rousseeuw's
+// convention). Used to sanity-check the K=5 choice of the collocation
+// clustering (paper Fig. 15).
+func Silhouette(data *Matrix, labels []int) float64 {
+	n := data.Rows
+	if n != len(labels) || n == 0 {
+		return 0
+	}
+	k := 0
+	for _, l := range labels {
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	if k < 2 {
+		return 0
+	}
+	counts := make([]int, k)
+	for _, l := range labels {
+		counts[l]++
+	}
+
+	d := data.Cols
+	dist := func(i, j int) float64 {
+		return sqrtF(sqDist(data.Data[i*d:(i+1)*d], data.Data[j*d:(j+1)*d]))
+	}
+
+	total := 0.0
+	for i := 0; i < n; i++ {
+		li := labels[i]
+		if counts[li] < 2 {
+			continue // silhouette 0 by convention
+		}
+		sums := make([]float64, k)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[labels[j]] += dist(i, j)
+		}
+		a := sums[li] / float64(counts[li]-1)
+		b := -1.0
+		for c := 0; c < k; c++ {
+			if c == li || counts[c] == 0 {
+				continue
+			}
+			mean := sums[c] / float64(counts[c])
+			if b < 0 || mean < b {
+				b = mean
+			}
+		}
+		if b < 0 {
+			continue
+		}
+		den := a
+		if b > den {
+			den = b
+		}
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n)
+}
+
+func sqrtF(x float64) float64 { return sqrt(x) }

@@ -1,0 +1,62 @@
+package mathx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	rng := NewRNG(5)
+	data, truth := threeBlobs(90, rng)
+	s := Silhouette(data, truth)
+	if s < 0.8 {
+		t.Fatalf("well-separated blobs silhouette = %v, want > 0.8", s)
+	}
+	// A random labeling should score much worse.
+	randomLabels := make([]int, data.Rows)
+	for i := range randomLabels {
+		randomLabels[i] = rng.Intn(3)
+	}
+	if r := Silhouette(data, randomLabels); r >= s-0.3 {
+		t.Fatalf("random labels silhouette %v should be far below %v", r, s)
+	}
+}
+
+func TestSilhouetteDegenerateCases(t *testing.T) {
+	data := MatrixFromRows([][]float64{{0, 0}, {1, 1}})
+	if Silhouette(data, []int{0, 0}) != 0 {
+		t.Fatal("single cluster should score 0")
+	}
+	if Silhouette(data, []int{0}) != 0 {
+		t.Fatal("mismatched labels should score 0")
+	}
+	if Silhouette(NewMatrix(0, 2), nil) != 0 {
+		t.Fatal("empty input should score 0")
+	}
+	// Singleton clusters use the 0 convention.
+	if s := Silhouette(data, []int{0, 1}); s != 0 {
+		t.Fatalf("all-singleton clustering = %v, want 0", s)
+	}
+}
+
+// Property: silhouette is always within [-1, 1].
+func TestSilhouetteRangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 2 + rng.Intn(30)
+		data := NewMatrix(n, 2)
+		for i := range data.Data {
+			data.Data[i] = rng.Uniform(-10, 10)
+		}
+		labels := make([]int, n)
+		k := 1 + rng.Intn(4)
+		for i := range labels {
+			labels[i] = rng.Intn(k)
+		}
+		s := Silhouette(data, labels)
+		return s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package metrics accumulates and summarizes what the simulators measure:
+// temporal SA/VU utilization, SA+VU overlap breakdown (paper Fig. 17), HBM
+// bandwidth utilization, per-workload progress for system throughput (STP,
+// the sum of normalized forward progress from Eyerman & Eeckhout that the
+// paper adopts in §5.3), request latencies, and preemption accounting.
+package metrics
+
+import (
+	"v10/internal/mathx"
+)
+
+// BusyTracker integrates wall-clock time spent with each combination of
+// busy functional units. Drive it with Update at every point the busy set
+// changes, then Finish at the end of the run.
+type BusyTracker struct {
+	lastCycle        int64
+	saBusy, vuBusy   int // currently busy counts
+	numSA, numVU     int
+	SABusyCycles     int64 // Σ busy cycles across SAs (unit-cycles)
+	VUBusyCycles     int64 // Σ busy cycles across VUs (unit-cycles)
+	BothBusyCycles   int64 // wall cycles with ≥1 SA and ≥1 VU busy
+	SAOnlyCycles     int64 // wall cycles with ≥1 SA busy, all VUs idle
+	VUOnlyCycles     int64 // wall cycles with ≥1 VU busy, all SAs idle
+	IdleCycles       int64 // wall cycles with every FU idle
+	SASwitchCycles   int64 // wall cycles SAs spent on context switches
+	VUSwitchCycles   int64 // wall cycles VUs spent on context switches
+	saSwitch, vuSwch int
+}
+
+// NewBusyTracker creates a tracker for a core with the given FU counts.
+func NewBusyTracker(numSA, numVU int) *BusyTracker {
+	return &BusyTracker{numSA: numSA, numVU: numVU}
+}
+
+// Advance integrates the interval [lastCycle, now) under the current busy
+// counts; callers then adjust the counts.
+func (b *BusyTracker) Advance(now int64) {
+	dt := now - b.lastCycle
+	if dt < 0 {
+		panic("metrics: time went backwards")
+	}
+	if dt > 0 {
+		b.SABusyCycles += dt * int64(b.saBusy)
+		b.VUBusyCycles += dt * int64(b.vuBusy)
+		saActive := b.saBusy+b.saSwitch > 0
+		vuActive := b.vuBusy+b.vuSwch > 0
+		switch {
+		case saActive && vuActive:
+			b.BothBusyCycles += dt
+		case saActive:
+			b.SAOnlyCycles += dt
+		case vuActive:
+			b.VUOnlyCycles += dt
+		default:
+			b.IdleCycles += dt
+		}
+		b.SASwitchCycles += dt * int64(b.saSwitch)
+		b.VUSwitchCycles += dt * int64(b.vuSwch)
+	}
+	b.lastCycle = now
+}
+
+// SetBusy adjusts the number of busy SAs/VUs after advancing to now.
+func (b *BusyTracker) SetBusy(now int64, saDelta, vuDelta int) {
+	b.Advance(now)
+	b.saBusy += saDelta
+	b.vuBusy += vuDelta
+	if b.saBusy < 0 || b.vuBusy < 0 || b.saBusy > b.numSA || b.vuBusy > b.numVU {
+		panic("metrics: FU busy count out of range")
+	}
+}
+
+// SetSwitching adjusts the number of FUs performing context switches.
+func (b *BusyTracker) SetSwitching(now int64, saDelta, vuDelta int) {
+	b.Advance(now)
+	b.saSwitch += saDelta
+	b.vuSwch += vuDelta
+	if b.saSwitch < 0 || b.vuSwch < 0 {
+		panic("metrics: FU switching count negative")
+	}
+}
+
+// TotalCycles returns the wall-clock span integrated so far.
+func (b *BusyTracker) TotalCycles() int64 { return b.lastCycle }
+
+// WorkloadStats is the per-workload outcome of a simulation run.
+type WorkloadStats struct {
+	Name             string
+	Requests         int       // completed requests
+	LatencyCycles    []float64 // per completed request
+	ActiveCycles     int64     // FU-occupancy cycles attributed to this workload
+	SABusyCycles     int64     // useful SA cycles (occupancy × op efficiency)
+	VUBusyCycles     int64     // useful VU cycles
+	FLOPs            float64   // floating-point operations completed
+	Preemptions      int64     // operator (V10) or task (PMT) preemptions
+	SwitchCycles     int64     // context-switch overhead cycles paid
+	HBMBytes         float64   // off-chip traffic generated
+	CtxStorageBytes  int64     // peak preemption context held in vmem
+	ProgressOps      int64     // operators completed (forward progress)
+	ProgressOpCycles float64   // compute cycles completed (progress measure)
+	FirstCompleteAt  int64
+	LastCompleteAt   int64
+}
+
+// AvgLatency returns the mean request latency in cycles.
+func (w *WorkloadStats) AvgLatency() float64 { return mathx.Mean(w.LatencyCycles) }
+
+// TailLatency returns the p-th percentile request latency in cycles.
+func (w *WorkloadStats) TailLatency(p float64) float64 {
+	return mathx.Percentile(w.LatencyCycles, p)
+}
+
+// RunResult is the outcome of one multi-tenant (or single-tenant) run.
+type RunResult struct {
+	Scheme      string // "PMT", "V10-Base", "V10-Fair", "V10-Full", "Single"
+	TotalCycles int64
+	NumSA       int
+	NumVU       int
+	HBMCapacity float64 // bytes per cycle
+	Busy        *BusyTracker
+	Workloads   []*WorkloadStats
+}
+
+// SAUtil returns temporal SA utilization: useful SA cycles over available SA
+// unit-cycles (what TPU performance counters report — intra-op pipeline
+// bubbles do not count as utilization even though they occupy the FU).
+func (r *RunResult) SAUtil() float64 {
+	if r.TotalCycles == 0 || r.NumSA == 0 {
+		return 0
+	}
+	var useful int64
+	for _, w := range r.Workloads {
+		useful += w.SABusyCycles
+	}
+	return float64(useful) / float64(r.TotalCycles*int64(r.NumSA))
+}
+
+// VUUtil returns temporal VU utilization (useful cycles).
+func (r *RunResult) VUUtil() float64 {
+	if r.TotalCycles == 0 || r.NumVU == 0 {
+		return 0
+	}
+	var useful int64
+	for _, w := range r.Workloads {
+		useful += w.VUBusyCycles
+	}
+	return float64(useful) / float64(r.TotalCycles*int64(r.NumVU))
+}
+
+// AggregateUtil returns the utilization of all compute units combined,
+// the paper's headline "overall NPU utilization".
+func (r *RunResult) AggregateUtil() float64 {
+	fu := int64(r.NumSA + r.NumVU)
+	if r.TotalCycles == 0 || fu == 0 {
+		return 0
+	}
+	var useful int64
+	for _, w := range r.Workloads {
+		useful += w.SABusyCycles + w.VUBusyCycles
+	}
+	return float64(useful) / float64(r.TotalCycles*fu)
+}
+
+// HBMUtil returns achieved bandwidth over capacity.
+func (r *RunResult) HBMUtil() float64 {
+	if r.TotalCycles == 0 || r.HBMCapacity == 0 {
+		return 0
+	}
+	bytes := 0.0
+	for _, w := range r.Workloads {
+		bytes += w.HBMBytes
+	}
+	return bytes / (float64(r.TotalCycles) * r.HBMCapacity)
+}
+
+// OverlapBreakdown returns the fractions of wall-clock time with both FU
+// types active, only SA active, and only VU active (Fig. 17).
+func (r *RunResult) OverlapBreakdown() (both, saOnly, vuOnly float64) {
+	if r.TotalCycles == 0 {
+		return 0, 0, 0
+	}
+	t := float64(r.TotalCycles)
+	return float64(r.Busy.BothBusyCycles) / t,
+		float64(r.Busy.SAOnlyCycles) / t,
+		float64(r.Busy.VUOnlyCycles) / t
+}
+
+// ProgressRate returns workload w's forward progress in compute cycles per
+// wall cycle — the normalization basis for STP.
+func (r *RunResult) ProgressRate(w int) float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return r.Workloads[w].ProgressOpCycles / float64(r.TotalCycles)
+}
+
+// STP computes system throughput: the sum over workloads of this run's
+// progress rate divided by the workload's single-tenant progress rate.
+func (r *RunResult) STP(singleTenantRates []float64) float64 {
+	if len(singleTenantRates) != len(r.Workloads) {
+		panic("metrics: STP baseline count mismatch")
+	}
+	stp := 0.0
+	for i := range r.Workloads {
+		if singleTenantRates[i] > 0 {
+			stp += r.ProgressRate(i) / singleTenantRates[i]
+		}
+	}
+	return stp
+}
+
+// FLOPSUtil returns achieved FLOP/cycle over the core's peak FLOP/cycle —
+// the paper's Fig. 3 overall FLOPS utilization — given the peak in
+// FLOPs per cycle.
+func (r *RunResult) FLOPSUtil(peakFLOPsPerCycle float64) float64 {
+	if r.TotalCycles == 0 || peakFLOPsPerCycle == 0 {
+		return 0
+	}
+	flops := 0.0
+	for _, w := range r.Workloads {
+		flops += w.FLOPs
+	}
+	return flops / (float64(r.TotalCycles) * peakFLOPsPerCycle)
+}
+
+// WorkloadSAUtil returns workload w's own SA temporal utilization.
+func (r *RunResult) WorkloadSAUtil(w int) float64 {
+	if r.TotalCycles == 0 || r.NumSA == 0 {
+		return 0
+	}
+	return float64(r.Workloads[w].SABusyCycles) / float64(r.TotalCycles*int64(r.NumSA))
+}
+
+// WorkloadVUUtil returns workload w's own VU temporal utilization.
+func (r *RunResult) WorkloadVUUtil(w int) float64 {
+	if r.TotalCycles == 0 || r.NumVU == 0 {
+		return 0
+	}
+	return float64(r.Workloads[w].VUBusyCycles) / float64(r.TotalCycles*int64(r.NumVU))
+}
+
+// NormalizedProgress returns per-workload progress normalized to the
+// single-tenant rate (each term of STP).
+func (r *RunResult) NormalizedProgress(singleTenantRates []float64) []float64 {
+	out := make([]float64, len(r.Workloads))
+	for i := range r.Workloads {
+		if singleTenantRates[i] > 0 {
+			out[i] = r.ProgressRate(i) / singleTenantRates[i]
+		}
+	}
+	return out
+}
+
+// Fairness returns Jain's fairness index over the workloads' normalized
+// progress, weighted by priority: 1 means every workload receives exactly
+// its priority-proportional share (the goal of Algorithm 1), 1/n means one
+// workload monopolizes the core.
+func (r *RunResult) Fairness(singleTenantRates, priorities []float64) float64 {
+	norm := r.NormalizedProgress(singleTenantRates)
+	for i := range norm {
+		if i < len(priorities) && priorities[i] > 0 {
+			norm[i] /= priorities[i]
+		}
+	}
+	return mathx.JainFairness(norm)
+}

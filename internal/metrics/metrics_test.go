@@ -1,0 +1,246 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"v10/internal/mathx"
+)
+
+func TestBusyTrackerIntervals(t *testing.T) {
+	b := NewBusyTracker(1, 1)
+	b.SetBusy(0, 1, 0)    // SA busy from 0
+	b.SetBusy(100, 0, 1)  // VU joins at 100
+	b.SetBusy(150, -1, 0) // SA done at 150
+	b.SetBusy(200, 0, -1) // VU done at 200
+	b.Advance(250)        // idle tail
+
+	if b.SABusyCycles != 150 || b.VUBusyCycles != 100 {
+		t.Fatalf("busy cycles SA=%d VU=%d", b.SABusyCycles, b.VUBusyCycles)
+	}
+	if b.SAOnlyCycles != 100 || b.BothBusyCycles != 50 || b.VUOnlyCycles != 50 || b.IdleCycles != 50 {
+		t.Fatalf("breakdown = %d/%d/%d/%d", b.SAOnlyCycles, b.BothBusyCycles, b.VUOnlyCycles, b.IdleCycles)
+	}
+}
+
+func TestBusyTrackerPanicsOnOverflow(t *testing.T) {
+	b := NewBusyTracker(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("busy count above FU count accepted")
+		}
+	}()
+	b.SetBusy(0, 2, 0)
+}
+
+func TestBusyTrackerPanicsOnTimeReversal(t *testing.T) {
+	b := NewBusyTracker(1, 1)
+	b.Advance(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("time reversal accepted")
+		}
+	}()
+	b.Advance(50)
+}
+
+func TestBusyTrackerSwitchingCountsAsActive(t *testing.T) {
+	b := NewBusyTracker(1, 1)
+	b.SetSwitching(0, 1, 0)
+	b.SetSwitching(384, -1, 0)
+	b.Advance(400)
+	if b.SASwitchCycles != 384 {
+		t.Fatalf("switch cycles = %d", b.SASwitchCycles)
+	}
+	// Switching occupies the FU (it cannot run anything else) but is not
+	// counted as useful busy time.
+	if b.SABusyCycles != 0 {
+		t.Fatal("switching must not count as useful busy time")
+	}
+	if b.SAOnlyCycles != 384 || b.IdleCycles != 16 {
+		t.Fatalf("wall breakdown wrong: saOnly=%d idle=%d", b.SAOnlyCycles, b.IdleCycles)
+	}
+}
+
+func makeResult() *RunResult {
+	b := NewBusyTracker(1, 1)
+	b.SetBusy(0, 1, 0)
+	b.SetBusy(500, 0, 1)
+	b.SetBusy(600, -1, -1)
+	b.Advance(1000)
+	return &RunResult{
+		Scheme:      "test",
+		TotalCycles: 1000,
+		NumSA:       1,
+		NumVU:       1,
+		HBMCapacity: 100,
+		Busy:        b,
+		Workloads: []*WorkloadStats{
+			{Name: "A", LatencyCycles: []float64{100, 200, 300}, HBMBytes: 30000,
+				ProgressOpCycles: 500, SABusyCycles: 600, VUBusyCycles: 0},
+			{Name: "B", LatencyCycles: []float64{50}, HBMBytes: 20000,
+				ProgressOpCycles: 100, SABusyCycles: 0, VUBusyCycles: 100},
+		},
+	}
+}
+
+func TestRunResultUtilizations(t *testing.T) {
+	r := makeResult()
+	if got := r.SAUtil(); got != 0.6 {
+		t.Errorf("SAUtil = %v, want 0.6", got)
+	}
+	if got := r.VUUtil(); got != 0.1 {
+		t.Errorf("VUUtil = %v, want 0.1", got)
+	}
+	if got := r.AggregateUtil(); got != 0.35 {
+		t.Errorf("AggregateUtil = %v, want 0.35", got)
+	}
+	if got := r.HBMUtil(); got != 0.5 {
+		t.Errorf("HBMUtil = %v, want 0.5", got)
+	}
+	both, saOnly, vuOnly := r.OverlapBreakdown()
+	if both != 0.1 || saOnly != 0.5 || vuOnly != 0 {
+		t.Errorf("overlap = %v/%v/%v", both, saOnly, vuOnly)
+	}
+}
+
+func TestSTP(t *testing.T) {
+	r := makeResult()
+	// Single-tenant rates: A would do 1.0, B would do 0.4 compute/cycle.
+	stp := r.STP([]float64{1.0, 0.4})
+	want := 0.5/1.0 + 0.1/0.4
+	if math.Abs(stp-want) > 1e-12 {
+		t.Fatalf("STP = %v, want %v", stp, want)
+	}
+	norm := r.NormalizedProgress([]float64{1.0, 0.4})
+	if math.Abs(norm[0]-0.5) > 1e-12 || math.Abs(norm[1]-0.25) > 1e-12 {
+		t.Fatalf("normalized progress = %v", norm)
+	}
+}
+
+func TestSTPMismatchPanics(t *testing.T) {
+	r := makeResult()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched baseline accepted")
+		}
+	}()
+	r.STP([]float64{1})
+}
+
+func TestWorkloadLatencyStats(t *testing.T) {
+	w := &WorkloadStats{LatencyCycles: []float64{100, 200, 300, 400}}
+	if w.AvgLatency() != 250 {
+		t.Fatalf("avg = %v", w.AvgLatency())
+	}
+	if got := w.TailLatency(95); got < 380 || got > 400 {
+		t.Fatalf("p95 = %v", got)
+	}
+}
+
+func TestZeroCycleResultSafe(t *testing.T) {
+	r := &RunResult{Busy: NewBusyTracker(1, 1), Workloads: []*WorkloadStats{}}
+	if r.SAUtil() != 0 || r.VUUtil() != 0 || r.HBMUtil() != 0 || r.AggregateUtil() != 0 {
+		t.Fatal("zero-cycle result should report zero utilizations")
+	}
+	both, sa, vu := r.OverlapBreakdown()
+	if both != 0 || sa != 0 || vu != 0 {
+		t.Fatal("zero-cycle overlap should be zero")
+	}
+}
+
+// Property: the four wall-clock buckets partition total time, and busy
+// unit-cycles never exceed capacity.
+func TestBusyTrackerPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		numSA, numVU := 1+rng.Intn(3), 1+rng.Intn(3)
+		b := NewBusyTracker(numSA, numVU)
+		sa, vu := 0, 0
+		now := int64(0)
+		for i := 0; i < 50; i++ {
+			now += int64(rng.Intn(100))
+			dsa, dvu := 0, 0
+			if rng.Float64() < 0.5 {
+				if sa < numSA && rng.Float64() < 0.6 {
+					dsa = 1
+				} else if sa > 0 {
+					dsa = -1
+				}
+			} else {
+				if vu < numVU && rng.Float64() < 0.6 {
+					dvu = 1
+				} else if vu > 0 {
+					dvu = -1
+				}
+			}
+			sa += dsa
+			vu += dvu
+			b.SetBusy(now, dsa, dvu)
+		}
+		now += 100
+		b.Advance(now)
+		total := b.BothBusyCycles + b.SAOnlyCycles + b.VUOnlyCycles + b.IdleCycles
+		if total != now {
+			return false
+		}
+		return b.SABusyCycles <= now*int64(numSA) && b.VUBusyCycles <= now*int64(numVU)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFLOPSUtil(t *testing.T) {
+	r := makeResult()
+	r.Workloads[0].FLOPs = 1e6
+	r.Workloads[1].FLOPs = 1e6
+	// 2e6 FLOPs over 1000 cycles at 4000 FLOPs/cycle peak = 50%.
+	if got := r.FLOPSUtil(4000); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("FLOPSUtil = %v, want 0.5", got)
+	}
+	if r.FLOPSUtil(0) != 0 {
+		t.Fatal("zero peak should yield 0")
+	}
+}
+
+func TestWorkloadPerFUUtil(t *testing.T) {
+	r := makeResult()
+	if got := r.WorkloadSAUtil(0); got != 0.6 {
+		t.Fatalf("workload 0 SA util = %v, want 0.6", got)
+	}
+	if got := r.WorkloadVUUtil(1); got != 0.1 {
+		t.Fatalf("workload 1 VU util = %v, want 0.1", got)
+	}
+	if got := r.WorkloadSAUtil(1); got != 0 {
+		t.Fatalf("workload 1 SA util = %v, want 0", got)
+	}
+}
+
+func TestFairness(t *testing.T) {
+	r := makeResult()
+	// Equal normalized progress → fairness 1.
+	equal := r.Fairness([]float64{0.5, 0.1}, []float64{1, 1})
+	if math.Abs(equal-1) > 1e-9 {
+		t.Fatalf("equal-progress fairness = %v, want 1", equal)
+	}
+	// Skewed progress → fairness < 1.
+	skew := r.Fairness([]float64{0.5, 0.4}, []float64{1, 1})
+	if skew >= equal {
+		t.Fatalf("skewed fairness %v should be below %v", skew, equal)
+	}
+	// Priorities rescale the target shares: progress proportional to
+	// priority is perfectly fair.
+	prio := r.Fairness([]float64{0.5, 0.2}, []float64{1, 0.5})
+	if math.Abs(prio-1) > 1e-9 {
+		t.Fatalf("priority-weighted fairness = %v, want 1", prio)
+	}
+}
+
+func TestProgressRateZeroCycles(t *testing.T) {
+	r := &RunResult{Busy: NewBusyTracker(1, 1), Workloads: []*WorkloadStats{{}}}
+	if r.ProgressRate(0) != 0 {
+		t.Fatal("zero-cycle progress rate should be 0")
+	}
+}

@@ -1,0 +1,277 @@
+package models
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"v10/internal/npu"
+	"v10/internal/trace"
+)
+
+var cfg = npu.DefaultConfig()
+
+func TestSpecsMatchTable4(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 11 {
+		t.Fatalf("model count = %d, want 11", len(specs))
+	}
+	wantAbbrev := map[string]string{
+		"BERT": "BERT", "DLRM": "DLRM", "EfficientNet": "ENet",
+		"Mask-RCNN": "MRCN", "MNIST": "MNST", "NCF": "NCF",
+		"ResNet": "RsNt", "ResNet-RS": "RNRS", "RetinaNet": "RtNt",
+		"ShapeMask": "SMask", "Transformer": "TFMR",
+	}
+	for _, s := range specs {
+		if wantAbbrev[s.Name] != s.Abbrev {
+			t.Errorf("%s abbrev = %s, want %s", s.Name, s.Abbrev, wantAbbrev[s.Name])
+		}
+	}
+	// Table 4 batch sizes: 32 except ShapeMask (8) and Mask-RCNN (16).
+	for _, s := range specs {
+		want := 32
+		switch s.Name {
+		case "ShapeMask":
+			want = 8
+		case "Mask-RCNN":
+			want = 16
+		}
+		if s.RefBatch != want {
+			t.Errorf("%s ref batch = %d, want %d", s.Name, s.RefBatch, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if s, ok := ByName("ResNet-RS"); !ok || s.Abbrev != "RNRS" {
+		t.Fatal("ByName full name failed")
+	}
+	if s, ok := ByName("SMask"); !ok || s.Name != "ShapeMask" {
+		t.Fatal("ByName abbrev failed")
+	}
+	if _, ok := ByName("NoSuchModel"); ok {
+		t.Fatal("ByName accepted unknown model")
+	}
+}
+
+func TestGeneratedGraphsValidate(t *testing.T) {
+	for _, s := range Specs() {
+		w := s.Workload(s.RefBatch, 7, cfg)
+		for r := 0; r < 3; r++ {
+			if err := w.Request(r).Validate(); err != nil {
+				t.Fatalf("%s request %d invalid: %v", s.Name, r, err)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	s, _ := ByName("BERT")
+	a := s.Workload(32, 42, cfg).Request(5)
+	b := s.Workload(32, 42, cfg).Request(5)
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatal("op counts differ")
+	}
+	for i := range a.Ops {
+		if a.Ops[i].Compute != b.Ops[i].Compute || a.Ops[i].Stall != b.Ops[i].Stall {
+			t.Fatalf("op %d differs between same-seed generations", i)
+		}
+	}
+	c := s.Workload(32, 43, cfg).Request(5)
+	same := true
+	for i := range a.Ops {
+		if a.Ops[i].Compute != c.Ops[i].Compute {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// Mean operator lengths must track Table 1 within jitter tolerance.
+func TestTable1Calibration(t *testing.T) {
+	rows := Table1(20, cfg)
+	want := map[string][2]float64{
+		"BERT": {877, 34.7}, "DLRM": {17, 4.43}, "EfficientNet": {105, 69},
+		"Mask-RCNN": {138, 14.6}, "MNIST": {180, 202}, "NCF": {430, 17.1},
+		"ResNet": {154, 12.8}, "ResNet-RS": {3200, 61.9}, "RetinaNet": {157, 4.08},
+		"ShapeMask": {1910, 20.2}, "Transformer": {6650, 55.4},
+	}
+	for _, row := range rows {
+		w, ok := want[row.Model]
+		if !ok {
+			t.Fatalf("unexpected model %s", row.Model)
+		}
+		if math.Abs(row.AvgSAUS-w[0])/w[0] > 0.25 {
+			t.Errorf("%s avg SA len = %.1f µs, want ≈ %.1f", row.Model, row.AvgSAUS, w[0])
+		}
+		if math.Abs(row.AvgVUUS-w[1])/w[1] > 0.25 {
+			t.Errorf("%s avg VU len = %.1f µs, want ≈ %.1f", row.Model, row.AvgVUUS, w[1])
+		}
+	}
+}
+
+// Single-tenant serial utilization (SA compute / serial time) must track the
+// calibrated Fig. 4/5 targets.
+func TestUtilizationCalibration(t *testing.T) {
+	for _, s := range Specs() {
+		w := s.Workload(s.RefBatch, 3, cfg)
+		var sa, vu, serial float64
+		for r := 0; r < 10; r++ {
+			st := w.Request(r).ComputeStats()
+			sa += st.UsefulSACycles
+			vu += st.UsefulVUCycles
+			serial += float64(st.SerialCycles)
+		}
+		utilSA := sa / serial
+		utilVU := vu / serial
+		if math.Abs(utilSA-s.UtilSA) > 0.08 {
+			t.Errorf("%s serial SA util = %.3f, calibrated %.3f", s.Name, utilSA, s.UtilSA)
+		}
+		if math.Abs(utilVU-s.UtilVU) > 0.08 {
+			t.Errorf("%s serial VU util = %.3f, calibrated %.3f", s.Name, utilVU, s.UtilVU)
+		}
+	}
+}
+
+// Ideal DAG speedup must be small (paper Fig. 6: 6.7% average).
+func TestIdealSpeedupSmall(t *testing.T) {
+	total, n := 0.0, 0
+	for _, s := range Specs() {
+		w := s.Workload(s.RefBatch, 9, cfg)
+		for r := 0; r < 5; r++ {
+			sp := w.Request(r).IdealSpeedup()
+			if sp < 1 {
+				t.Fatalf("%s speedup %v < 1", s.Name, sp)
+			}
+			if sp > 1.5 {
+				t.Errorf("%s speedup %v too large for Fig 6 shape", s.Name, sp)
+			}
+			total += sp
+			n++
+		}
+	}
+	avg := total / float64(n)
+	if avg < 1.0 || avg > 1.25 {
+		t.Errorf("mean ideal speedup = %v, want ≈ 1.07 (within [1, 1.25])", avg)
+	}
+}
+
+func TestBatchScalingMonotone(t *testing.T) {
+	s, _ := ByName("BERT")
+	prevSerial := int64(0)
+	prevFLOPs := 0.0
+	for _, b := range []int{1, 8, 32, 128, 512} {
+		g := s.Workload(b, 5, cfg).Request(0)
+		st := g.ComputeStats()
+		if st.SerialCycles < prevSerial {
+			t.Fatalf("serial time decreased at batch %d", b)
+		}
+		if st.FLOPs < prevFLOPs {
+			t.Fatalf("FLOPs decreased at batch %d", b)
+		}
+		prevSerial, prevFLOPs = st.SerialCycles, st.FLOPs
+	}
+}
+
+// FLOPS utilization (FLOPs / serial-time / peak) should rise with batch size
+// and stay below 100% — the Fig. 3 shape.
+func TestFLOPSUtilizationTrend(t *testing.T) {
+	s, _ := ByName("ResNet")
+	var utils []float64
+	for _, b := range []int{1, 32, 512} {
+		g := s.Workload(b, 5, cfg).Request(0)
+		st := g.ComputeStats()
+		util := st.FLOPs / (float64(st.SerialCycles) * cfg.PeakFLOPS() / cfg.FrequencyHz)
+		if util <= 0 || util >= 1 {
+			t.Fatalf("batch %d FLOPS util = %v out of (0,1)", b, util)
+		}
+		utils = append(utils, util)
+	}
+	if !(utils[0] < utils[1] && utils[1] <= utils[2]*1.05) {
+		t.Errorf("FLOPS util not increasing with batch: %v", utils)
+	}
+}
+
+// SA FLOPs efficiency can never exceed the physical peak.
+func TestEfficiencyCapProperty(t *testing.T) {
+	peakSA := cfg.PeakSAFLOPsPerCycle()
+	peakVU := cfg.PeakVUFLOPsPerCycle()
+	f := func(seed uint64, batchIdx uint8) bool {
+		specs := Specs()
+		s := specs[int(seed%uint64(len(specs)))]
+		b := StandardBatches[int(batchIdx)%len(StandardBatches)]
+		g := s.Workload(b, seed, cfg).Request(0)
+		for _, op := range g.Ops {
+			var peak float64
+			if op.Kind == trace.KindSA {
+				peak = peakSA
+			} else {
+				peak = peakVU
+			}
+			if op.FLOPs > float64(op.Compute)*peak*3.001 {
+				// ×3 bound: jitter multiplies FLOPs and compute together, so
+				// their ratio stays within the clamp range.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOOMLimits(t *testing.T) {
+	mrcn, _ := ByName("Mask-RCNN")
+	if mrcn.OOM(16, cfg.HBMBytes) {
+		t.Fatal("Mask-RCNN must fit at its Table 4 batch (16)")
+	}
+	if !mrcn.OOM(32, cfg.HBMBytes) {
+		t.Fatal("Mask-RCNN should OOM at batch 32 (paper runs it at 16)")
+	}
+	smask, _ := ByName("ShapeMask")
+	if smask.OOM(8, cfg.HBMBytes) {
+		t.Fatal("ShapeMask must fit at batch 8")
+	}
+	if !smask.OOM(16, cfg.HBMBytes) {
+		t.Fatal("ShapeMask should OOM at batch 16")
+	}
+	bert, _ := ByName("BERT")
+	if bert.OOM(2048, cfg.HBMBytes) {
+		t.Fatal("BERT should fit at batch 2048")
+	}
+}
+
+func TestWorkloadPanicsOnBadBatch(t *testing.T) {
+	s, _ := ByName("BERT")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("batch 0 accepted")
+		}
+	}()
+	s.Workload(0, 1, cfg)
+}
+
+func TestVUIntensiveVsSAIntensive(t *testing.T) {
+	// The collocation premise: BERT is SA-heavy, DLRM is VU-heavy.
+	bert, _ := ByName("BERT")
+	dlrm, _ := ByName("DLRM")
+	bs := bert.Workload(32, 1, cfg).Request(0).ComputeStats()
+	ds := dlrm.Workload(32, 1, cfg).Request(0).ComputeStats()
+	if bs.SACycles <= bs.VUCycles {
+		t.Error("BERT should be SA-dominated")
+	}
+	if ds.VUCycles <= ds.SACycles {
+		t.Error("DLRM should be VU-dominated")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	if len(names) != 11 || names[0] != "BERT" || names[10] != "Transformer" {
+		t.Fatalf("Names() = %v", names)
+	}
+}

@@ -1,0 +1,182 @@
+package npu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Workload context table (paper Fig. 11): the hardware structure at the
+// heart of V10's operator scheduler. Each row tracks the most recent
+// operator of one collocated workload:
+//
+//	Op ID    | Op Type | Active | Ready | FU ID      | Active Cycles | Total Cycles | Priority
+//	32 bits  | 1 bit   | 1 bit  | 1 bit | ⌈log2 F⌉ b | 64 bits       | 64 bits      | 7 bits
+//
+// This file implements the table bit-accurately: rows serialize to exactly
+// the widths above, so the storage numbers in Table 3 (43/86/86/173 bytes)
+// fall out of the encoding rather than a formula.
+
+// ContextRow is one decoded row of the workload context table.
+type ContextRow struct {
+	OpID         uint32
+	OpType       bool // false = SA, true = VU
+	Active       bool
+	Ready        bool
+	FUID         uint8
+	ActiveCycles uint64
+	TotalCycles  uint64
+	Priority     uint8 // 7 bits: 0..127
+}
+
+// ContextTable is a bit-packed workload context table for a core with a
+// given number of functional units.
+type ContextTable struct {
+	numFUs  int
+	fuBits  int
+	rowBits int
+	rows    int
+	bits    []byte // packed storage, rowBits per row
+}
+
+// NewContextTable allocates a table with the given geometry.
+func NewContextTable(numFUs, numWorkloads int) (*ContextTable, error) {
+	if numFUs < 1 {
+		return nil, errors.New("npu: context table needs at least one FU")
+	}
+	if numWorkloads < 1 {
+		return nil, errors.New("npu: context table needs at least one workload row")
+	}
+	fuBits := 1
+	for 1<<fuBits < numFUs {
+		fuBits++
+	}
+	rowBits := 32 + 1 + 1 + 1 + fuBits + 64 + 64 + 7
+	total := (rowBits*numWorkloads + 7) / 8
+	return &ContextTable{
+		numFUs:  numFUs,
+		fuBits:  fuBits,
+		rowBits: rowBits,
+		rows:    numWorkloads,
+		bits:    make([]byte, total),
+	}, nil
+}
+
+// Rows returns the number of workload rows.
+func (t *ContextTable) Rows() int { return t.rows }
+
+// RowBits returns the exact bits per row.
+func (t *ContextTable) RowBits() int { return t.rowBits }
+
+// StorageBytes returns the total packed storage, which matches
+// ContextTableBytes (Table 3).
+func (t *ContextTable) StorageBytes() int64 { return int64(len(t.bits)) }
+
+// setBits writes width bits of value at bit offset off.
+func (t *ContextTable) setBits(off, width int, value uint64) {
+	for i := 0; i < width; i++ {
+		bit := (value >> uint(width-1-i)) & 1
+		pos := off + i
+		idx, sh := pos/8, uint(7-pos%8)
+		if bit == 1 {
+			t.bits[idx] |= 1 << sh
+		} else {
+			t.bits[idx] &^= 1 << sh
+		}
+	}
+}
+
+// getBits reads width bits at bit offset off.
+func (t *ContextTable) getBits(off, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		pos := off + i
+		idx, sh := pos/8, uint(7-pos%8)
+		v = v<<1 | uint64((t.bits[idx]>>sh)&1)
+	}
+	return v
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Set encodes a row into the packed storage.
+func (t *ContextTable) Set(row int, r ContextRow) error {
+	if row < 0 || row >= t.rows {
+		return fmt.Errorf("npu: context row %d out of range", row)
+	}
+	if int(r.FUID) >= t.numFUs {
+		return fmt.Errorf("npu: FU id %d out of range (%d FUs)", r.FUID, t.numFUs)
+	}
+	if r.Priority > 127 {
+		return fmt.Errorf("npu: priority %d exceeds 7 bits", r.Priority)
+	}
+	off := row * t.rowBits
+	t.setBits(off, 32, uint64(r.OpID))
+	off += 32
+	t.setBits(off, 1, b2u(r.OpType))
+	off++
+	t.setBits(off, 1, b2u(r.Active))
+	off++
+	t.setBits(off, 1, b2u(r.Ready))
+	off++
+	t.setBits(off, t.fuBits, uint64(r.FUID))
+	off += t.fuBits
+	t.setBits(off, 64, r.ActiveCycles)
+	off += 64
+	t.setBits(off, 64, r.TotalCycles)
+	off += 64
+	t.setBits(off, 7, uint64(r.Priority))
+	return nil
+}
+
+// Get decodes a row from the packed storage.
+func (t *ContextTable) Get(row int) (ContextRow, error) {
+	if row < 0 || row >= t.rows {
+		return ContextRow{}, fmt.Errorf("npu: context row %d out of range", row)
+	}
+	off := row * t.rowBits
+	var r ContextRow
+	r.OpID = uint32(t.getBits(off, 32))
+	off += 32
+	r.OpType = t.getBits(off, 1) == 1
+	off++
+	r.Active = t.getBits(off, 1) == 1
+	off++
+	r.Ready = t.getBits(off, 1) == 1
+	off++
+	r.FUID = uint8(t.getBits(off, t.fuBits))
+	off += t.fuBits
+	r.ActiveCycles = t.getBits(off, 64)
+	off += 64
+	r.TotalCycles = t.getBits(off, 64)
+	off += 64
+	r.Priority = uint8(t.getBits(off, 7))
+	return r, nil
+}
+
+// PickNext is Algorithm 1 over the packed table: among rows that are Ready,
+// not Active, and whose OpType matches fuType, return the index with the
+// smallest active_rate_p = (ActiveCycles/TotalCycles)/priority. It returns
+// -1 when no candidate exists. Priority 0 rows are skipped (uninitialized).
+func (t *ContextTable) PickNext(fuType bool) int {
+	best := -1
+	var bestKey float64
+	for i := 0; i < t.rows; i++ {
+		r, _ := t.Get(i)
+		if !r.Ready || r.Active || r.OpType != fuType || r.Priority == 0 {
+			continue
+		}
+		key := 0.0
+		if r.TotalCycles > 0 {
+			key = float64(r.ActiveCycles) / float64(r.TotalCycles) / (float64(r.Priority) / 127)
+		}
+		if best == -1 || key < bestKey {
+			best, bestKey = i, key
+		}
+	}
+	return best
+}

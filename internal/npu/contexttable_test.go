@@ -1,0 +1,184 @@
+package npu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"v10/internal/mathx"
+)
+
+func TestContextTableStorageMatchesTable3(t *testing.T) {
+	cases := []struct {
+		fus, rows int
+		bytes     int64
+	}{
+		{2, 2, 43}, {2, 4, 86}, {4, 4, 86}, {8, 8, 173},
+	}
+	for _, c := range cases {
+		tb, err := NewContextTable(c.fus, c.rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.StorageBytes() != c.bytes {
+			t.Errorf("packed table (%d FUs, %d rows) = %d bytes, want %d",
+				c.fus, c.rows, tb.StorageBytes(), c.bytes)
+		}
+		// The bit-accurate structure and the analytic formula must agree.
+		if tb.StorageBytes() != ContextTableBytes(c.fus, c.rows) {
+			t.Errorf("packed table disagrees with analytic model")
+		}
+	}
+}
+
+func TestContextTableRowWidth(t *testing.T) {
+	tb, err := NewContextTable(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 11: with 4 FUs a row is 32+1+1+1+2+64+64+7 = 172 bits.
+	if tb.RowBits() != 172 {
+		t.Fatalf("row bits = %d, want 172", tb.RowBits())
+	}
+}
+
+func TestContextTableGeometryErrors(t *testing.T) {
+	if _, err := NewContextTable(0, 2); err == nil {
+		t.Fatal("zero FUs accepted")
+	}
+	if _, err := NewContextTable(2, 0); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+}
+
+func TestContextTableSetGetRoundTrip(t *testing.T) {
+	tb, err := NewContextTable(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []ContextRow{
+		{OpID: 4, OpType: false, Active: true, Ready: true, FUID: 0, ActiveCycles: 12345, TotalCycles: 99999, Priority: 80},
+		{OpID: 8, OpType: true, Active: true, Ready: false, FUID: 1, ActiveCycles: 777, TotalCycles: 888, Priority: 20},
+		{OpID: 0xFFFFFFFF, OpType: true, Active: false, Ready: true, FUID: 3, ActiveCycles: 1<<63 + 5, TotalCycles: 1 << 62, Priority: 127},
+	}
+	for i, r := range rows {
+		if err := tb.Set(i, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range rows {
+		got, err := tb.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("row %d round trip: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestContextTableValidation(t *testing.T) {
+	tb, _ := NewContextTable(2, 2)
+	if err := tb.Set(5, ContextRow{}); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	if err := tb.Set(0, ContextRow{FUID: 3}); err == nil {
+		t.Fatal("FU id beyond table geometry accepted")
+	}
+	if err := tb.Set(0, ContextRow{Priority: 200}); err == nil {
+		t.Fatal("8-bit priority accepted into 7-bit field")
+	}
+	if _, err := tb.Get(-1); err == nil {
+		t.Fatal("negative row accepted")
+	}
+}
+
+func TestPickNextAlgorithm1(t *testing.T) {
+	tb, _ := NewContextTable(2, 4)
+	// Row 0: SA, ready, low active rate → should win for SA.
+	must(t, tb.Set(0, ContextRow{OpType: false, Ready: true, ActiveCycles: 10, TotalCycles: 100, Priority: 64}))
+	// Row 1: SA, ready, higher active rate.
+	must(t, tb.Set(1, ContextRow{OpType: false, Ready: true, ActiveCycles: 60, TotalCycles: 100, Priority: 64}))
+	// Row 2: SA but already active (running).
+	must(t, tb.Set(2, ContextRow{OpType: false, Ready: true, Active: true, ActiveCycles: 0, TotalCycles: 100, Priority: 64}))
+	// Row 3: VU candidate.
+	must(t, tb.Set(3, ContextRow{OpType: true, Ready: true, ActiveCycles: 5, TotalCycles: 100, Priority: 64}))
+
+	if got := tb.PickNext(false); got != 0 {
+		t.Fatalf("SA pick = %d, want 0", got)
+	}
+	if got := tb.PickNext(true); got != 3 {
+		t.Fatalf("VU pick = %d, want 3", got)
+	}
+	// Raising row 1's priority enough makes its active_rate_p smaller.
+	must(t, tb.Set(1, ContextRow{OpType: false, Ready: true, ActiveCycles: 60, TotalCycles: 100, Priority: 127}))
+	must(t, tb.Set(0, ContextRow{OpType: false, Ready: true, ActiveCycles: 10, TotalCycles: 100, Priority: 16}))
+	// arp(0) = 0.1/(16/127) ≈ 0.79; arp(1) = 0.6/1.0 = 0.6 → row 1 wins.
+	if got := tb.PickNext(false); got != 1 {
+		t.Fatalf("priority-weighted SA pick = %d, want 1", got)
+	}
+}
+
+func TestPickNextNoCandidate(t *testing.T) {
+	tb, _ := NewContextTable(2, 2)
+	if tb.PickNext(false) != -1 {
+		t.Fatal("empty table should return -1")
+	}
+	must(t, tb.Set(0, ContextRow{OpType: true, Ready: true, Priority: 64}))
+	if tb.PickNext(false) != -1 {
+		t.Fatal("no SA candidate should return -1")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any valid row round-trips exactly through the packed encoding,
+// and neighbouring rows are untouched.
+func TestContextTableRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		fus := 1 + rng.Intn(8)
+		rows := 1 + rng.Intn(8)
+		tb, err := NewContextTable(fus, rows)
+		if err != nil {
+			return false
+		}
+		want := make([]ContextRow, rows)
+		for i := range want {
+			want[i] = ContextRow{
+				OpID:         uint32(rng.Uint64()),
+				OpType:       rng.Float64() < 0.5,
+				Active:       rng.Float64() < 0.5,
+				Ready:        rng.Float64() < 0.5,
+				FUID:         uint8(rng.Intn(fus)),
+				ActiveCycles: rng.Uint64(),
+				TotalCycles:  rng.Uint64(),
+				Priority:     uint8(rng.Intn(128)),
+			}
+			if tb.Set(i, want[i]) != nil {
+				return false
+			}
+		}
+		// Overwrite one row and confirm only it changed.
+		victim := rng.Intn(rows)
+		want[victim].OpID++
+		want[victim].Priority = uint8(rng.Intn(128))
+		if tb.Set(victim, want[victim]) != nil {
+			return false
+		}
+		for i := range want {
+			got, err := tb.Get(i)
+			if err != nil || got != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package npu
+
+// WaterFill allocates bandwidth capacity to flows with the given demands
+// using max-min fairness: every flow receives min(demand, fair share), and
+// capacity left by under-demanding flows is redistributed to the rest.
+// The returned slice has one allocation per demand. Demands must be
+// non-negative; the sum of allocations never exceeds capacity, and no flow
+// ever receives more than its demand.
+//
+// This is the fluid model the simulator uses for HBM: concurrently executing
+// operators stream their traffic at their natural rate when bandwidth is
+// plentiful and are throttled proportionally when the collocated workloads
+// oversubscribe the interface (the §5.6 DLRM+RsNt effect).
+func WaterFill(demands []float64, capacity float64) []float64 {
+	alloc := make([]float64, len(demands))
+	if capacity <= 0 {
+		return alloc
+	}
+	remainingCap := capacity
+	active := make([]int, 0, len(demands))
+	for i, d := range demands {
+		if d > 0 {
+			active = append(active, i)
+		}
+	}
+	for len(active) > 0 {
+		share := remainingCap / float64(len(active))
+		progressed := false
+		next := active[:0]
+		for _, i := range active {
+			if demands[i]-alloc[i] <= share {
+				// Flow fully satisfied at this level.
+				remainingCap -= demands[i] - alloc[i]
+				alloc[i] = demands[i]
+				progressed = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		active = next
+		if !progressed {
+			// Every remaining flow wants more than the share: split evenly.
+			for _, i := range active {
+				alloc[i] += share
+			}
+			break
+		}
+		if remainingCap <= 0 {
+			break
+		}
+	}
+	return alloc
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Bars renders a table's numeric columns as horizontal ASCII bar groups —
+// a terminal rendition of the paper's grouped bar figures. Each row becomes
+// a group labeled by its first cell; each numeric column becomes one bar.
+// Non-numeric cells (e.g. "OOM") render as annotations. width is the
+// maximum bar length in characters.
+func (t *Table) Bars(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxVal := 0.0
+	type parsedRow struct {
+		label string
+		vals  []float64
+		text  []string
+		isNum []bool
+	}
+	var rows []parsedRow
+	for _, r := range t.Rows {
+		if len(r) == 0 {
+			continue
+		}
+		pr := parsedRow{label: r[0]}
+		for _, cell := range r[1:] {
+			v, ok := parseCell(cell)
+			pr.vals = append(pr.vals, v)
+			pr.text = append(pr.text, cell)
+			pr.isNum = append(pr.isNum, ok)
+			if ok && v > maxVal {
+				maxVal = v
+			}
+		}
+		rows = append(rows, pr)
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+
+	labelWidth := 0
+	for _, r := range rows {
+		if len(r.label) > labelWidth {
+			labelWidth = len(r.label)
+		}
+	}
+	colWidth := 0
+	for _, h := range t.Header {
+		if len(h) > colWidth {
+			colWidth = len(h)
+		}
+	}
+
+	var b strings.Builder
+	if t.ID != "" {
+		fmt.Fprintf(&b, "[%s] ", t.ID)
+	}
+	b.WriteString(t.Title)
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s\n", labelWidth, r.label)
+		for i, v := range r.vals {
+			name := ""
+			if i+1 < len(t.Header) {
+				name = t.Header[i+1]
+			}
+			if !r.isNum[i] {
+				fmt.Fprintf(&b, "  %-*s %s\n", colWidth, name, r.text[i])
+				continue
+			}
+			n := int(v / maxVal * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&b, "  %-*s %s %s\n", colWidth, name, strings.Repeat("█", n), r.text[i])
+		}
+	}
+	return b.String()
+}
+
+// parseCell extracts a numeric value from a rendered cell: plain floats,
+// "52.7%", or "1.49x".
+func parseCell(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	if v < 0 {
+		return 0, true
+	}
+	return v, true
+}

@@ -1,0 +1,134 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := &Table{ID: "fig1", Title: "Demo", Header: []string{"name", "value"}}
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 1234.5678)
+	out := tb.String()
+	if !strings.Contains(out, "[fig1] Demo") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") {
+		t.Fatalf("missing cells: %q", out)
+	}
+	if !strings.Contains(out, "1235") {
+		t.Fatalf("large float formatting wrong: %q", out)
+	}
+}
+
+func TestTableNote(t *testing.T) {
+	tb := &Table{Title: "x", Note: "caveat here"}
+	if !strings.Contains(tb.String(), "note: caveat here") {
+		t.Fatal("note not rendered")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow(`has,comma`, `has"quote`)
+	csv := tb.CSV()
+	want := "a,b\n\"has,comma\",\"has\"\"quote\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.12345: "0.1235",
+		1.5:     "1.500",
+		150.25:  "150.2",
+		2500:    "2500",
+		-3.25:   "-3.250",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.527) != "52.7%" {
+		t.Fatalf("Percent = %q", Percent(0.527))
+	}
+}
+
+func TestAddRowMixedTypes(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b", "c"}}
+	tb.AddRow("s", 42, 0.5)
+	if tb.Rows[0][1] != "42" || tb.Rows[0][2] != "0.5000" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestBarsRendering(t *testing.T) {
+	tb := &Table{ID: "figX", Title: "Demo bars", Header: []string{"pair", "PMT", "V10"}}
+	tb.AddRow("A+B", "50.0%", "100.0%")
+	tb.AddRow("C+D", "25.0%", "OOM")
+	out := tb.Bars(20)
+	if !strings.Contains(out, "[figX] Demo bars") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(out, "\n")
+	var pmtA, v10A, oom string
+	for i, l := range lines {
+		switch {
+		case strings.Contains(l, "A+B"):
+			pmtA, v10A = lines[i+1], lines[i+2]
+		case strings.Contains(l, "C+D"):
+			oom = lines[i+2]
+		}
+	}
+	// 100% bar should be twice the 50% bar.
+	if strings.Count(v10A, "█") != 2*strings.Count(pmtA, "█") {
+		t.Fatalf("bar scaling wrong:\n%s", out)
+	}
+	if !strings.Contains(oom, "OOM") {
+		t.Fatalf("non-numeric cell lost: %q", oom)
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := map[string]struct {
+		v  float64
+		ok bool
+	}{
+		"52.7%": {0.527 * 100, true},
+		"1.49x": {1.49, true},
+		"3.5":   {3.5, true},
+		"OOM":   {0, false},
+		"":      {0, false},
+	}
+	for in, want := range cases {
+		v, ok := parseCell(in)
+		if ok != want.ok || (ok && v != want.v) {
+			t.Errorf("parseCell(%q) = %v,%v", in, v, ok)
+		}
+	}
+}
+
+func TestBarsMinWidth(t *testing.T) {
+	tb := &Table{Header: []string{"x", "v"}}
+	tb.AddRow("a", "1.0")
+	if out := tb.Bars(1); !strings.Contains(out, "█") {
+		t.Fatalf("tiny width should still render: %q", out)
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tb := &Table{Title: "T", Note: "n", Header: []string{"a", "b"}}
+	tb.AddRow("x|y", 1.5)
+	md := tb.Markdown()
+	for _, want := range []string{"### T", "_n_", "| a | b |", "|---|---|", `x\|y`, "1.500"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,537 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"v10/internal/mathx"
+
+	"v10/internal/metrics"
+	"v10/internal/sim"
+	"v10/internal/trace"
+)
+
+type phase int
+
+const (
+	phaseStalling phase = iota // waiting out the operator's DMA/infeed gap
+	phaseReady                 // operator ready, waiting for a free FU
+	phaseRunning               // operator executing on an FU
+	phaseIdle                  // open loop: no request in flight
+)
+
+// wlState is one row of the workload context table plus runner bookkeeping.
+type wlState struct {
+	idx      int
+	w        *trace.Workload
+	stats    *metrics.WorkloadStats
+	priority float64
+
+	requestNo    int
+	ops          []trace.Op
+	opIdx        int
+	phase        phase
+	remaining    float64 // remaining compute cycles of the current operator
+	preempted    bool    // operator was preempted and needs a context restore
+	requestStart int64
+
+	activeCycles int64   // FU-busy cycles accumulated (the context table's Active Cycles)
+	segStart     int64   // when the current running segment began
+	segWork      float64 // compute cycles outstanding when the segment began
+
+	inFlight     bool    // a request is currently being served
+	queue        []int64 // open-loop: arrival times of requests waiting to start
+	arrivals     *mathx.RNG
+	lastDispatch uint64
+	ctxBytes     int64 // preemption context currently held in vmem
+
+	task *sim.FluidTask
+	fu   *fuState
+}
+
+// currentOp returns the operator at the front of the workload's stream.
+func (w *wlState) currentOp() *trace.Op { return &w.ops[w.opIdx] }
+
+// activeAt returns active_time at cycle now, including the running segment.
+func (w *wlState) activeAt(now int64) int64 {
+	a := w.activeCycles
+	if w.phase == phaseRunning {
+		a += now - w.segStart
+	}
+	return a
+}
+
+// arpAt returns active_rate_p = (active_time/total_time)/priority
+// (Algorithm 1). All workloads arrive at cycle 0.
+func (w *wlState) arpAt(now int64) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(w.activeAt(now)) / float64(now) / w.priority
+}
+
+// fuState is one functional unit (SA or VU).
+type fuState struct {
+	kind      int // 0 = SA, 1 = VU
+	idx       int
+	running   *wlState
+	switching bool
+}
+
+// runner executes one multi-tenant simulation.
+type runner struct {
+	opts     Options
+	engine   *sim.Engine
+	pool     *sim.FluidPool
+	busy     *metrics.BusyTracker
+	fus      [2][]*fuState // by kind
+	wls      []*wlState
+	dispatch uint64
+	ctxCap   int64 // per-workload cap on held preemption context
+	vmemPart int64 // per-workload vector-memory partition
+}
+
+// Run simulates the workloads sharing one NPU core under the given options
+// and returns the measured result. At least one workload is required.
+func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("sched: no workloads")
+	}
+
+	cfg := opts.Config
+	engine := &sim.Engine{}
+	capacity := cfg.HBMBytesPerCycle()
+	if opts.DisableFluidHBM {
+		capacity = 1e18 // effectively infinite: no contention
+	}
+	r := &runner{
+		opts:     opts,
+		engine:   engine,
+		pool:     sim.NewFluidPool(engine, capacity),
+		busy:     metrics.NewBusyTracker(cfg.NumSA, cfg.NumVU),
+		vmemPart: cfg.VMemBytes / int64(len(workloads)),
+	}
+	r.ctxCap = r.vmemPart / 4
+	for i := 0; i < cfg.NumSA; i++ {
+		r.fus[0] = append(r.fus[0], &fuState{kind: 0, idx: i})
+	}
+	for i := 0; i < cfg.NumVU; i++ {
+		r.fus[1] = append(r.fus[1], &fuState{kind: 1, idx: i})
+	}
+	for i, w := range workloads {
+		wl := &wlState{
+			idx:      i,
+			w:        w,
+			priority: w.Priority,
+			stats:    &metrics.WorkloadStats{Name: w.Name},
+		}
+		r.wls = append(r.wls, wl)
+		if opts.ArrivalRateHz > 0 {
+			wl.arrivals = mathx.NewRNG(opts.Seed + 0xa221 + uint64(i)*7919)
+			r.scheduleArrival(wl, 0)
+		} else {
+			r.startRequest(wl, 0, 0)
+		}
+	}
+	if opts.Preemption {
+		r.scheduleSliceTimer()
+	}
+
+	done := func() bool {
+		for _, wl := range r.wls {
+			if wl.stats.Requests < opts.RequestsPerWorkload {
+				return false
+			}
+		}
+		return true
+	}
+	finished := engine.RunUntil(done, opts.MaxCycles)
+	now := engine.Now()
+	r.busy.Advance(now)
+
+	result := &metrics.RunResult{
+		Scheme:      opts.scheme(),
+		TotalCycles: now,
+		NumSA:       cfg.NumSA,
+		NumVU:       cfg.NumVU,
+		HBMCapacity: cfg.HBMBytesPerCycle(),
+		Busy:        r.busy,
+	}
+	for _, wl := range r.wls {
+		wl.stats.ActiveCycles = wl.activeAt(now)
+		result.Workloads = append(result.Workloads, wl.stats)
+	}
+	if !finished {
+		return result, ErrMaxCycles
+	}
+	return result, nil
+}
+
+// startRequest loads the next request's operator stream (tiled for the
+// workload's vector-memory partition) and begins its first operator.
+// arrivedAt is when the request entered the system (equals now in the
+// closed loop; earlier under open-loop queueing).
+func (r *runner) startRequest(wl *wlState, now, arrivedAt int64) {
+	g := wl.w.Request(wl.requestNo)
+	g = trace.TileForVMem(g, r.vmemPart, r.opts.VMemReloadFactor)
+	wl.ops = g.Linearize()
+	if len(wl.ops) == 0 {
+		panic(fmt.Sprintf("sched: workload %s produced an empty request", wl.w.Name))
+	}
+	wl.opIdx = 0
+	wl.requestStart = arrivedAt
+	wl.inFlight = true
+	r.beginOp(wl, now)
+}
+
+// scheduleArrival arms the next Poisson arrival for wl (open-loop mode).
+func (r *runner) scheduleArrival(wl *wlState, now int64) {
+	meanCycles := r.opts.Config.FrequencyHz / r.opts.ArrivalRateHz
+	gap := int64(-meanCycles * logUniform(wl.arrivals))
+	if gap < 1 {
+		gap = 1
+	}
+	r.engine.Schedule(now+gap, func(t int64) {
+		if wl.inFlight {
+			wl.queue = append(wl.queue, t)
+		} else {
+			r.startRequest(wl, t, t)
+		}
+		r.scheduleArrival(wl, t)
+	})
+}
+
+// logUniform returns ln(U) for U ∈ (0,1), the exponential-sample kernel.
+func logUniform(rng *mathx.RNG) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return math.Log(u)
+}
+
+// beginOp starts the stall (DMA/instruction fetch) phase of the current op.
+func (r *runner) beginOp(wl *wlState, now int64) {
+	op := wl.currentOp()
+	wl.remaining = float64(op.Compute)
+	wl.preempted = false
+	wl.phase = phaseStalling
+	r.engine.Schedule(now+op.Stall, func(t int64) { r.opReady(wl, t) })
+}
+
+// opReady fires when the operator's DMA completes (the Ready bit is set).
+// Per §3.2 the scheduler issues an operator as soon as it is ready and an FU
+// is idle.
+func (r *runner) opReady(wl *wlState, now int64) {
+	wl.phase = phaseReady
+	if wl.fu != nil {
+		return // already bound to an FU (mid context-restore)
+	}
+	kind := kindOf(wl.currentOp().Kind)
+	if fu := r.idleFU(kind); fu != nil {
+		r.dispatchTo(fu, wl, now)
+	}
+}
+
+// idleFU returns an idle, non-switching FU of the kind, or nil.
+func (r *runner) idleFU(kind int) *fuState {
+	for _, fu := range r.fus[kind] {
+		if fu.running == nil && !fu.switching {
+			return fu
+		}
+	}
+	return nil
+}
+
+// dispatchTo places wl's current operator on fu, paying a context-restore
+// penalty first if the operator was previously preempted.
+func (r *runner) dispatchTo(fu *fuState, wl *wlState, now int64) {
+	if fu.running != nil || fu.switching {
+		panic("sched: dispatch to occupied FU")
+	}
+	r.dispatch++
+	wl.lastDispatch = r.dispatch
+	wl.fu = fu
+	fu.running = wl
+
+	// Exposed scheduling-decision latency (zero for the hardware scheduler;
+	// ~20 µs for the §4 software alternative). The FU waits for the verdict.
+	if lat := r.opts.DispatchLatency; lat > 0 {
+		fu.switching = true
+		r.setSwitching(now, fu.kind, +1)
+		wl.stats.SwitchCycles += lat
+		r.engine.Schedule(now+lat, func(t int64) {
+			fu.switching = false
+			r.setSwitching(t, fu.kind, -1)
+			r.finishDispatch(fu, wl, t)
+		})
+		return
+	}
+	r.finishDispatch(fu, wl, now)
+}
+
+// finishDispatch handles the context restore (if any) and task start once
+// the scheduling decision has been delivered.
+func (r *runner) finishDispatch(fu *fuState, wl *wlState, now int64) {
+	if wl.preempted {
+		restore := r.restoreCycles(fu.kind)
+		fu.switching = true
+		r.setSwitching(now, fu.kind, +1)
+		wl.stats.SwitchCycles += restore
+		r.engine.Schedule(now+restore, func(t int64) {
+			fu.switching = false
+			r.setSwitching(t, fu.kind, -1)
+			r.releaseCtx(wl, fu.kind)
+			wl.preempted = false
+			r.startTask(fu, wl, t)
+		})
+		return
+	}
+	r.startTask(fu, wl, now)
+}
+
+// startTask begins fluid execution of wl's current operator on fu.
+func (r *runner) startTask(fu *fuState, wl *wlState, now int64) {
+	op := wl.currentOp()
+	wl.phase = phaseRunning
+	wl.segStart = now
+	wl.segWork = wl.remaining
+	r.setBusy(now, fu.kind, +1)
+
+	demand := 0.0
+	if op.Compute > 0 {
+		demand = op.HBMBytes / float64(op.Compute)
+	}
+	// Scale demand by the fraction of the op still to run so total traffic
+	// stays proportional after preemption.
+	wl.task = r.pool.Start(wl.remaining, demand, func(t int64) { r.opComplete(fu, wl, t) })
+}
+
+// opComplete handles an operator finishing on fu.
+func (r *runner) opComplete(fu *fuState, wl *wlState, now int64) {
+	op := wl.currentOp()
+	r.setBusy(now, fu.kind, -1)
+	seg := now - wl.segStart
+	wl.activeCycles += seg
+	r.addBusyTo(wl, fu.kind, int64(wl.segWork*op.Eff()))
+	wl.stats.HBMBytes += wl.task.BytesMoved()
+	wl.stats.ProgressOps++
+	wl.stats.ProgressOpCycles += float64(op.Compute)
+	wl.stats.FLOPs += op.FLOPs
+	wl.task = nil
+	wl.fu = nil
+	fu.running = nil
+
+	wl.opIdx++
+	if wl.opIdx == len(wl.ops) {
+		// Request complete: record latency (from arrival, so open-loop
+		// queueing counts) and serve the next request — immediately in the
+		// closed loop, from the arrival queue in the open loop.
+		lat := float64(now - wl.requestStart)
+		wl.stats.LatencyCycles = append(wl.stats.LatencyCycles, lat)
+		wl.stats.Requests++
+		if wl.stats.Requests == 1 {
+			wl.stats.FirstCompleteAt = now
+		}
+		wl.stats.LastCompleteAt = now
+		wl.requestNo++
+		wl.inFlight = false
+		if r.opts.ArrivalRateHz > 0 {
+			if len(wl.queue) > 0 {
+				arrivedAt := wl.queue[0]
+				wl.queue = wl.queue[1:]
+				r.startRequest(wl, now, arrivedAt)
+			} else {
+				wl.phase = phaseIdle
+			}
+		} else {
+			r.startRequest(wl, now, now)
+		}
+	} else {
+		r.beginOp(wl, now)
+	}
+	r.fillFU(fu, now)
+}
+
+// fillFU invokes the scheduling policy to pick the next ready operator for a
+// freed FU.
+func (r *runner) fillFU(fu *fuState, now int64) {
+	if fu.running != nil || fu.switching {
+		return
+	}
+	if wl := r.pickNext(fu.kind, now); wl != nil {
+		r.dispatchTo(fu, wl, now)
+	}
+}
+
+// pickNext implements the scheduling policies over ready candidates for the
+// FU kind: Algorithm 1 (Priority) or Round-Robin.
+func (r *runner) pickNext(kind int, now int64) *wlState {
+	var best *wlState
+	var bestKey float64
+	for _, wl := range r.wls {
+		// wl.fu guards the context-restore window: the workload is already
+		// bound to an FU (switching in) but not yet phaseRunning.
+		if wl.phase != phaseReady || wl.fu != nil || kindOf(wl.currentOp().Kind) != kind {
+			continue
+		}
+		var key float64
+		switch r.opts.Policy {
+		case RoundRobin:
+			key = float64(wl.lastDispatch)
+		case Priority:
+			key = wl.arpAt(now)
+		}
+		if best == nil || key < bestKey {
+			best, bestKey = wl, key
+		}
+	}
+	return best
+}
+
+// scheduleSliceTimer arms the periodic preemption timer (§3.2: "Periodically,
+// a preemption timer will trigger the scheduling policy to examine whether an
+// operator should be preempted").
+func (r *runner) scheduleSliceTimer() {
+	var tick func(now int64)
+	tick = func(now int64) {
+		r.sliceCheck(now)
+		r.engine.Schedule(now+r.opts.Config.TimeSlice, tick)
+	}
+	r.engine.Schedule(r.opts.Config.TimeSlice, tick)
+}
+
+// sliceCheck preempts running operators whose workloads have out-run their
+// fair share when a starved workload is waiting for the same FU type.
+func (r *runner) sliceCheck(now int64) {
+	for kind := 0; kind <= 1; kind++ {
+		for _, fu := range r.fus[kind] {
+			running := fu.running
+			if running == nil || fu.switching {
+				continue
+			}
+			cand := r.pickNext(kind, now)
+			if cand == nil {
+				continue
+			}
+			if cand.arpAt(now)*r.opts.PreemptMargin >= running.arpAt(now) {
+				continue // the running workload is not over-served
+			}
+			r.preempt(fu, running, now)
+		}
+	}
+}
+
+// preempt stops the operator running on fu, saving its context (§3.3). The
+// FU pays the save cost, then the policy refills it.
+func (r *runner) preempt(fu *fuState, wl *wlState, now int64) {
+	if !r.reserveCtx(wl, fu.kind) {
+		return // no vmem left for another context: skip this preemption
+	}
+	wl.remaining = r.pool.Preempt(wl.task)
+	r.setBusy(now, fu.kind, -1)
+	seg := now - wl.segStart
+	wl.activeCycles += seg
+	r.addBusyTo(wl, fu.kind, int64((wl.segWork-wl.remaining)*wl.currentOp().Eff()))
+	wl.stats.HBMBytes += wl.task.BytesMoved()
+	wl.stats.Preemptions++
+	wl.task = nil
+	wl.fu = nil
+	wl.phase = phaseReady
+	wl.preempted = true
+	fu.running = nil
+
+	save := r.saveCycles(fu.kind)
+	wl.stats.SwitchCycles += save
+	fu.switching = true
+	r.setSwitching(now, fu.kind, +1)
+	r.engine.Schedule(now+save, func(t int64) {
+		fu.switching = false
+		r.setSwitching(t, fu.kind, -1)
+		r.fillFU(fu, t)
+	})
+}
+
+// saveCycles is the exposed cost of checkpointing the preempted operator:
+// for the SA, draining in-flight partial sums (SADim cycles, §3.3 step 1–3);
+// for the VU, spilling PC + registers.
+func (r *runner) saveCycles(kind int) int64 {
+	if kind == 0 {
+		return int64(r.opts.Config.SADim)
+	}
+	return r.opts.Config.VUPreemptCycles() / 2
+}
+
+// restoreCycles is the cost of re-establishing a preempted operator's state:
+// for the SA, reloading weights and replaying saved inputs (2×SADim cycles);
+// for the VU, reloading PC + registers. save + restore = the paper's 384
+// cycles for a 128×128 SA.
+func (r *runner) restoreCycles(kind int) int64 {
+	if kind == 0 {
+		return int64(2 * r.opts.Config.SADim)
+	}
+	return (r.opts.Config.VUPreemptCycles() + 1) / 2
+}
+
+// reserveCtx accounts vector-memory space for a preemption context. SA
+// contexts are 96 KB (§3.3); VU contexts are a few KB and always fit.
+func (r *runner) reserveCtx(wl *wlState, kind int) bool {
+	var bytes int64
+	if kind == 0 {
+		bytes = r.opts.Config.SAContextBytes()
+	} else {
+		bytes = int64(r.opts.Config.VURegFileBits) * int64(r.opts.Config.VULanes) / 8
+	}
+	if wl.ctxBytes+bytes > r.ctxCap {
+		return false
+	}
+	wl.ctxBytes += bytes
+	if wl.ctxBytes > wl.stats.CtxStorageBytes {
+		wl.stats.CtxStorageBytes = wl.ctxBytes
+	}
+	return true
+}
+
+// releaseCtx frees the context storage after a restore completes.
+func (r *runner) releaseCtx(wl *wlState, kind int) {
+	var bytes int64
+	if kind == 0 {
+		bytes = r.opts.Config.SAContextBytes()
+	} else {
+		bytes = int64(r.opts.Config.VURegFileBits) * int64(r.opts.Config.VULanes) / 8
+	}
+	wl.ctxBytes -= bytes
+	if wl.ctxBytes < 0 {
+		wl.ctxBytes = 0
+	}
+}
+
+// addBusyTo attributes a segment's useful cycles to the workload's per-FU
+// counters (Fig. 9-style per-workload utilization breakdown).
+func (r *runner) addBusyTo(wl *wlState, kind int, useful int64) {
+	if kind == 0 {
+		wl.stats.SABusyCycles += useful
+	} else {
+		wl.stats.VUBusyCycles += useful
+	}
+}
+
+func (r *runner) setBusy(now int64, kind int, delta int) {
+	if kind == 0 {
+		r.busy.SetBusy(now, delta, 0)
+	} else {
+		r.busy.SetBusy(now, 0, delta)
+	}
+}
+
+func (r *runner) setSwitching(now int64, kind int, delta int) {
+	if kind == 0 {
+		r.busy.SetSwitching(now, delta, 0)
+	} else {
+		r.busy.SetSwitching(now, 0, delta)
+	}
+}

@@ -1,0 +1,173 @@
+// Package sched implements V10's tensor operator scheduler (paper §3.2–§3.3):
+// the workload context table, Round-Robin and priority-based (Algorithm 1)
+// scheduling policies, and the lightweight operator-preemption mechanism, all
+// driving a discrete-event NPU core model with fluid HBM bandwidth sharing.
+//
+// The three V10 variants the paper evaluates map onto Options:
+//
+//	V10-Base: Policy=RoundRobin, Preemption=false
+//	V10-Fair: Policy=Priority,   Preemption=false
+//	V10-Full: Policy=Priority,   Preemption=true
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"v10/internal/npu"
+	"v10/internal/trace"
+)
+
+// Policy selects how the operator scheduler picks the next workload when
+// more ready operators exist than free functional units.
+type Policy int
+
+const (
+	// RoundRobin circulates through workloads with ready operators.
+	RoundRobin Policy = iota
+	// Priority implements Algorithm 1: pick the workload with the lowest
+	// active_rate_p = (active_time / total_time) / priority.
+	Priority
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == RoundRobin {
+		return "RR"
+	}
+	return "Priority"
+}
+
+// Options configure a V10 simulation run.
+type Options struct {
+	Config npu.CoreConfig
+	Policy Policy
+
+	// Preemption enables the §3.3 operator-preemption mechanism, checked at
+	// every time-slice boundary (Config.TimeSlice cycles).
+	Preemption bool
+
+	// PreemptMargin is the factor by which a waiting workload's
+	// active_rate_p must undercut the running workload's before preempting.
+	// 1 preempts on any strict imbalance; larger values preempt less.
+	PreemptMargin float64
+
+	// RequestsPerWorkload is how many requests every workload must complete
+	// before the run ends (workloads keep serving until the slowest is done,
+	// matching the paper's steady-state methodology).
+	RequestsPerWorkload int
+
+	// MaxCycles caps simulated time as a runaway guard.
+	MaxCycles int64
+
+	// Seed drives request-trace jitter attribution (per-workload generators
+	// carry their own seeds; this seed is reserved for scheduler-side
+	// randomness and defaults are deterministic).
+	Seed uint64
+
+	// VMemReloadFactor is the extra HBM traffic per additional tile when an
+	// operator is split to fit its vector-memory partition (§3.6, Fig. 24).
+	VMemReloadFactor float64
+
+	// DisableFluidHBM turns off bandwidth contention (every operator runs at
+	// its natural rate). Used by the ablation bench.
+	DisableFluidHBM bool
+
+	// DispatchLatency is the exposed scheduling-decision cost in cycles
+	// charged on every operator dispatch while the FU sits idle. Zero (the
+	// default) models V10's hardware scheduler, whose Table 3 latency hides
+	// behind executing operators.
+	DispatchLatency int64
+
+	// SoftwareScheduler models the §4 alternative: operator scheduling in
+	// host runtime. Unless DispatchLatency is set explicitly, it charges
+	// 20 µs worth of cycles per dispatch.
+	SoftwareScheduler bool
+
+	// ArrivalRateHz switches from the paper's closed-loop serving (next
+	// request issued the moment the previous completes) to open-loop
+	// Poisson arrivals at this per-workload rate. Request latency then
+	// includes queueing delay. Zero keeps the closed loop. Rates above a
+	// workload's service capacity make the queue — and MaxCycles — blow up.
+	ArrivalRateHz float64
+
+	// Scheme overrides the result label; empty derives it from the options.
+	Scheme string
+}
+
+// scheme returns the label for results.
+func (o Options) scheme() string {
+	if o.Scheme != "" {
+		return o.Scheme
+	}
+	switch {
+	case o.Policy == RoundRobin && !o.Preemption:
+		return "V10-Base"
+	case o.Policy == Priority && !o.Preemption:
+		return "V10-Fair"
+	case o.Policy == Priority && o.Preemption:
+		return "V10-Full"
+	default:
+		return fmt.Sprintf("V10(%s,preempt=%v)", o.Policy, o.Preemption)
+	}
+}
+
+// withDefaults normalizes zero-valued options.
+func (o Options) withDefaults() (Options, error) {
+	if o.Config.SADim == 0 {
+		o.Config = npu.DefaultConfig()
+	}
+	if err := o.Config.Validate(); err != nil {
+		return o, err
+	}
+	if o.PreemptMargin <= 0 {
+		// Preempt only when the waiting workload is meaningfully under-served:
+		// avoids churn on already-balanced pairs while still rescuing starved
+		// short-operator workloads (§3.3). The ablation bench sweeps this.
+		o.PreemptMargin = 1.25
+	}
+	if o.RequestsPerWorkload <= 0 {
+		o.RequestsPerWorkload = 20
+	}
+	if o.MaxCycles <= 0 {
+		o.MaxCycles = 200_000_000_000 // ~286 s of device time at 700 MHz
+	}
+	if o.VMemReloadFactor < 0 {
+		return o, errors.New("sched: negative VMemReloadFactor")
+	}
+	if o.VMemReloadFactor == 0 {
+		o.VMemReloadFactor = 0.5
+	}
+	if o.DispatchLatency < 0 {
+		return o, errors.New("sched: negative DispatchLatency")
+	}
+	// The hardware scheduler's decision latency (Table 3, tens of cycles) is
+	// hidden behind already-executing operators (§3.6), so it exposes zero
+	// cycles here. The §4 software alternative cannot hide its ~20 µs
+	// host-side decision plus round trip.
+	if o.SoftwareScheduler && o.DispatchLatency == 0 {
+		o.DispatchLatency = int64(20 * o.Config.CyclesPerMicrosecond())
+	}
+	return o, nil
+}
+
+// BaseOptions returns the V10-Base configuration (RR, no preemption).
+func BaseOptions() Options { return Options{Policy: RoundRobin} }
+
+// FairOptions returns the V10-Fair configuration (Algorithm 1, no preemption).
+func FairOptions() Options { return Options{Policy: Priority} }
+
+// FullOptions returns the V10-Full configuration (Algorithm 1 + preemption).
+func FullOptions() Options { return Options{Policy: Priority, Preemption: true} }
+
+// ErrMaxCycles is returned when a run exceeds its cycle cap before every
+// workload finishes its requests.
+var ErrMaxCycles = errors.New("sched: simulation exceeded MaxCycles before completing")
+
+// kindOf maps a trace kind to an FU pool index (0 = SA, 1 = VU).
+func kindOf(k trace.Kind) int {
+	if k == trace.KindSA {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,129 @@
+// Package sim provides the discrete-event machinery beneath the V10 and PMT
+// simulators: an event heap driven in cycle time, plus a fluid-progress pool
+// that advances concurrently executing operators at rates set by HBM
+// bandwidth water-filling.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle = int64
+
+// Event is a scheduled callback. Events are single-shot; Cancel prevents a
+// pending event from firing.
+type Event struct {
+	At       Cycle
+	seq      uint64
+	fn       func(now Cycle)
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event executor. The zero value is ready
+// to use.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Schedule registers fn to run at cycle at. Scheduling in the past panics —
+// that is always a simulator bug. Ties fire in scheduling order.
+func (e *Engine) Schedule(at Cycle, fn func(now Cycle)) *Event {
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	ev := &Event{At: at, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After registers fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn func(now Cycle)) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Pending reports whether any uncanceled events remain.
+func (e *Engine) Pending() bool {
+	for _, ev := range e.events {
+		if !ev.canceled {
+			return true
+		}
+	}
+	return false
+}
+
+// Step fires the next event. It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.At
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until the predicate returns true (checked after each
+// event), no events remain, or the hard cycle limit is exceeded. It returns
+// true if the predicate was satisfied.
+func (e *Engine) RunUntil(done func() bool, limit Cycle) bool {
+	for {
+		if done() {
+			return true
+		}
+		if e.now > limit {
+			return false
+		}
+		if !e.Step() {
+			return done()
+		}
+	}
+}

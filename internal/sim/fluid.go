@@ -1,0 +1,185 @@
+package sim
+
+import "v10/internal/npu"
+
+// FluidTask is one operator making progress on a functional unit while
+// streaming HBM traffic. Work is measured in compute cycles: a task with no
+// bandwidth throttling progresses one unit of work per cycle.
+type FluidTask struct {
+	ID         int
+	Work       float64 // remaining compute cycles
+	DemandBW   float64 // bytes per cycle the task streams at full rate
+	OnComplete func(now Cycle)
+
+	rate       float64
+	lastUpdate Cycle
+	doneEvent  *Event
+	bytesMoved float64 // traffic actually transferred so far
+}
+
+// BytesMoved returns the HBM traffic the task has generated so far.
+func (t *FluidTask) BytesMoved() float64 { return t.bytesMoved }
+
+// Remaining returns the remaining compute cycles at full rate.
+func (t *FluidTask) Remaining() float64 { return t.Work }
+
+// FluidPool advances a set of FluidTasks under a shared bandwidth capacity
+// using max-min (water-filling) allocation. Each change to the task set
+// re-solves the allocation and reschedules completion events.
+type FluidPool struct {
+	engine   *Engine
+	capacity float64 // bytes per cycle
+	tasks    map[int]*FluidTask
+	nextID   int
+
+	totalBytes float64 // all traffic ever moved through the pool
+}
+
+// NewFluidPool creates a pool over the engine with the given bytes/cycle
+// capacity.
+func NewFluidPool(engine *Engine, capacityBytesPerCycle float64) *FluidPool {
+	return &FluidPool{
+		engine:   engine,
+		capacity: capacityBytesPerCycle,
+		tasks:    make(map[int]*FluidTask),
+	}
+}
+
+// TotalBytes returns all HBM traffic moved through the pool so far,
+// including traffic of still-running tasks up to the last recompute.
+func (p *FluidPool) TotalBytes() float64 { return p.totalBytes }
+
+// Active returns the number of tasks currently progressing.
+func (p *FluidPool) Active() int { return len(p.tasks) }
+
+// Start begins executing a task. work is the compute-cycle demand, demandBW
+// the task's natural streaming rate in bytes/cycle. onComplete fires when the
+// work is done. It returns the task handle (used to preempt).
+func (p *FluidPool) Start(work float64, demandBW float64, onComplete func(now Cycle)) *FluidTask {
+	if work <= 0 {
+		work = 1e-9 // degenerate op: complete on the next recompute
+	}
+	p.nextID++
+	t := &FluidTask{
+		ID:         p.nextID,
+		Work:       work,
+		DemandBW:   demandBW,
+		OnComplete: onComplete,
+		lastUpdate: p.engine.Now(),
+	}
+	p.tasks[t.ID] = t
+	p.recompute()
+	return t
+}
+
+// Preempt removes a task before completion, returning its remaining compute
+// cycles. The task's completion callback will not fire.
+func (p *FluidPool) Preempt(t *FluidTask) float64 {
+	p.integrate(p.engine.Now())
+	if _, ok := p.tasks[t.ID]; !ok {
+		return 0
+	}
+	t.doneEvent.Cancel()
+	delete(p.tasks, t.ID)
+	p.recompute()
+	return t.Work
+}
+
+// integrate advances every task's progress up to now at its current rate.
+func (p *FluidPool) integrate(now Cycle) {
+	for _, t := range p.tasks {
+		dt := float64(now - t.lastUpdate)
+		if dt > 0 {
+			progress := t.rate * dt
+			if progress > t.Work {
+				progress = t.Work
+			}
+			t.Work -= progress
+			moved := progress * t.DemandBW
+			t.bytesMoved += moved
+			p.totalBytes += moved
+		}
+		t.lastUpdate = now
+	}
+}
+
+// recompute re-solves the bandwidth allocation and reschedules completions.
+// Callers must have integrated progress to the current cycle first (Start and
+// Preempt do).
+func (p *FluidPool) recompute() {
+	now := p.engine.Now()
+	p.integrate(now)
+
+	ids := make([]int, 0, len(p.tasks))
+	demands := make([]float64, 0, len(p.tasks))
+	for id, t := range p.tasks {
+		ids = append(ids, id)
+		demands = append(demands, t.DemandBW)
+	}
+	// Map iteration order is random; sort for determinism.
+	sortInts(ids)
+	demands = demands[:0]
+	for _, id := range ids {
+		demands = append(demands, p.tasks[id].DemandBW)
+	}
+	alloc := npu.WaterFill(demands, p.capacity)
+
+	for i, id := range ids {
+		t := p.tasks[id]
+		rate := 1.0
+		if t.DemandBW > 0 && alloc[i] < t.DemandBW {
+			rate = alloc[i] / t.DemandBW
+		}
+		t.rate = rate
+		t.doneEvent.Cancel()
+		t.doneEvent = nil
+		if rate > 0 {
+			remaining := Cycle(ceilDiv(t.Work, rate))
+			if remaining < 0 {
+				remaining = 0
+			}
+			task := t
+			t.doneEvent = p.engine.Schedule(now+remaining, func(fireNow Cycle) {
+				p.complete(task, fireNow)
+			})
+		}
+	}
+}
+
+func (p *FluidPool) complete(t *FluidTask, now Cycle) {
+	if _, ok := p.tasks[t.ID]; !ok {
+		return
+	}
+	p.integrate(now)
+	// Guard against floating-point residue: the event time was rounded up, so
+	// the work must be (numerically) done by now.
+	t.Work = 0
+	delete(p.tasks, t.ID)
+	p.recompute()
+	if t.OnComplete != nil {
+		t.OnComplete(now)
+	}
+}
+
+// ceilDiv rounds work/rate up to a whole cycle, absorbing float residue so a
+// numerically-finished task (work ≈ 0) completes now rather than next cycle.
+func ceilDiv(work, rate float64) float64 {
+	c := work/rate - 1e-9
+	if c <= 0 {
+		return 0
+	}
+	ic := float64(int64(c))
+	if c > ic {
+		return ic + 1
+	}
+	return ic
+}
+
+func sortInts(xs []int) {
+	// Insertion sort: task sets are tiny (≤ #FUs).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

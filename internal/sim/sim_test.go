@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"v10/internal/mathx"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(30, func(Cycle) { order = append(order, 3) })
+	e.Schedule(10, func(Cycle) { order = append(order, 1) })
+	e.Schedule(20, func(Cycle) { order = append(order, 2) })
+	for e.Step() {
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time = %d", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(5, func(Cycle) { order = append(order, 1) })
+	e.Schedule(5, func(Cycle) { order = append(order, 2) })
+	for e.Step() {
+	}
+	if order[0] != 1 || order[1] != 2 {
+		t.Fatalf("tie order = %v", order)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.Schedule(10, func(Cycle) { fired = true })
+	ev.Cancel()
+	for e.Step() {
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Pending() {
+		t.Fatal("canceled event still pending")
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(10, func(Cycle) {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("past scheduling did not panic")
+		}
+	}()
+	e.Schedule(5, func(Cycle) {})
+}
+
+func TestEngineAfterAndNestedScheduling(t *testing.T) {
+	var e Engine
+	var times []Cycle
+	e.Schedule(10, func(now Cycle) {
+		e.After(5, func(now2 Cycle) { times = append(times, now2) })
+	})
+	for e.Step() {
+	}
+	if len(times) != 1 || times[0] != 15 {
+		t.Fatalf("nested event at %v, want [15]", times)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	count := 0
+	var tick func(Cycle)
+	tick = func(Cycle) {
+		count++
+		e.After(10, tick)
+	}
+	e.After(10, tick)
+	ok := e.RunUntil(func() bool { return count >= 5 }, 1_000_000)
+	if !ok || count != 5 {
+		t.Fatalf("RunUntil stopped with count=%d ok=%v", count, ok)
+	}
+	// Limit exceeded case.
+	ok = e.RunUntil(func() bool { return false }, 200)
+	if ok {
+		t.Fatal("RunUntil should report predicate unsatisfied")
+	}
+}
+
+func TestFluidSingleTaskFullRate(t *testing.T) {
+	var e Engine
+	pool := NewFluidPool(&e, 100)
+	var doneAt Cycle = -1
+	pool.Start(1000, 50, func(now Cycle) { doneAt = now })
+	for e.Step() {
+	}
+	if doneAt != 1000 {
+		t.Fatalf("unthrottled task finished at %d, want 1000", doneAt)
+	}
+	if math.Abs(pool.TotalBytes()-50000) > 1 {
+		t.Fatalf("bytes moved = %v, want 50000", pool.TotalBytes())
+	}
+}
+
+func TestFluidOversubscriptionSlowsDown(t *testing.T) {
+	var e Engine
+	pool := NewFluidPool(&e, 100) // capacity 100 B/cy
+	var d1, d2 Cycle = -1, -1
+	// Two tasks each demanding 100 B/cy: each gets 50 → rate 0.5.
+	pool.Start(1000, 100, func(now Cycle) { d1 = now })
+	pool.Start(1000, 100, func(now Cycle) { d2 = now })
+	for e.Step() {
+	}
+	if d1 != 2000 || d2 != 2000 {
+		t.Fatalf("throttled tasks finished at %d/%d, want 2000", d1, d2)
+	}
+}
+
+func TestFluidRateRecoversAfterCompletion(t *testing.T) {
+	var e Engine
+	pool := NewFluidPool(&e, 100)
+	var dShort, dLong Cycle = -1, -1
+	pool.Start(500, 100, func(now Cycle) { dShort = now })
+	pool.Start(1000, 100, func(now Cycle) { dLong = now })
+	for e.Step() {
+	}
+	// Short: 500 work at rate .5 → done at 1000. Long: 500 done by then,
+	// remaining 500 at full rate → 1500.
+	if dShort != 1000 {
+		t.Fatalf("short task at %d, want 1000", dShort)
+	}
+	if dLong < 1499 || dLong > 1501 {
+		t.Fatalf("long task at %d, want ≈1500", dLong)
+	}
+}
+
+func TestFluidZeroDemandNeverThrottled(t *testing.T) {
+	var e Engine
+	pool := NewFluidPool(&e, 1) // tiny capacity
+	var done Cycle = -1
+	pool.Start(100, 0, func(now Cycle) { done = now })
+	pool.Start(100, 1000, nil)
+	for e.Step() {
+	}
+	if done != 100 {
+		t.Fatalf("zero-demand task finished at %d, want 100", done)
+	}
+}
+
+func TestFluidPreemptReturnsRemaining(t *testing.T) {
+	var e Engine
+	pool := NewFluidPool(&e, 1000)
+	completed := false
+	task := pool.Start(1000, 10, func(Cycle) { completed = true })
+	e.Schedule(400, func(Cycle) {
+		remaining := pool.Preempt(task)
+		if math.Abs(remaining-600) > 1 {
+			t.Errorf("remaining = %v, want ≈600", remaining)
+		}
+	})
+	for e.Step() {
+	}
+	if completed {
+		t.Fatal("preempted task's completion fired")
+	}
+	if pool.Active() != 0 {
+		t.Fatal("pool should be empty")
+	}
+}
+
+func TestFluidPreemptIdempotent(t *testing.T) {
+	var e Engine
+	pool := NewFluidPool(&e, 1000)
+	task := pool.Start(100, 10, nil)
+	e.Schedule(10, func(Cycle) {
+		pool.Preempt(task)
+		if got := pool.Preempt(task); got != 0 {
+			t.Errorf("second preempt returned %v, want 0", got)
+		}
+	})
+	for e.Step() {
+	}
+}
+
+// Property: total bytes moved equals Σ work_done × demand, and completion
+// times are never earlier than work/1.0 (rate can't exceed 1).
+func TestFluidConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		var e Engine
+		capacity := rng.Uniform(10, 500)
+		pool := NewFluidPool(&e, capacity)
+		n := 1 + rng.Intn(6)
+		type rec struct {
+			work, demand float64
+			start, done  Cycle
+		}
+		recs := make([]*rec, n)
+		for i := 0; i < n; i++ {
+			r := &rec{
+				work:   rng.Uniform(10, 5000),
+				demand: rng.Uniform(0, 300),
+				start:  Cycle(rng.Intn(1000)),
+				done:   -1,
+			}
+			recs[i] = r
+			e.Schedule(r.start, func(Cycle) {
+				pool.Start(r.work, r.demand, func(now Cycle) { r.done = now })
+			})
+		}
+		for e.Step() {
+		}
+		wantBytes := 0.0
+		for _, r := range recs {
+			if r.done < 0 {
+				return false // all tasks must finish
+			}
+			if float64(r.done-r.start) < r.work-1e-6 {
+				return false // faster than full rate is impossible
+			}
+			wantBytes += r.work * r.demand
+		}
+		return math.Abs(pool.TotalBytes()-wantBytes) < wantBytes*1e-6+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with capacity at least the sum of demands, every task runs at
+// full rate (completion == work, modulo integer rounding).
+func TestFluidNoContentionFullRateProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		var e Engine
+		n := 1 + rng.Intn(5)
+		demands := make([]float64, n)
+		total := 0.0
+		for i := range demands {
+			demands[i] = rng.Uniform(1, 100)
+			total += demands[i]
+		}
+		pool := NewFluidPool(&e, total+1)
+		ok := true
+		for i := 0; i < n; i++ {
+			work := rng.Uniform(100, 1000)
+			w := work
+			pool.Start(work, demands[i], func(now Cycle) {
+				if float64(now) < w-1e-6 || float64(now) > w+2 {
+					ok = false
+				}
+			})
+		}
+		for e.Step() {
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

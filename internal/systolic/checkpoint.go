@@ -1,0 +1,77 @@
+package systolic
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"v10/internal/bf16"
+)
+
+// Checkpoint wire format: the §3.3 context exactly as it would sit in
+// vector memory — a small header followed by bfloat16-packed weights and
+// saved input rows. Partial sums never appear.
+//
+//	magic   uint32  "V10S"
+//	dim     uint32
+//	nextRow uint32
+//	done    uint32
+//	nSaved  uint32
+//	weights dim×dim bf16
+//	inputs  nSaved×dim bf16
+
+const checkpointMagic = 0x56313053 // "V10S"
+
+// Serialize packs the checkpoint into its vector-memory byte layout.
+func (c *Checkpoint) Serialize() []byte {
+	dim := len(c.Weights)
+	header := make([]byte, 20)
+	binary.BigEndian.PutUint32(header[0:], checkpointMagic)
+	binary.BigEndian.PutUint32(header[4:], uint32(dim))
+	binary.BigEndian.PutUint32(header[8:], uint32(c.NextRow))
+	binary.BigEndian.PutUint32(header[12:], uint32(c.DoneRows))
+	binary.BigEndian.PutUint32(header[16:], uint32(len(c.SavedInputs)))
+
+	out := header
+	for _, row := range c.Weights {
+		out = append(out, bf16.Encode(row)...)
+	}
+	for _, row := range c.SavedInputs {
+		out = append(out, bf16.Encode(row)...)
+	}
+	return out
+}
+
+// DeserializeCheckpoint parses a serialized checkpoint. Values come back
+// bfloat16-quantized, which is what the hardware replays.
+func DeserializeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("systolic: checkpoint too short (%d bytes)", len(data))
+	}
+	if binary.BigEndian.Uint32(data[0:]) != checkpointMagic {
+		return nil, fmt.Errorf("systolic: bad checkpoint magic")
+	}
+	dim := int(binary.BigEndian.Uint32(data[4:]))
+	nextRow := int(binary.BigEndian.Uint32(data[8:]))
+	done := int(binary.BigEndian.Uint32(data[12:]))
+	nSaved := int(binary.BigEndian.Uint32(data[16:]))
+	if dim <= 0 || dim > 1<<14 || nSaved < 0 || nSaved > 1<<20 {
+		return nil, fmt.Errorf("systolic: implausible checkpoint geometry dim=%d saved=%d", dim, nSaved)
+	}
+	need := 20 + 2*dim*dim + 2*nSaved*dim
+	if len(data) != need {
+		return nil, fmt.Errorf("systolic: checkpoint length %d, want %d", len(data), need)
+	}
+	cp := &Checkpoint{NextRow: nextRow, DoneRows: done}
+	off := 20
+	cp.Weights = make([][]float32, dim)
+	for i := range cp.Weights {
+		cp.Weights[i] = bf16.Decode(data[off : off+2*dim])
+		off += 2 * dim
+	}
+	cp.SavedInputs = make([][]float32, nSaved)
+	for i := range cp.SavedInputs {
+		cp.SavedInputs[i] = bf16.Decode(data[off : off+2*dim])
+		off += 2 * dim
+	}
+	return cp, nil
+}

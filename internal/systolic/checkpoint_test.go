@@ -1,0 +1,132 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"v10/internal/mathx"
+)
+
+func makeCheckpoint(t *testing.T, d, n, pushAt int, seed uint64) (*Checkpoint, [][]float32, [][]float32) {
+	t.Helper()
+	rng := mathx.NewRNG(seed)
+	w := randMatrix(d, d, rng)
+	rows := randMatrix(n, d, rng)
+	a := New(d)
+	if err := a.LoadWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	_, cp, err := a.Preempt(rows, pushAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp, rows, w
+}
+
+func TestCheckpointSerializeRoundTrip(t *testing.T) {
+	cp, _, _ := makeCheckpoint(t, 4, 20, 6, 1)
+	data := cp.Serialize()
+	// Wire size = header + bf16 payload.
+	want := 20 + 2*4*4 + 2*len(cp.SavedInputs)*4
+	if len(data) != want {
+		t.Fatalf("serialized size = %d, want %d", len(data), want)
+	}
+	back, err := DeserializeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NextRow != cp.NextRow || back.DoneRows != cp.DoneRows {
+		t.Fatalf("metadata lost: %+v vs %+v", back, cp)
+	}
+	if len(back.Weights) != 4 || len(back.SavedInputs) != len(cp.SavedInputs) {
+		t.Fatal("payload shape lost")
+	}
+}
+
+// A checkpoint that round-trips through its byte format must still resume
+// correctly — the full §3.3 path including the 2-byte quantization.
+func TestSerializedCheckpointResumes(t *testing.T) {
+	const d, n, pushAt = 4, 16, 5
+	cp, rows, w := makeCheckpoint(t, d, n, pushAt, 2)
+	restored, err := DeserializeCheckpoint(cp.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(d)
+	rest, err := a.Resume(restored, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(rows, w)[pushAt:]
+	for r := range rest {
+		for j := range rest[r] {
+			diff := float64(rest[r][j] - want[r][j])
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-3 {
+				t.Fatalf("resumed[%d][%d] = %v, want %v", r, j, rest[r][j], want[r][j])
+			}
+		}
+	}
+}
+
+func TestDeserializeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 10),                   // too short
+		make([]byte, 64),                   // bad magic
+		append(validHeader(4, 99), 0, 0),   // wrong length
+		append(validHeader(0, 0), 0, 0, 0), // zero dim
+	}
+	for i, data := range cases {
+		if _, err := DeserializeCheckpoint(data); err == nil {
+			t.Errorf("garbage %d accepted", i)
+		}
+	}
+}
+
+func validHeader(dim, saved int) []byte {
+	h := make([]byte, 20)
+	h[0], h[1], h[2], h[3] = 0x56, 0x31, 0x30, 0x53
+	h[7] = byte(dim)
+	h[19] = byte(saved)
+	return h
+}
+
+// Property: serialize → deserialize preserves the bf16-quantized payload.
+func TestCheckpointSerializeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		d := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(16)
+		pushAt := rng.Intn(n + 1)
+		w := randMatrix(d, d, rng)
+		rows := randMatrix(n, d, rng)
+		a := New(d)
+		if a.LoadWeights(w) != nil {
+			return false
+		}
+		_, cp, err := a.Preempt(rows, pushAt)
+		if err != nil {
+			return false
+		}
+		back, err := DeserializeCheckpoint(cp.Serialize())
+		if err != nil {
+			return false
+		}
+		// Weights were already quantized inside the array, so they survive
+		// the 2-byte format exactly.
+		for i := range cp.Weights {
+			for j := range cp.Weights[i] {
+				if back.Weights[i][j] != cp.Weights[i][j] {
+					return false
+				}
+			}
+		}
+		return len(back.SavedInputs) == len(cp.SavedInputs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package systolic
+
+import (
+	"testing"
+
+	"v10/internal/mathx"
+)
+
+// FuzzDeserializeCheckpoint hardens the checkpoint parser: arbitrary bytes
+// must be rejected or produce a structurally sound checkpoint.
+func FuzzDeserializeCheckpoint(f *testing.F) {
+	rng := mathx.NewRNG(1)
+	a := New(3)
+	if err := a.LoadWeights(randMatrix(3, 3, rng)); err != nil {
+		f.Fatal(err)
+	}
+	_, cp, err := a.Preempt(randMatrix(10, 3, rng), 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cp.Serialize())
+	f.Add([]byte{})
+	f.Add(make([]byte, 20))
+	f.Add(validHeader(3, 2))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := DeserializeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		dim := len(back.Weights)
+		if dim == 0 {
+			t.Fatal("accepted checkpoint with no weights")
+		}
+		for _, row := range back.Weights {
+			if len(row) != dim {
+				t.Fatal("accepted ragged weights")
+			}
+		}
+		for _, row := range back.SavedInputs {
+			if len(row) != dim {
+				t.Fatal("accepted ragged inputs")
+			}
+		}
+		// Accepted checkpoints must re-serialize to the same byte count.
+		if len(back.Serialize()) != len(data) {
+			t.Fatal("re-serialization changed size")
+		}
+	})
+}

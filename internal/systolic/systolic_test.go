@@ -1,0 +1,285 @@
+package systolic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"v10/internal/mathx"
+	"v10/internal/npu"
+)
+
+func randMatrix(rows, cols int, rng *mathx.RNG) [][]float32 {
+	m := make([][]float32, rows)
+	for i := range m {
+		m[i] = make([]float32, cols)
+		for j := range m[i] {
+			m[i][j] = float32(rng.Uniform(-2, 2))
+		}
+	}
+	return m
+}
+
+func matricesEqual(a, b [][]float32, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Abs(float64(a[i][j]-b[i][j])) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestStreamMatchesReference3x3(t *testing.T) {
+	// The paper's Fig. 13 scale: a 3×3 array.
+	a := New(3)
+	w := [][]float32{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	if err := a.LoadWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]float32{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}}
+	got, err := a.Stream(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(rows, w)
+	if !matricesEqual(got, want, 1e-5) {
+		t.Fatalf("systolic result wrong:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestStreamCycleCount(t *testing.T) {
+	// n rows through a d×d array: C[n-1][d-1] pops at step (n-1)+d+(d-1),
+	// so the stream occupies n+2d-2 cycles (fill + drain).
+	d, n := 4, 6
+	a := New(d)
+	rng := mathx.NewRNG(1)
+	if err := a.LoadWeights(randMatrix(d, d, rng)); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Cycles()
+	if _, err := a.Stream(randMatrix(n, d, rng)); err != nil {
+		t.Fatal(err)
+	}
+	streamCycles := a.Cycles() - before
+	want := int64(n + 2*d - 2)
+	if streamCycles != want {
+		t.Fatalf("stream cycles = %d, want %d (pipeline fill + drain)", streamCycles, want)
+	}
+}
+
+func TestLoadWeightsCostsDimCycles(t *testing.T) {
+	a := New(8)
+	rng := mathx.NewRNG(2)
+	if err := a.LoadWeights(randMatrix(8, 8, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles() != 8 {
+		t.Fatalf("weight load cycles = %d, want 8", a.Cycles())
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	a := New(3)
+	if _, err := a.Stream([][]float32{{1, 2, 3}}); err == nil {
+		t.Fatal("stream before LoadWeights accepted")
+	}
+	if err := a.LoadWeights([][]float32{{1}}); err == nil {
+		t.Fatal("wrong-shape weights accepted")
+	}
+	rng := mathx.NewRNG(3)
+	if err := a.LoadWeights(randMatrix(3, 3, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Stream([][]float32{{1, 2}}); err == nil {
+		t.Fatal("wrong-width row accepted")
+	}
+	if _, _, err := a.Preempt(randMatrix(4, 3, rng), 99); err == nil {
+		t.Fatal("out-of-range preempt point accepted")
+	}
+}
+
+func TestNewPanicsOnBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim 0 accepted")
+		}
+	}()
+	New(0)
+}
+
+// The core §3.3 claim: preempting mid-operator and resuming later produces
+// byte-identical results to an undisturbed run.
+func TestPreemptResumeCorrectness(t *testing.T) {
+	const d, n = 4, 20
+	rng := mathx.NewRNG(7)
+	w := randMatrix(d, d, rng)
+	other := randMatrix(d, d, rng)
+	rows := randMatrix(n, d, rng)
+	want := Reference(rows, w)
+
+	for _, pushAt := range []int{0, 1, 7, n - 1, n} {
+		victim := New(d)
+		if err := victim.LoadWeights(w); err != nil {
+			t.Fatal(err)
+		}
+		done, cp, err := victim.Preempt(rows, pushAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(done) != pushAt {
+			t.Fatalf("pushAt=%d: drained %d rows, want %d (drain completes in-flight work)",
+				pushAt, len(done), pushAt)
+		}
+		// Another operator borrows the array (the whole point of preemption).
+		if err := victim.LoadWeights(other); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := victim.Stream(randMatrix(5, d, rng)); err != nil {
+			t.Fatal(err)
+		}
+		// Resume the preempted operator.
+		rest, err := victim.Resume(cp, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append(done, rest...)
+		if !matricesEqual(got, want, 1e-4) {
+			t.Fatalf("pushAt=%d: preempt+resume result differs from undisturbed run", pushAt)
+		}
+	}
+}
+
+func TestCheckpointSavesOnlyInputsAndWeights(t *testing.T) {
+	const d = 4
+	rng := mathx.NewRNG(9)
+	a := New(d)
+	if err := a.LoadWeights(randMatrix(d, d, rng)); err != nil {
+		t.Fatal(err)
+	}
+	rows := randMatrix(30, d, rng)
+	_, cp, err := a.Preempt(rows, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window is at most 2×dim rows.
+	if len(cp.SavedInputs) > 2*d {
+		t.Fatalf("saved %d input rows, want ≤ %d", len(cp.SavedInputs), 2*d)
+	}
+	// Context: 2×dim×dim×2B inputs + dim×dim×2B weights.
+	want := int64(2*d*d*2 + d*d*2)
+	if got := cp.ContextBytes(); got != want {
+		t.Fatalf("context bytes = %d, want %d", got, want)
+	}
+	// The paper's 25% saving vs draining partial sums.
+	naive := a.NaiveContextBytes()
+	saving := 1 - float64(cp.ContextBytes())/float64(naive)
+	if math.Abs(saving-0.25) > 1e-9 {
+		t.Fatalf("context saving = %v, want 0.25", saving)
+	}
+}
+
+func TestCheckpointAt128MatchesPaper(t *testing.T) {
+	// The paper's headline numbers for a 128×128 SA: 96 KB context, 384-cycle
+	// switch, consistent with the npu package's analytic cost model.
+	const d = 128
+	a := New(d)
+	if a.SwitchOverheadCycles() != 384 {
+		t.Fatalf("switch overhead = %d, want 384", a.SwitchOverheadCycles())
+	}
+	cfg := npu.DefaultConfig()
+	if a.SwitchOverheadCycles() != cfg.SAPreemptCycles() {
+		t.Fatal("functional model and analytic cost model disagree on switch cycles")
+	}
+	// Context bytes with a full window: build cheaply via the formula.
+	wantCtx := int64(2*d*d*2 + d*d*2)
+	if wantCtx != cfg.SAContextBytes() {
+		t.Fatalf("context bytes %d disagree with analytic model %d", wantCtx, cfg.SAContextBytes())
+	}
+	if a.NaiveContextBytes() != cfg.SANaiveContextBytes() {
+		t.Fatal("naive context bytes disagree with analytic model")
+	}
+}
+
+func TestResumeRejectsTamperedInputs(t *testing.T) {
+	const d = 3
+	rng := mathx.NewRNG(11)
+	a := New(d)
+	w := randMatrix(d, d, rng)
+	if err := a.LoadWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	rows := randMatrix(10, d, rng)
+	_, cp, err := a.Preempt(rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := randMatrix(10, d, rng)
+	if _, err := a.Resume(cp, tampered); err == nil {
+		t.Fatal("tampered inputs accepted on resume")
+	}
+}
+
+// Property: the systolic dataflow equals the reference matmul for random
+// shapes, weights, and inputs.
+func TestStreamMatchesReferenceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		d := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(20)
+		w := randMatrix(d, d, rng)
+		rows := randMatrix(n, d, rng)
+		a := New(d)
+		if err := a.LoadWeights(w); err != nil {
+			return false
+		}
+		got, err := a.Stream(rows)
+		if err != nil {
+			return false
+		}
+		return matricesEqual(got, Reference(rows, w), 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: preempt+resume equals the undisturbed run at any preemption
+// point.
+func TestPreemptResumeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		d := 1 + rng.Intn(6)
+		n := 2 + rng.Intn(24)
+		w := randMatrix(d, d, rng)
+		rows := randMatrix(n, d, rng)
+		pushAt := rng.Intn(n + 1)
+
+		a := New(d)
+		if err := a.LoadWeights(w); err != nil {
+			return false
+		}
+		done, cp, err := a.Preempt(rows, pushAt)
+		if err != nil {
+			return false
+		}
+		if err := a.LoadWeights(randMatrix(d, d, rng)); err != nil {
+			return false
+		}
+		rest, err := a.Resume(cp, rows)
+		if err != nil {
+			return false
+		}
+		return matricesEqual(append(done, rest...), Reference(rows, w), 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSON hardens the trace parser against malformed input: it must
+// either reject the bytes or produce a file that validates and round-trips.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Record(NewWorkload("w", "W", 1, func(int) *Graph {
+		return &Graph{Ops: []Op{{ID: 0, Kind: KindSA, Compute: 10}}}
+	}), 2).WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"format_version":1,"name":"x","requests":[{"Ops":null}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tf, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be usable.
+		if err := tf.Validate(); err != nil {
+			t.Fatalf("accepted file fails validation: %v", err)
+		}
+		w, err := tf.Workload()
+		if err != nil {
+			t.Fatalf("accepted file fails to build a workload: %v", err)
+		}
+		if g := w.Request(0); g.Validate() != nil {
+			t.Fatal("replayed request invalid")
+		}
+		var out bytes.Buffer
+		if err := tf.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted file fails to re-serialize: %v", err)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// File is a recorded operator trace: a workload identity plus a finite set
+// of request graphs. The paper's methodology replays instruction traces
+// captured on real TPUs; File is this repository's equivalent container,
+// letting users capture a generator's output (or author traces by hand) and
+// replay them deterministically.
+type File struct {
+	FormatVersion int      `json:"format_version"`
+	Name          string   `json:"name"`
+	Model         string   `json:"model"`
+	Batch         int      `json:"batch"`
+	Priority      float64  `json:"priority,omitempty"`
+	Requests      []*Graph `json:"requests"`
+}
+
+// FormatVersion identifies the on-disk trace format.
+const FormatVersion = 1
+
+// Record captures n request graphs from the workload into a replayable File.
+func Record(w *Workload, n int) *File {
+	if n < 1 {
+		n = 1
+	}
+	f := &File{
+		FormatVersion: FormatVersion,
+		Name:          w.Name,
+		Model:         w.Model,
+		Batch:         w.Batch,
+		Priority:      w.Priority,
+		Requests:      make([]*Graph, n),
+	}
+	for i := 0; i < n; i++ {
+		f.Requests[i] = w.Request(i)
+	}
+	return f
+}
+
+// Validate checks the file's integrity (version, non-empty, valid graphs).
+func (f *File) Validate() error {
+	if f.FormatVersion != FormatVersion {
+		return fmt.Errorf("trace: unsupported format version %d", f.FormatVersion)
+	}
+	if f.Name == "" {
+		return fmt.Errorf("trace: file has no workload name")
+	}
+	if len(f.Requests) == 0 {
+		return fmt.Errorf("trace: file %q has no requests", f.Name)
+	}
+	for i, g := range f.Requests {
+		if g == nil {
+			return fmt.Errorf("trace: request %d is nil", i)
+		}
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("trace: request %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Workload wraps the recorded requests as a workload that replays them
+// cyclically (request i serves graph i mod len).
+func (f *File) Workload() (*Workload, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	reqs := f.Requests
+	w := NewWorkload(f.Name, f.Model, f.Batch, func(i int) *Graph {
+		return reqs[i%len(reqs)]
+	})
+	if f.Priority > 0 {
+		w = w.WithPriority(f.Priority)
+	}
+	return w, nil
+}
+
+// WriteJSON serializes the trace.
+func (f *File) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// ReadJSON parses and validates a trace file.
+func ReadJSON(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}

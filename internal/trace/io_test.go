@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func recordable() *Workload {
+	return NewWorkload("toy-b4", "Toy", 4, func(i int) *Graph {
+		g := &Graph{}
+		for k := 0; k <= i%3; k++ {
+			op := Op{ID: k, Kind: Kind(k % 2), Compute: int64(100 * (k + 1)), HBMBytes: 64}
+			if k > 0 {
+				op.Deps = []int{k - 1}
+			}
+			g.Ops = append(g.Ops, op)
+		}
+		return g
+	})
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	f := Record(recordable(), 5)
+	if len(f.Requests) != 5 || f.Name != "toy-b4" || f.Model != "Toy" || f.Batch != 4 {
+		t.Fatalf("record metadata wrong: %+v", f)
+	}
+
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != 5 {
+		t.Fatalf("round trip lost requests: %d", len(back.Requests))
+	}
+	for i := range f.Requests {
+		a, b := f.Requests[i], back.Requests[i]
+		if len(a.Ops) != len(b.Ops) {
+			t.Fatalf("request %d op count differs", i)
+		}
+		for j := range a.Ops {
+			if a.Ops[j].Compute != b.Ops[j].Compute || a.Ops[j].Kind != b.Ops[j].Kind {
+				t.Fatalf("request %d op %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestFileWorkloadReplaysCyclically(t *testing.T) {
+	f := Record(recordable(), 3)
+	w, err := f.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request 0 and request 3 must be identical (cyclic replay).
+	g0, g3 := w.Request(0), w.Request(3)
+	if len(g0.Ops) != len(g3.Ops) {
+		t.Fatal("cyclic replay broken")
+	}
+	if w.Name != "toy-b4" || w.Batch != 4 {
+		t.Fatal("identity lost")
+	}
+}
+
+func TestFilePriorityPreserved(t *testing.T) {
+	w := recordable().WithPriority(0.25)
+	f := Record(w, 2)
+	back, err := f.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Priority != 0.25 {
+		t.Fatalf("priority = %v, want 0.25", back.Priority)
+	}
+}
+
+func TestValidateRejectsBadFiles(t *testing.T) {
+	good := Record(recordable(), 2)
+	cases := []func(*File){
+		func(f *File) { f.FormatVersion = 99 },
+		func(f *File) { f.Name = "" },
+		func(f *File) { f.Requests = nil },
+		func(f *File) { f.Requests[0] = nil },
+		func(f *File) { f.Requests[0] = &Graph{Ops: []Op{{ID: 5}}} },
+	}
+	for i, mutate := range cases {
+		f := Record(recordable(), 2)
+		*f = *good
+		f.Requests = append([]*Graph(nil), good.Requests...)
+		mutate(f)
+		if f.Validate() == nil {
+			t.Errorf("bad file %d accepted", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"format_version":1,"name":"x","requests":[]}`)); err == nil {
+		t.Fatal("empty requests accepted")
+	}
+}
+
+func TestLoadShippedSampleTrace(t *testing.T) {
+	f, err := os.Open("testdata/mnist-b32.trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tf, err := ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Model != "MNIST" || tf.Batch != 32 || len(tf.Requests) != 3 {
+		t.Fatalf("sample trace metadata wrong: %+v", tf)
+	}
+	w, err := tf.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Request(0).ComputeStats()
+	if st.NumSA == 0 || st.NumVU == 0 {
+		t.Fatal("sample trace has no operators")
+	}
+}

@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"v10/internal/mathx"
+)
+
+func chainGraph(lens ...int64) *Graph {
+	g := &Graph{}
+	for i, l := range lens {
+		op := Op{ID: i, Kind: KindSA, Compute: l}
+		if i > 0 {
+			op.Deps = []int{i - 1}
+		}
+		g.Ops = append(g.Ops, op)
+	}
+	return g
+}
+
+func TestValidateAcceptsChain(t *testing.T) {
+	g := chainGraph(10, 20, 30)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadID(t *testing.T) {
+	g := &Graph{Ops: []Op{{ID: 1}}}
+	if g.Validate() == nil {
+		t.Fatal("bad ID accepted")
+	}
+}
+
+func TestValidateRejectsForwardDep(t *testing.T) {
+	g := &Graph{Ops: []Op{{ID: 0, Deps: []int{1}}, {ID: 1}}}
+	if g.Validate() == nil {
+		t.Fatal("forward dependency accepted")
+	}
+}
+
+func TestValidateRejectsOutOfRangeDep(t *testing.T) {
+	g := &Graph{Ops: []Op{{ID: 0, Deps: []int{5}}}}
+	if g.Validate() == nil {
+		t.Fatal("out-of-range dependency accepted")
+	}
+}
+
+func TestValidateRejectsNegativeTiming(t *testing.T) {
+	g := &Graph{Ops: []Op{{ID: 0, Compute: -1}}}
+	if g.Validate() == nil {
+		t.Fatal("negative compute accepted")
+	}
+}
+
+func TestSerialAndCriticalPathChain(t *testing.T) {
+	g := chainGraph(10, 20, 30)
+	if g.SerialCycles() != 60 {
+		t.Fatalf("SerialCycles = %d, want 60", g.SerialCycles())
+	}
+	if g.CriticalPathCycles() != 60 {
+		t.Fatalf("chain critical path = %d, want 60", g.CriticalPathCycles())
+	}
+	if g.IdealSpeedup() != 1 {
+		t.Fatalf("chain speedup = %v, want 1", g.IdealSpeedup())
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	// 0 → {1, 2} → 3, with branch 1 longer.
+	g := &Graph{Ops: []Op{
+		{ID: 0, Compute: 10},
+		{ID: 1, Compute: 50, Deps: []int{0}},
+		{ID: 2, Compute: 5, Deps: []int{0}},
+		{ID: 3, Compute: 10, Deps: []int{1, 2}},
+	}}
+	if cp := g.CriticalPathCycles(); cp != 70 {
+		t.Fatalf("diamond critical path = %d, want 70", cp)
+	}
+	want := 75.0 / 70.0
+	if sp := g.IdealSpeedup(); !almostEq(sp, want, 1e-12) {
+		t.Fatalf("diamond speedup = %v, want %v", sp, want)
+	}
+}
+
+func TestCriticalPathIncludesStall(t *testing.T) {
+	g := &Graph{Ops: []Op{{ID: 0, Compute: 10, Stall: 5}}}
+	if g.CriticalPathCycles() != 15 || g.SerialCycles() != 15 {
+		t.Fatal("stall cycles not counted in durations")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := &Graph{}
+	if g.SerialCycles() != 0 || g.CriticalPathCycles() != 0 || g.IdealSpeedup() != 1 {
+		t.Fatal("empty graph should be all zeros with speedup 1")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := &Graph{Ops: []Op{
+		{ID: 0, Kind: KindSA, Compute: 100, Stall: 10, FLOPs: 1000, HBMBytes: 64, VMemBytes: 1 << 20},
+		{ID: 1, Kind: KindVU, Compute: 20, Deps: []int{0}, FLOPs: 40, HBMBytes: 8, VMemBytes: 1 << 10},
+		{ID: 2, Kind: KindSA, Compute: 300, Deps: []int{1}},
+	}}
+	s := g.ComputeStats()
+	if s.NumSA != 2 || s.NumVU != 1 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.SACycles != 400 || s.VUCycles != 20 || s.StallCycles != 10 {
+		t.Fatalf("cycle totals wrong: %+v", s)
+	}
+	if s.MeanSALen != 200 || s.MinSALen != 100 || s.MaxSALen != 300 {
+		t.Fatalf("SA length stats wrong: %+v", s)
+	}
+	if s.MeanVULen != 20 || s.MinVULen != 20 || s.MaxVULen != 20 {
+		t.Fatalf("VU length stats wrong: %+v", s)
+	}
+	if s.FLOPs != 1040 || s.HBMBytes != 72 || s.MaxVMemBytes != 1<<20 {
+		t.Fatalf("resource stats wrong: %+v", s)
+	}
+	if s.SerialCycles != 430 {
+		t.Fatalf("serial cycles = %d", s.SerialCycles)
+	}
+}
+
+func TestStatsEmptyKindsZeroed(t *testing.T) {
+	g := &Graph{Ops: []Op{{ID: 0, Kind: KindSA, Compute: 10}}}
+	s := g.ComputeStats()
+	if s.MeanVULen != 0 || s.MinVULen != 0 || s.MaxVULen != 0 {
+		t.Fatalf("VU stats should be zero with no VU ops: %+v", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSA.String() != "SA" || KindVU.String() != "VU" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestWorkloadRequestAndPriority(t *testing.T) {
+	w := NewWorkload("BERT-b32", "BERT", 32, func(i int) *Graph {
+		return chainGraph(int64(i + 1))
+	})
+	if w.Priority != 1 {
+		t.Fatal("default priority should be 1")
+	}
+	if got := w.Request(4).Ops[0].Compute; got != 5 {
+		t.Fatalf("generator not wired: %d", got)
+	}
+	w2 := w.WithPriority(0.25)
+	if w2.Priority != 0.25 || w.Priority != 1 {
+		t.Fatal("WithPriority must copy")
+	}
+}
+
+func TestWithPriorityPanicsOnNonPositive(t *testing.T) {
+	w := NewWorkload("x", "X", 1, func(int) *Graph { return &Graph{} })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive priority accepted")
+		}
+	}()
+	w.WithPriority(0)
+}
+
+func TestNewWorkloadNilGenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil generator accepted")
+		}
+	}()
+	NewWorkload("x", "X", 1, nil)
+}
+
+func TestTileForVMemNoChangeWhenFits(t *testing.T) {
+	g := &Graph{Ops: []Op{{ID: 0, Kind: KindSA, Compute: 100, VMemBytes: 10}}}
+	out := TileForVMem(g, 100, 0.5)
+	if out != g {
+		t.Fatal("fitting graph should be returned unchanged")
+	}
+}
+
+func TestTileForVMemSplitsOversized(t *testing.T) {
+	g := &Graph{Ops: []Op{
+		{ID: 0, Kind: KindSA, Compute: 90, Stall: 9, FLOPs: 900, HBMBytes: 300, VMemBytes: 300},
+		{ID: 1, Kind: KindVU, Compute: 10, Deps: []int{0}, VMemBytes: 50},
+	}}
+	out := TileForVMem(g, 100, 0.5)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("tiled graph invalid: %v", err)
+	}
+	if len(out.Ops) != 4 { // 3 tiles + the VU op
+		t.Fatalf("tile count = %d, want 4", len(out.Ops))
+	}
+	// Compute conserved.
+	var compute int64
+	for _, op := range out.Ops {
+		compute += op.Compute
+	}
+	if compute != 100 {
+		t.Fatalf("compute not conserved: %d", compute)
+	}
+	// HBM traffic amplified: 300 * (1 + 0.5*2) = 600 for the split op.
+	if !almostEq(out.TotalHBMBytes(), 600, 1e-9) {
+		t.Fatalf("HBM bytes = %v, want 600", out.TotalHBMBytes())
+	}
+	// Dependent op must now depend on the last tile.
+	last := out.Ops[3]
+	if len(last.Deps) != 1 || last.Deps[0] != 2 {
+		t.Fatalf("dependency remap wrong: %+v", last)
+	}
+	// Footprints capped at the partition size.
+	for _, op := range out.Ops {
+		if op.VMemBytes > 100 {
+			t.Fatalf("tile footprint %d exceeds partition", op.VMemBytes)
+		}
+	}
+}
+
+func TestTileForVMemZeroPartitionNoop(t *testing.T) {
+	g := &Graph{Ops: []Op{{ID: 0, VMemBytes: 1 << 30}}}
+	if TileForVMem(g, 0, 0.5) != g {
+		t.Fatal("partition<=0 must be a no-op")
+	}
+}
+
+// Property: tiling conserves compute+stall cycles and never shrinks HBM
+// traffic, and the result always validates.
+func TestTileForVMemConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 1 + rng.Intn(20)
+		g := &Graph{}
+		for i := 0; i < n; i++ {
+			op := Op{
+				ID:        i,
+				Kind:      Kind(rng.Intn(2)),
+				Compute:   int64(rng.Intn(10000)),
+				Stall:     int64(rng.Intn(1000)),
+				HBMBytes:  rng.Uniform(0, 1e6),
+				VMemBytes: int64(rng.Intn(1 << 22)),
+			}
+			if i > 0 && rng.Float64() < 0.8 {
+				op.Deps = []int{rng.Intn(i)}
+			}
+			g.Ops = append(g.Ops, op)
+		}
+		partition := int64(1024 + rng.Intn(1<<20))
+		out := TileForVMem(g, partition, 0.5)
+		if out.Validate() != nil {
+			return false
+		}
+		var gc, oc int64
+		for _, op := range g.Ops {
+			gc += op.Compute + op.Stall
+		}
+		for _, op := range out.Ops {
+			oc += op.Compute + op.Stall
+			if op.VMemBytes > partition {
+				return false
+			}
+		}
+		return gc == oc && out.TotalHBMBytes() >= g.TotalHBMBytes()-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearizePreservesOps(t *testing.T) {
+	g := chainGraph(1, 2, 3)
+	lin := g.Linearize()
+	if len(lin) != 3 || lin[0].Compute != 1 || lin[2].Compute != 3 {
+		t.Fatal("Linearize broken")
+	}
+	lin[0].Compute = 99
+	if g.Ops[0].Compute == 99 {
+		t.Fatal("Linearize must copy")
+	}
+}
+
+func almostEq(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

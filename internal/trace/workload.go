@@ -1,0 +1,104 @@
+package trace
+
+import "fmt"
+
+// Workload is a deployed inference service: a model at a fixed batch size
+// that repeatedly serves requests. Request graphs vary slightly from request
+// to request (input-dependent operator lengths), produced deterministically
+// by the generator.
+type Workload struct {
+	Name     string  // display name, e.g. "BERT-b32"
+	Model    string  // model family, e.g. "BERT"
+	Batch    int     // inference batch size
+	Priority float64 // relative scheduling priority (> 0); 1 is default
+
+	gen func(request int) *Graph
+}
+
+// NewWorkload builds a workload around a request-graph generator. gen must be
+// deterministic in its argument. Priority defaults to 1.
+func NewWorkload(name, model string, batch int, gen func(request int) *Graph) *Workload {
+	if gen == nil {
+		panic("trace: nil workload generator")
+	}
+	return &Workload{Name: name, Model: model, Batch: batch, Priority: 1, gen: gen}
+}
+
+// WithPriority returns a shallow copy of w with the given priority.
+func (w *Workload) WithPriority(p float64) *Workload {
+	if p <= 0 {
+		panic(fmt.Sprintf("trace: non-positive priority %v", p))
+	}
+	c := *w
+	c.Priority = p
+	return &c
+}
+
+// Request returns the operator graph for the i-th request (0-based).
+func (w *Workload) Request(i int) *Graph {
+	return w.gen(i)
+}
+
+// TileForVMem rewrites g so that no operator's vector-memory footprint
+// exceeds partition bytes. An oversized operator is split into k equal tiles
+// executed back to back; each reload of intermediate data from HBM loses
+// on-chip reuse, so total HBM traffic grows by reloadFactor per extra tile
+// (the Fig. 24 effect). partition <= 0 returns g unchanged.
+func TileForVMem(g *Graph, partition int64, reloadFactor float64) *Graph {
+	if partition <= 0 {
+		return g
+	}
+	needsTiling := false
+	for _, op := range g.Ops {
+		if op.VMemBytes > partition {
+			needsTiling = true
+			break
+		}
+	}
+	if !needsTiling {
+		return g
+	}
+	out := &Graph{Ops: make([]Op, 0, len(g.Ops))}
+	// remap[oldID] = new ID of the final tile of that operator.
+	remap := make([]int, len(g.Ops))
+	for _, op := range g.Ops {
+		k := int64(1)
+		if op.VMemBytes > partition {
+			k = (op.VMemBytes + partition - 1) / partition
+		}
+		deps := make([]int, len(op.Deps))
+		for i, d := range op.Deps {
+			deps[i] = remap[d]
+		}
+		totalHBM := op.HBMBytes * (1 + reloadFactor*float64(k-1))
+		for t := int64(0); t < k; t++ {
+			tile := Op{
+				ID:         len(out.Ops),
+				Kind:       op.Kind,
+				Compute:    op.Compute / k,
+				Stall:      op.Stall / k,
+				Efficiency: op.Efficiency,
+				FLOPs:      op.FLOPs / float64(k),
+				HBMBytes:   totalHBM / float64(k),
+				VMemBytes:  minInt64(op.VMemBytes, partition),
+				Deps:       deps,
+			}
+			if t == 0 {
+				// Distribute rounding remainders onto the first tile.
+				tile.Compute += op.Compute % k
+				tile.Stall += op.Stall % k
+			}
+			out.Ops = append(out.Ops, tile)
+			deps = []int{tile.ID} // later tiles chain on the previous tile
+		}
+		remap[op.ID] = len(out.Ops) - 1
+	}
+	return out
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
