@@ -29,11 +29,17 @@ type AdvisorOptions struct {
 	// PairSamples bounds pairs profiled per cluster pair (0 = all).
 	PairSamples int
 	Seed        uint64
+	// Parallel bounds the worker goroutines used for the O(n²) pairwise
+	// profiling simulations (0 = GOMAXPROCS, 1 = serial). The trained model
+	// is bit-identical at any worker count.
+	Parallel int
 }
 
 // TrainAdvisor profiles the training workloads and builds the cluster
 // database. Training cost is dominated by the pairwise collocation
-// simulations; results are memoized within the call.
+// simulations; results are memoized within the call, and the simulations fan
+// out across opt.Parallel workers (GOMAXPROCS by default) with bit-identical
+// results to a serial run.
 func TrainAdvisor(training []*Workload, opt AdvisorOptions) (*Advisor, error) {
 	cfg := opt.Config
 	if cfg.SADim == 0 {
@@ -53,6 +59,7 @@ func TrainAdvisor(training []*Workload, opt AdvisorOptions) (*Advisor, error) {
 		Threshold:   opt.Threshold,
 		PairSamples: opt.PairSamples,
 		Seed:        opt.Seed,
+		Parallel:    opt.Parallel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("v10: training advisor: %w", err)

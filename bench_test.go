@@ -14,10 +14,12 @@ import (
 
 	"v10/internal/baseline"
 	"v10/internal/bf16"
+	"v10/internal/collocate"
 	"v10/internal/dma"
 	"v10/internal/experiments"
 	"v10/internal/isa"
 	"v10/internal/mathx"
+	"v10/internal/models"
 	"v10/internal/sched"
 	"v10/internal/sim"
 	"v10/internal/systolic"
@@ -196,6 +198,51 @@ func sliceName(s int64) string {
 	default:
 		return "slice1048576"
 	}
+}
+
+// benchZoo builds the advisor-training population: every model at batch 32.
+func benchZoo(b *testing.B) ([]*trace.Workload, []collocate.Features) {
+	b.Helper()
+	cfg := DefaultConfig()
+	var ws []*trace.Workload
+	var fs []collocate.Features
+	for i, s := range models.Specs() {
+		if s.OOM(32, cfg.HBMBytes) {
+			continue
+		}
+		w := s.Workload(32, uint64(i+1), cfg)
+		ws = append(ws, w)
+		fs = append(fs, collocate.ExtractFeatures(w, cfg, 2))
+	}
+	return ws, fs
+}
+
+// benchTrain measures advisor training end to end with the given worker
+// count. A fresh simulation oracle per iteration keeps the pairwise
+// profiling (the dominant cost) from being served out of the memo cache.
+func benchTrain(b *testing.B, workers int) {
+	ws, fs := benchZoo(b)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perf := collocate.SimPairPerf(cfg, 2)
+		_, err := collocate.Train(ws, fs, perf,
+			collocate.TrainConfig{K: 5, PairSamples: 6, Seed: 1, Parallel: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrain compares serial against pooled pairwise profiling. The
+// trained models are bit-identical at any worker count (asserted by
+// TestTrainParallelBitIdentical in internal/collocate); on a multi-core
+// machine the parallel variant should approach a GOMAXPROCS-fold speedup
+// since the profiling simulations are independent and CPU-bound.
+func BenchmarkTrain(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchTrain(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchTrain(b, 0) })
 }
 
 // --- Micro-benchmarks of the core mechanisms ---

@@ -5,9 +5,16 @@
 //	v10bench -out results               # everything (takes a minute or two)
 //	v10bench -only fig18,fig21          # just those
 //	v10bench -requests 8                # longer steady-state runs
+//	v10bench -parallel 1                # force the serial path
+//
+// Experiments run on a bounded worker pool (GOMAXPROCS workers by default;
+// -parallel overrides). Each discrete-event simulation stays on one
+// goroutine and shared runs are deduplicated, so the emitted tables are
+// bit-identical at any worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +22,8 @@ import (
 	"strings"
 
 	"v10/internal/experiments"
+	"v10/internal/parallel"
+	"v10/internal/report"
 )
 
 func main() {
@@ -27,6 +36,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress table output on stdout")
 	bars := flag.Bool("bars", false, "render tables as ASCII bar charts on stdout")
 	markdown := flag.Bool("markdown", false, "additionally write <id>.md files")
+	par := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -40,6 +50,7 @@ func main() {
 	ctx.Requests = *requests
 	ctx.ProfileRequests = *profileReqs
 	ctx.Seed = *seed
+	ctx.Parallel = *par
 
 	var gens []experiments.Generator
 	if *only == "" {
@@ -60,12 +71,23 @@ func main() {
 		os.Exit(1)
 	}
 
-	for _, g := range gens {
-		tb, err := g.Run(ctx)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", g.ID, err)
-			os.Exit(1)
-		}
+	// Generators fan out across the worker pool too (the Context memo caches
+	// dedupe the shared pair runs); tables come back in paper order.
+	tables, err := parallel.Map(context.Background(), len(gens), *par,
+		func(i int) (*report.Table, error) {
+			tb, err := gens[i].Run(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s failed: %w", gens[i].ID, err)
+			}
+			return tb, nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for i, g := range gens {
+		tb := tables[i]
 		if !*quiet {
 			if *bars {
 				fmt.Println(tb.Bars(50))

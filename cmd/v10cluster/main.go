@@ -4,6 +4,11 @@
 //
 //	v10cluster                      # cluster the zoo, print assignments
 //	v10cluster -plan BERT:32,NCF:32,DLRM:32,ResNet:32
+//	v10cluster -parallel 1          # force serial pairwise profiling
+//
+// Training cost is dominated by the O(n²) pairwise collocation simulations;
+// they fan out across -parallel workers (GOMAXPROCS by default) with
+// bit-identical results to a serial run.
 package main
 
 import (
@@ -24,6 +29,7 @@ func main() {
 	requests := flag.Int("requests", 2, "requests per profiling simulation")
 	plan := flag.String("plan", "", "comma-separated model:batch list to plan collocations for")
 	seed := flag.Uint64("seed", 1, "training seed")
+	par := flag.Int("parallel", 0, "profiling worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	cfg := v10.DefaultConfig()
@@ -45,6 +51,7 @@ func main() {
 	fmt.Printf("training on %d workload instances (profiling pairs, may take a minute)...\n", len(training))
 	adv, err := v10.TrainAdvisor(training, v10.AdvisorOptions{
 		Clusters: *k, ProfileRequests: *requests, PairSamples: 8, Seed: *seed,
+		Parallel: *par,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

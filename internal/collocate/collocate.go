@@ -8,13 +8,16 @@
 package collocate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"v10/internal/baseline"
 	"v10/internal/mathx"
 	"v10/internal/npu"
+	"v10/internal/parallel"
 	"v10/internal/sched"
 	"v10/internal/trace"
 )
@@ -90,44 +93,85 @@ func log1p(x float64) float64 { return math.Log1p(x) }
 type PairPerf func(a, b *trace.Workload) (float64, error)
 
 // SimPairPerf returns a PairPerf that measures performance by simulation
-// (V10-Full STP over PMT STP, both normalized by single-tenant rates),
-// memoizing by workload-name pair.
+// (V10-Full STP over PMT STP, both normalized by single-tenant rates).
+//
+// Results are memoized by workload *identity* (the pointer, symmetric in
+// argument order), not by display name — two distinct workloads that happen
+// to share a name cannot silently reuse each other's result; instead the
+// oracle reports an explicit ambiguous-duplicate-name error the first time
+// the second identity appears. The returned function is goroutine-safe:
+// concurrent requests for the same pair wait on a single in-flight
+// simulation (singleflight) instead of racing to run it twice.
 func SimPairPerf(cfg npu.CoreConfig, requests int) PairPerf {
-	cache := map[[2]string]float64{}
-	return func(a, b *trace.Workload) (float64, error) {
-		key := [2]string{a.Name, b.Name}
-		if key[0] > key[1] {
-			key[0], key[1] = key[1], key[0]
+	var (
+		mu    sync.Mutex
+		ids   = map[*trace.Workload]int{} // identity → dense cache id
+		named = map[string]*trace.Workload{}
+		memo  parallel.Memo[[2]int, float64]
+	)
+	// identify registers a workload's identity under mu, rejecting a second
+	// distinct workload with an already-registered name.
+	identify := func(w *trace.Workload) (int, error) {
+		if id, ok := ids[w]; ok {
+			return id, nil
 		}
-		if v, ok := cache[key]; ok {
-			return v, nil
+		if prev, ok := named[w.Name]; ok && prev != w {
+			return 0, fmt.Errorf(
+				"collocate: ambiguous duplicate workload name %q: two distinct workloads share it, so cached pair results would be wrong", w.Name)
 		}
-		pair := []*trace.Workload{a, b}
-		rates, err := baseline.SingleTenantRates(pair, cfg, requests)
-		if err != nil {
-			return 0, err
-		}
-		pmt, err := baseline.RunPMT(pair, baseline.PMTOptions{
-			Config: cfg, RequestsPerWorkload: requests, Seed: 1,
-		})
-		if err != nil {
-			return 0, err
-		}
-		opts := sched.FullOptions()
-		opts.Config = cfg
-		opts.RequestsPerWorkload = requests
-		full, err := sched.Run(pair, opts)
-		if err != nil {
-			return 0, err
-		}
-		stpPMT := pmt.STP(rates)
-		if stpPMT <= 0 {
-			return 0, fmt.Errorf("collocate: PMT STP is zero for %s+%s", a.Name, b.Name)
-		}
-		v := full.STP(rates) / stpPMT
-		cache[key] = v
-		return v, nil
+		id := len(ids)
+		ids[w] = id
+		named[w.Name] = w
+		return id, nil
 	}
+	return func(a, b *trace.Workload) (float64, error) {
+		mu.Lock()
+		ia, err := identify(a)
+		if err == nil {
+			var ib int
+			if ib, err = identify(b); err == nil {
+				mu.Unlock()
+				key := [2]int{ia, ib}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				return memo.Do(key, func() (float64, error) {
+					return simPairPerf(a, b, cfg, requests)
+				})
+			}
+		}
+		mu.Unlock()
+		return 0, err
+	}
+}
+
+// simPairPerf runs the three simulations behind one oracle query. Each
+// simulation engine is confined to this goroutine; the result depends only on
+// the pair, config, and request count, so it is deterministic.
+func simPairPerf(a, b *trace.Workload, cfg npu.CoreConfig, requests int) (float64, error) {
+	pair := []*trace.Workload{a, b}
+	rates, err := baseline.SingleTenantRates(pair, cfg, requests)
+	if err != nil {
+		return 0, err
+	}
+	pmt, err := baseline.RunPMT(pair, baseline.PMTOptions{
+		Config: cfg, RequestsPerWorkload: requests, Seed: 1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	opts := sched.FullOptions()
+	opts.Config = cfg
+	opts.RequestsPerWorkload = requests
+	full, err := sched.Run(pair, opts)
+	if err != nil {
+		return 0, err
+	}
+	stpPMT := pmt.STP(rates)
+	if stpPMT <= 0 {
+		return 0, fmt.Errorf("collocate: PMT STP is zero for %s+%s", a.Name, b.Name)
+	}
+	return full.STP(rates) / stpPMT, nil
 }
 
 // TrainConfig controls clustering-model training.
@@ -137,6 +181,12 @@ type TrainConfig struct {
 	Threshold   float64 // predicted-beneficial cutoff (paper: 1.3)
 	PairSamples int     // max workload pairs profiled per cluster pair (0 = all)
 	Seed        uint64
+	// Parallel bounds the worker goroutines used for pairwise collocation
+	// profiling (the O(n²) fan-out of simulations): 0 means GOMAXPROCS,
+	// 1 forces the serial path. Results are bit-identical either way —
+	// the pair set, the RNG stream, and the aggregation order do not depend
+	// on the worker count.
+	Parallel int
 }
 
 func (tc TrainConfig) withDefaults() TrainConfig {
@@ -213,8 +263,15 @@ func Train(workloads []*trace.Workload, feats []Features, perf PairPerf, tc Trai
 		byCluster[c] = append(byCluster[c], i)
 	}
 
-	// Offline inter-cluster pairwise collocation profiling.
-	var total, count float64
+	// Select the pair sample of every cluster pair first, consuming the RNG
+	// in the same deterministic order regardless of worker count, then fan
+	// the independent oracle queries out across the worker pool.
+	type profJob struct {
+		ci, cj int
+		pairs  [][2]int
+	}
+	var jobs []profJob
+	var flat [][2]int
 	for ci := 0; ci < k; ci++ {
 		for cj := ci; cj < k; cj++ {
 			pairs := clusterPairs(byCluster[ci], byCluster[cj], ci == cj)
@@ -222,24 +279,42 @@ func Train(workloads []*trace.Workload, feats []Features, perf PairPerf, tc Trai
 				shufflePairs(pairs, rng)
 				pairs = pairs[:tc.PairSamples]
 			}
-			var sum float64
-			var n int
-			for _, p := range pairs {
-				v, err := perf(workloads[p[0]], workloads[p[1]])
-				if err != nil {
-					return nil, fmt.Errorf("collocate: profiling %s+%s: %w",
-						workloads[p[0]].Name, workloads[p[1]].Name, err)
-				}
-				sum += v
-				n++
+			jobs = append(jobs, profJob{ci: ci, cj: cj, pairs: pairs})
+			flat = append(flat, pairs...)
+		}
+	}
+	vals, err := parallel.Map(context.Background(), len(flat), tc.Parallel,
+		func(i int) (float64, error) {
+			p := flat[i]
+			v, err := perf(workloads[p[0]], workloads[p[1]])
+			if err != nil {
+				return 0, fmt.Errorf("collocate: profiling %s+%s: %w",
+					workloads[p[0]].Name, workloads[p[1]].Name, err)
 			}
-			if n > 0 {
-				mean := sum / float64(n)
-				m.perf[ci][cj], m.perf[cj][ci] = mean, mean
-				m.perfKnown[ci][cj], m.perfKnown[cj][ci] = true, true
-				total += sum
-				count += float64(n)
-			}
+			return v, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate in the serial iteration order so sums (and therefore the
+	// model) are bit-identical to a single-worker run.
+	var total, count float64
+	off := 0
+	for _, job := range jobs {
+		var sum float64
+		var n int
+		for _, v := range vals[off : off+len(job.pairs)] {
+			sum += v
+			n++
+		}
+		off += len(job.pairs)
+		if n > 0 {
+			mean := sum / float64(n)
+			m.perf[job.ci][job.cj], m.perf[job.cj][job.ci] = mean, mean
+			m.perfKnown[job.ci][job.cj], m.perfKnown[job.cj][job.ci] = true, true
+			total += sum
+			count += float64(n)
 		}
 	}
 	if count > 0 {
@@ -419,6 +494,13 @@ func Evaluate(p Predictor, pairs []TestPair, threshold float64) EvalResult {
 // test on pairs drawn from the held-out instances, aggregating the confusion
 // counts across splits. Instances sharing a model family are held out
 // together. It returns one EvalResult per predictor-builder.
+//
+// Splits are independent, so they run on tc.Parallel workers (0 =
+// GOMAXPROCS); training inside each split then runs serially to keep the
+// total worker count bounded. Split results are merged in split order, so
+// the returned EvalResults are bit-identical to a fully serial run. perf is
+// shared across concurrent splits and must be goroutine-safe (SimPairPerf
+// is).
 func CrossValidate(
 	workloads []*trace.Workload,
 	feats []Features,
@@ -443,16 +525,27 @@ func CrossValidate(
 		return nil, fmt.Errorf("collocate: cross-validation needs >= 3 model families, got %d", len(names))
 	}
 
-	type agg struct {
-		pairs []TestPair
-		pred  []bool
-	}
-	aggregates := map[string]*agg{}
-	order := []string{}
-
+	var splits [][2]string
 	for i := 0; i < len(names); i++ {
 		for j := i + 1; j < len(names); j++ {
-			heldOut := map[string]bool{names[i]: true, names[j]: true}
+			splits = append(splits, [2]string{names[i], names[j]})
+		}
+	}
+
+	// Each split is self-contained: train on the remaining families, label
+	// the held-out pairs with ground truth, and record every predictor's
+	// calls. The splits fan out across the worker pool; profiling inside
+	// Train stays serial so the pool is the only source of concurrency.
+	splitTC := tc
+	splitTC.Parallel = 1
+	type splitResult struct {
+		names []string
+		cases []TestPair
+		preds [][]bool // per predictor, per case
+	}
+	results, err := parallel.Map(context.Background(), len(splits), tc.Parallel,
+		func(s int) (*splitResult, error) {
+			heldOut := map[string]bool{splits[s][0]: true, splits[s][1]: true}
 			var trainW []*trace.Workload
 			var trainF []Features
 			var testIdx []int
@@ -464,9 +557,9 @@ func CrossValidate(
 					trainF = append(trainF, f)
 				}
 			}
-			model, err := Train(trainW, trainF, perf, tc)
+			model, err := Train(trainW, trainF, perf, splitTC)
 			if err != nil {
-				return nil, fmt.Errorf("collocate: split (%s,%s): %w", names[i], names[j], err)
+				return nil, fmt.Errorf("collocate: split (%s,%s): %w", splits[s][0], splits[s][1], err)
 			}
 			// Label held-out pairs with ground truth.
 			var cases []TestPair
@@ -483,27 +576,47 @@ func CrossValidate(
 					cases = append(cases, TestPair{A: feats[ia], B: feats[ib], Perf: v})
 				}
 			}
+			sr := &splitResult{cases: cases}
 			for _, p := range buildPredictors(model) {
-				a, ok := aggregates[p.Name()]
-				if !ok {
-					a = &agg{}
-					aggregates[p.Name()] = a
-					order = append(order, p.Name())
+				preds := make([]bool, len(cases))
+				for ci, c := range cases {
+					preds[ci] = p.Predict(c.A, c.B)
 				}
-				for _, c := range cases {
-					a.pairs = append(a.pairs, c)
-					a.pred = append(a.pred, p.Predict(c.A, c.B))
-				}
+				sr.names = append(sr.names, p.Name())
+				sr.preds = append(sr.preds, preds)
 			}
+			return sr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge in split order so aggregation matches the serial path exactly.
+	type agg struct {
+		pairs []TestPair
+		pred  []bool
+	}
+	aggregates := map[string]*agg{}
+	order := []string{}
+	for _, sr := range results {
+		for pi, name := range sr.names {
+			a, ok := aggregates[name]
+			if !ok {
+				a = &agg{}
+				aggregates[name] = a
+				order = append(order, name)
+			}
+			a.pairs = append(a.pairs, sr.cases...)
+			a.pred = append(a.pred, sr.preds[pi]...)
 		}
 	}
 
-	var results []EvalResult
+	var out []EvalResult
 	for _, name := range order {
 		a := aggregates[name]
-		results = append(results, scorePredictions(name, a.pairs, a.pred, tc.Threshold))
+		out = append(out, scorePredictions(name, a.pairs, a.pred, tc.Threshold))
 	}
-	return results, nil
+	return out, nil
 }
 
 // scorePredictions aggregates already-made predictions into an EvalResult.

@@ -94,7 +94,11 @@ type Summary struct {
 	TailLatencyX float64 // paper: 1.74× (reduction)
 }
 
-// HeadlineSummary measures the four abstract-level claims.
+// HeadlineSummary measures the four abstract-level claims. Pairs whose PMT
+// run degenerates (zero utilization, throughput, or latency) are excluded
+// from the corresponding geomean; if a whole category ends up empty the
+// summary is meaningless and an explicit error is returned rather than a
+// silent 0× (or NaN) headline.
 func (c *Context) HeadlineSummary() (Summary, error) {
 	var utils, tputs, avgs, tails []float64
 	for _, p := range EvalPairs {
@@ -115,6 +119,14 @@ func (c *Context) HeadlineSummary() (Summary, error) {
 			if l := run.full.Workloads[wl].TailLatency(95); l > 0 {
 				tails = append(tails, run.pmt.Workloads[wl].TailLatency(95)/l)
 			}
+		}
+	}
+	for name, xs := range map[string][]float64{
+		"utilization": utils, "throughput": tputs,
+		"average latency": avgs, "tail latency": tails,
+	} {
+		if len(xs) == 0 {
+			return Summary{}, fmt.Errorf("experiments: no valid %s samples across the evaluation pairs", name)
 		}
 	}
 	return Summary{

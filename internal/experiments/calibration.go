@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"v10/internal/mathx"
 	"v10/internal/models"
 	"v10/internal/report"
 )
@@ -35,15 +36,18 @@ func (c *Context) Calib() (*report.Table, error) {
 			nSA += st.NumSA
 			nVU += st.NumVU
 		}
-		measSALen := saOcc / float64(nSA) / 700
-		measVULen := vuOcc / float64(nVU) / 700
+		// A model whose trace has no ops of one kind (or no cycles at all)
+		// must render as 0, not NaN — NaN cells break maxRelErr and every
+		// downstream aggregate.
+		measSALen := mathx.Ratio(saOcc, float64(nSA), 0) / 700
+		measVULen := mathx.Ratio(vuOcc, float64(nVU), 0) / 700
 		t.AddRow(spec.Name,
 			report.FormatFloat(spec.MeanSAUS), report.FormatFloat(measSALen),
 			report.FormatFloat(spec.MeanVUUS), report.FormatFloat(measVULen),
-			report.Percent(spec.UtilSA), report.Percent(sa/serial),
-			report.Percent(spec.UtilVU), report.Percent(vu/serial),
+			report.Percent(spec.UtilSA), report.Percent(mathx.Ratio(sa, serial, 0)),
+			report.Percent(spec.UtilVU), report.Percent(mathx.Ratio(vu, serial, 0)),
 			report.Percent(spec.UtilHBM),
-			report.Percent(bytes/(serial*c.Config.HBMBytesPerCycle())))
+			report.Percent(mathx.Ratio(bytes, serial*c.Config.HBMBytesPerCycle(), 0)))
 	}
 	return t, nil
 }

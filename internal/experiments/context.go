@@ -12,12 +12,16 @@ import (
 	"v10/internal/metrics"
 	"v10/internal/models"
 	"v10/internal/npu"
+	"v10/internal/parallel"
 	"v10/internal/sched"
 	"v10/internal/trace"
 )
 
 // Context carries shared configuration and memoizes simulation runs so that
 // figures drawing on the same runs (e.g. Figs. 16–21) simulate them once.
+// The memo caches are goroutine-safe with per-key in-flight deduplication,
+// so generators and sweep cells may run concurrently: two figures needing
+// the same pair wait on one simulation instead of racing to run it twice.
 type Context struct {
 	Config npu.CoreConfig
 	// Requests per workload per collocated run. The paper runs to steady
@@ -27,10 +31,15 @@ type Context struct {
 	// ProfileRequests per single-tenant characterization run (Figs. 3–8).
 	ProfileRequests int
 	Seed            uint64
+	// Parallel bounds the worker goroutines for sweep fan-out (0 =
+	// GOMAXPROCS, 1 = serial). Every simulation engine stays confined to one
+	// goroutine and rows are assembled in sweep order, so tables are
+	// bit-identical at any worker count.
+	Parallel int
 
-	profiles map[string]*metrics.RunResult
-	pairs    map[string]*pairRun
-	singles  map[string]*metrics.RunResult
+	profiles parallel.Memo[string, *metrics.RunResult]
+	pairs    parallel.Memo[string, *pairRun]
+	singles  parallel.Memo[string, *metrics.RunResult]
 }
 
 // NewContext returns a Context with the paper's default configuration.
@@ -97,79 +106,64 @@ func (c *Context) batchWorkload(abbrev string, batch int) *trace.Workload {
 
 // profile memoizes the single-tenant characterization run of model@batch.
 func (c *Context) profile(abbrev string, batch int) (*metrics.RunResult, error) {
-	if c.profiles == nil {
-		c.profiles = map[string]*metrics.RunResult{}
-	}
 	key := fmt.Sprintf("%s@%d", abbrev, batch)
-	if r, ok := c.profiles[key]; ok {
-		return r, nil
-	}
-	res, err := baseline.RunSingle(c.batchWorkload(abbrev, batch), c.Config, c.ProfileRequests)
-	if err != nil {
-		return nil, fmt.Errorf("profile %s: %w", key, err)
-	}
-	c.profiles[key] = res
-	return res, nil
+	return c.profiles.Do(key, func() (*metrics.RunResult, error) {
+		res, err := baseline.RunSingle(c.batchWorkload(abbrev, batch), c.Config, c.ProfileRequests)
+		if err != nil {
+			return nil, fmt.Errorf("profile %s: %w", key, err)
+		}
+		return res, nil
+	})
 }
 
 // single memoizes a single-tenant run of a Table 4 instance.
 func (c *Context) single(abbrev string) (*metrics.RunResult, error) {
-	if c.singles == nil {
-		c.singles = map[string]*metrics.RunResult{}
-	}
-	if r, ok := c.singles[abbrev]; ok {
-		return r, nil
-	}
-	res, err := baseline.RunSingle(c.workload(abbrev), c.Config, c.Requests)
-	if err != nil {
-		return nil, fmt.Errorf("single %s: %w", abbrev, err)
-	}
-	c.singles[abbrev] = res
-	return res, nil
+	return c.singles.Do(abbrev, func() (*metrics.RunResult, error) {
+		res, err := baseline.RunSingle(c.workload(abbrev), c.Config, c.Requests)
+		if err != nil {
+			return nil, fmt.Errorf("single %s: %w", abbrev, err)
+		}
+		return res, nil
+	})
 }
 
 // pair memoizes the four-scheme comparison of a collocation pair.
 func (c *Context) pair(p [2]string) (*pairRun, error) {
-	if c.pairs == nil {
-		c.pairs = map[string]*pairRun{}
-	}
 	key := PairLabel(p)
-	if r, ok := c.pairs[key]; ok {
-		return r, nil
-	}
-	mk := func() []*trace.Workload {
-		return []*trace.Workload{c.workload(p[0]), c.workload(p[1])}
-	}
-	run := &pairRun{workloads: []string{p[0], p[1]}}
-
-	var err error
-	if run.rates, err = c.singleRates(p); err != nil {
-		return nil, err
-	}
-	if run.pmt, err = baseline.RunPMT(mk(), baseline.PMTOptions{
-		Config: c.Config, RequestsPerWorkload: c.Requests, Seed: c.Seed,
-	}); err != nil {
-		return nil, fmt.Errorf("PMT %s: %w", key, err)
-	}
-	for _, variant := range []struct {
-		opts sched.Options
-		dst  **metrics.RunResult
-	}{
-		{sched.BaseOptions(), &run.base},
-		{sched.FairOptions(), &run.fair},
-		{sched.FullOptions(), &run.full},
-	} {
-		opts := variant.opts
-		opts.Config = c.Config
-		opts.RequestsPerWorkload = c.Requests
-		res, err := sched.Run(mk(), opts)
-		if err != nil {
-			return nil, fmt.Errorf("%s %s: %w", opts.Scheme, key, err)
+	return c.pairs.Do(key, func() (*pairRun, error) {
+		mk := func() []*trace.Workload {
+			return []*trace.Workload{c.workload(p[0]), c.workload(p[1])}
 		}
-		*variant.dst = res
-	}
-	c.pairs[key] = run
-	return run, nil
+		run := &pairRun{workloads: []string{p[0], p[1]}}
+
+		var err error
+		if run.rates, err = c.singleRates(p); err != nil {
+			return nil, err
+		}
+		if run.pmt, err = baseline.RunPMT(mk(), baseline.PMTOptions{
+			Config: c.Config, RequestsPerWorkload: c.Requests, Seed: c.Seed,
+		}); err != nil {
+			return nil, fmt.Errorf("PMT %s: %w", key, err)
+		}
+		for _, variant := range []struct {
+			opts sched.Options
+			dst  **metrics.RunResult
+		}{
+			{sched.BaseOptions(), &run.base},
+			{sched.FairOptions(), &run.fair},
+			{sched.FullOptions(), &run.full},
+		} {
+			opts := variant.opts
+			opts.Config = c.Config
+			opts.RequestsPerWorkload = c.Requests
+			res, err := sched.Run(mk(), opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", opts.Scheme, key, err)
+			}
+			*variant.dst = res
+		}
+		return run, nil
+	})
 }
 
 // singleRates returns the pair's single-tenant progress rates, reusing the

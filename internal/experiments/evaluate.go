@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"v10/internal/mathx"
 	"v10/internal/report"
 )
 
@@ -178,8 +179,8 @@ func (c *Context) Fig21() (*report.Table, error) {
 		for wl := 0; wl < 2; wl++ {
 			pmtW := run.pmt.Workloads[wl]
 			fullW := run.full.Workloads[wl]
-			pmtOvhd := float64(pmtW.SwitchCycles) / float64(run.pmt.TotalCycles)
-			fullOvhd := float64(fullW.SwitchCycles) / float64(run.full.TotalCycles)
+			pmtOvhd := mathx.Ratio(float64(pmtW.SwitchCycles), float64(run.pmt.TotalCycles), 0)
+			fullOvhd := mathx.Ratio(float64(fullW.SwitchCycles), float64(run.full.TotalCycles), 0)
 			pmtPre := float64(pmtW.Preemptions) / float64(maxInt(pmtW.Requests, 1))
 			fullPre := float64(fullW.Preemptions) / float64(maxInt(fullW.Requests, 1))
 			t.AddRow(PairLabel(p), pmtW.Name,

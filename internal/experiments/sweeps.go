@@ -1,16 +1,23 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"v10/internal/baseline"
 	"v10/internal/mathx"
 	"v10/internal/metrics"
 	"v10/internal/models"
+	"v10/internal/parallel"
 	"v10/internal/report"
 	"v10/internal/sched"
 	"v10/internal/trace"
 )
+
+// The Fig. 22–25 sweeps are grids of independent simulations, so each one
+// flattens its grid into cells, fans the cells out across c.Parallel workers
+// (shared runs deduplicated by the Context memo caches), and assembles the
+// rows in sweep order — the table is bit-identical to a serial run.
 
 // PrioritySplits are the relative priority settings of Fig. 22 (DNN1 share).
 var PrioritySplits = []float64{0.5, 0.6, 0.7, 0.8, 0.9}
@@ -25,23 +32,35 @@ func (c *Context) Fig22a() (*report.Table, error) {
 	}
 	t.Header = []string{"pair", "split"}
 	t.Header = append(t.Header, "V10 DNN1", "V10 DNN2", "PMT DNN1", "PMT DNN2")
-	for _, p := range EvalPairs {
-		rates, err := c.singleRates(p)
-		if err != nil {
-			return nil, err
-		}
-		for _, split := range PrioritySplits {
+	rows, err := parallel.Map(context.Background(), len(EvalPairs)*len(PrioritySplits), c.Parallel,
+		func(i int) ([]string, error) {
+			p := EvalPairs[i/len(PrioritySplits)]
+			split := PrioritySplits[i%len(PrioritySplits)]
+			rates, err := c.singleRates(p)
+			if err != nil {
+				return nil, err
+			}
 			full, pmt, err := c.priorityRun(p, split)
 			if err != nil {
 				return nil, err
 			}
 			nf := full.NormalizedProgress(rates)
 			np := pmt.NormalizedProgress(rates)
-			t.AddRow(PairLabel(p), fmt.Sprintf("%.0f%%-%.0f%%", split*100, (1-split)*100),
-				nf[0], nf[1], np[0], np[1])
-		}
+			return []string{
+				PairLabel(p), splitLabel(split),
+				report.FormatFloat(nf[0]), report.FormatFloat(nf[1]),
+				report.FormatFloat(np[0]), report.FormatFloat(np[1]),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
+}
+
+func splitLabel(split float64) string {
+	return fmt.Sprintf("%.0f%%-%.0f%%", split*100, (1-split)*100)
 }
 
 // Fig22b regenerates overall throughput of V10-Full under each priority
@@ -53,26 +72,27 @@ func (c *Context) Fig22b() (*report.Table, error) {
 	}
 	t.Header = []string{"pair"}
 	for _, split := range PrioritySplits {
-		t.Header = append(t.Header, fmt.Sprintf("%.0f%%-%.0f%%", split*100, (1-split)*100))
+		t.Header = append(t.Header, splitLabel(split))
 	}
-	for _, p := range EvalPairs {
-		rates, err := c.singleRates(p)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{PairLabel(p)}
-		for _, split := range PrioritySplits {
+	cells, err := parallel.Map(context.Background(), len(EvalPairs)*len(PrioritySplits), c.Parallel,
+		func(i int) (string, error) {
+			p := EvalPairs[i/len(PrioritySplits)]
+			split := PrioritySplits[i%len(PrioritySplits)]
+			rates, err := c.singleRates(p)
+			if err != nil {
+				return "", err
+			}
 			full, pmt, err := c.priorityRun(p, split)
 			if err != nil {
-				return nil, err
+				return "", err
 			}
-			stpPMT := pmt.STP(rates)
-			v := 0.0
-			if stpPMT > 0 {
-				v = full.STP(rates) / stpPMT
-			}
-			row = append(row, report.FormatFloat(v))
-		}
+			return report.FormatFloat(mathx.Ratio(full.STP(rates), pmt.STP(rates), 0)), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range EvalPairs {
+		row := append([]string{PairLabel(p)}, cells[pi*len(PrioritySplits):(pi+1)*len(PrioritySplits)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
@@ -118,28 +138,29 @@ func (c *Context) Fig23() (*report.Table, error) {
 	for _, s := range TimeSlices {
 		t.Header = append(t.Header, fmt.Sprintf("%d", s))
 	}
-	for _, p := range EvalPairs {
-		run, err := c.pair(p)
-		if err != nil {
-			return nil, err
-		}
-		stpPMT := run.pmt.STP(run.rates)
-		row := []string{PairLabel(p)}
-		for _, slice := range TimeSlices {
+	cells, err := parallel.Map(context.Background(), len(EvalPairs)*len(TimeSlices), c.Parallel,
+		func(i int) (string, error) {
+			p := EvalPairs[i/len(TimeSlices)]
+			slice := TimeSlices[i%len(TimeSlices)]
+			run, err := c.pair(p)
+			if err != nil {
+				return "", err
+			}
 			opts := sched.FullOptions()
 			opts.Config = c.Config
 			opts.Config.TimeSlice = slice
 			opts.RequestsPerWorkload = c.Requests
 			res, err := sched.Run([]*trace.Workload{c.workload(p[0]), c.workload(p[1])}, opts)
 			if err != nil {
-				return nil, fmt.Errorf("fig23 %s@%d: %w", PairLabel(p), slice, err)
+				return "", fmt.Errorf("fig23 %s@%d: %w", PairLabel(p), slice, err)
 			}
-			v := 0.0
-			if stpPMT > 0 {
-				v = res.STP(run.rates) / stpPMT
-			}
-			row = append(row, report.FormatFloat(v))
-		}
+			return report.FormatFloat(mathx.Ratio(res.STP(run.rates), run.pmt.STP(run.rates), 0)), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range EvalPairs {
+		row := append([]string{PairLabel(p)}, cells[pi*len(TimeSlices):(pi+1)*len(TimeSlices)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
@@ -161,13 +182,14 @@ func (c *Context) Fig24() (*report.Table, error) {
 		mb := v >> 20
 		t.Header = append(t.Header, fmt.Sprintf("%dMB tput", mb), fmt.Sprintf("%dMB hbm", mb))
 	}
-	for _, p := range EvalPairs {
-		rates, err := c.singleRates(p)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{PairLabel(p)}
-		for _, vmem := range VMemCapacities {
+	cells, err := parallel.Map(context.Background(), len(EvalPairs)*len(VMemCapacities), c.Parallel,
+		func(i int) ([2]string, error) {
+			p := EvalPairs[i/len(VMemCapacities)]
+			vmem := VMemCapacities[i%len(VMemCapacities)]
+			rates, err := c.singleRates(p)
+			if err != nil {
+				return [2]string{}, err
+			}
 			cfg := c.Config
 			cfg.VMemBytes = vmem
 			mk := func() []*trace.Workload {
@@ -177,21 +199,26 @@ func (c *Context) Fig24() (*report.Table, error) {
 				Config: cfg, RequestsPerWorkload: c.Requests, Seed: c.Seed,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("fig24 PMT %s@%d: %w", PairLabel(p), vmem, err)
+				return [2]string{}, fmt.Errorf("fig24 PMT %s@%d: %w", PairLabel(p), vmem, err)
 			}
 			opts := sched.FullOptions()
 			opts.Config = cfg
 			opts.RequestsPerWorkload = c.Requests
 			full, err := sched.Run(mk(), opts)
 			if err != nil {
-				return nil, fmt.Errorf("fig24 V10 %s@%d: %w", PairLabel(p), vmem, err)
+				return [2]string{}, fmt.Errorf("fig24 V10 %s@%d: %w", PairLabel(p), vmem, err)
 			}
-			stpPMT := pmt.STP(rates)
-			ratio := 0.0
-			if stpPMT > 0 {
-				ratio = full.STP(rates) / stpPMT
-			}
-			row = append(row, report.FormatFloat(ratio), report.Percent(full.HBMUtil()))
+			ratio := mathx.Ratio(full.STP(rates), pmt.STP(rates), 0)
+			return [2]string{report.FormatFloat(ratio), report.Percent(full.HBMUtil())}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range EvalPairs {
+		row := []string{PairLabel(p)}
+		for vi := range VMemCapacities {
+			cell := cells[pi*len(VMemCapacities)+vi]
+			row = append(row, cell[0], cell[1])
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -207,7 +234,8 @@ var (
 // Fig25 regenerates V10 scalability: throughput over single-tenant execution
 // as the number of SAs/VUs and collocated workloads grows. Workloads are
 // picked randomly from the 11 models, and HBM bandwidth scales with the FU
-// count (§5.9).
+// count (§5.9). Each grid cell seeds its own RNG, so cells are independent
+// and the grid parallelizes without changing any cell's draw.
 func (c *Context) Fig25() (*report.Table, error) {
 	t := &report.Table{
 		ID:    "fig25",
@@ -219,20 +247,20 @@ func (c *Context) Fig25() (*report.Table, error) {
 		t.Header = append(t.Header, fmt.Sprintf("%dw", m))
 	}
 	specs := models.Specs()
-	for _, n := range ScaleFUs {
-		cfg := c.Config.WithFUs(n)
-		row := []string{fmt.Sprintf("(%d,%d)", n, n)}
-		for _, m := range ScaleWorkloads {
+	cells, err := parallel.Map(context.Background(), len(ScaleFUs)*len(ScaleWorkloads), c.Parallel,
+		func(i int) (string, error) {
+			n := ScaleFUs[i/len(ScaleWorkloads)]
+			m := ScaleWorkloads[i%len(ScaleWorkloads)]
+			cfg := c.Config.WithFUs(n)
 			rng := mathx.NewRNG(c.Seed*1000 + uint64(n*100+m))
 			var ws []*trace.Workload
 			var rates []float64
-			for i := 0; i < m; i++ {
+			for w := 0; w < m; w++ {
 				spec := specs[rng.Intn(len(specs))]
-				w := spec.Workload(spec.RefBatch, rng.Uint64(), c.Config)
-				ws = append(ws, w)
+				ws = append(ws, spec.Workload(spec.RefBatch, rng.Uint64(), c.Config))
 				single, err := c.single(spec.Abbrev)
 				if err != nil {
-					return nil, err
+					return "", err
 				}
 				rates = append(rates, single.ProgressRate(0))
 			}
@@ -241,10 +269,16 @@ func (c *Context) Fig25() (*report.Table, error) {
 			opts.RequestsPerWorkload = maxInt(2, c.Requests/2)
 			res, err := sched.Run(ws, opts)
 			if err != nil {
-				return nil, fmt.Errorf("fig25 (%d,%d)x%d: %w", n, n, m, err)
+				return "", fmt.Errorf("fig25 (%d,%d)x%d: %w", n, n, m, err)
 			}
-			row = append(row, report.FormatFloat(res.STP(rates)))
-		}
+			return report.FormatFloat(res.STP(rates)), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for ni, n := range ScaleFUs {
+		row := append([]string{fmt.Sprintf("(%d,%d)", n, n)},
+			cells[ni*len(ScaleWorkloads):(ni+1)*len(ScaleWorkloads)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil

@@ -94,8 +94,19 @@ func Percentile(xs []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// GeoMean returns the geometric mean of xs. Non-positive entries are skipped;
-// it returns 0 when no positive entries exist.
+// Ratio returns num/den, or fallback when den is zero — the guard for
+// report paths where a degenerate run (no requests, zero cycles) must render
+// as a sentinel instead of poisoning a table with NaN or Inf.
+func Ratio(num, den, fallback float64) float64 {
+	if den == 0 {
+		return fallback
+	}
+	return num / den
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive (and NaN) entries
+// are skipped; it returns the documented sentinel 0 when no positive entries
+// exist, never NaN.
 func GeoMean(xs []float64) float64 {
 	s, n := 0.0, 0
 	for _, x := range xs {

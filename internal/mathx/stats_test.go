@@ -85,6 +85,39 @@ func TestGeoMean(t *testing.T) {
 	}
 }
 
+func TestRatio(t *testing.T) {
+	if got := Ratio(6, 3, -1); got != 2 {
+		t.Errorf("Ratio(6,3) = %v, want 2", got)
+	}
+	if got := Ratio(6, 0, 0); got != 0 {
+		t.Errorf("Ratio with zero denominator = %v, want fallback 0", got)
+	}
+	if got := Ratio(0, 0, 1); got != 1 {
+		t.Errorf("Ratio(0,0) = %v, want fallback 1", got)
+	}
+}
+
+// The summary/report helpers must never emit NaN for empty or zero-valued
+// inputs — a single NaN cell poisons every aggregate drawn from a table.
+func TestNoNaNOnDegenerateInputs(t *testing.T) {
+	checks := map[string]float64{
+		"Mean(nil)":        Mean(nil),
+		"Variance(nil)":    Variance(nil),
+		"StdDev(nil)":      StdDev(nil),
+		"Percentile(nil)":  Percentile(nil, 95),
+		"GeoMean(nil)":     GeoMean(nil),
+		"GeoMean(zeros)":   GeoMean([]float64{0, 0}),
+		"GeoMean(NaN)":     GeoMean([]float64{math.NaN()}),
+		"JainFairness(0s)": JainFairness([]float64{0, 0}),
+		"Ratio(1,0,0)":     Ratio(1, 0, 0),
+	}
+	for name, v := range checks {
+		if math.IsNaN(v) {
+			t.Errorf("%s = NaN", name)
+		}
+	}
+}
+
 func TestClamp(t *testing.T) {
 	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
 		t.Error("Clamp misbehaves")

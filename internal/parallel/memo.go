@@ -1,0 +1,53 @@
+package parallel
+
+import "sync"
+
+// Memo is a goroutine-safe memo cache with per-key in-flight deduplication
+// (singleflight): when several goroutines ask for the same key concurrently,
+// exactly one runs the compute function while the rest block until its
+// result lands, then share it. Both values and errors are cached — callers
+// memoize deterministic computations, so retrying a failed key would fail
+// identically.
+//
+// The zero value is ready to use. A Memo must not be copied after first use.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoCall[V]
+}
+
+type memoCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the cached result for key, computing it with fn on first use.
+// Concurrent calls for the same key wait on the single in-flight computation
+// instead of racing to run it twice. fn runs without any lock held, so it
+// may itself call Do on other keys of other memos (but a recursive Do on the
+// same key of the same memo deadlocks).
+func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[K]*memoCall[V])
+	}
+	if c, ok := m.m[key]; ok {
+		m.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &memoCall[V]{done: make(chan struct{})}
+	m.m[key] = c
+	m.mu.Unlock()
+
+	c.val, c.err = fn()
+	close(c.done)
+	return c.val, c.err
+}
+
+// Len returns the number of cached (or in-flight) keys.
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}

@@ -17,13 +17,26 @@ type Event struct {
 	fn       func(now Cycle)
 	canceled bool
 	index    int // heap index, -1 when popped
+	eng      *Engine
 }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op. Canceled events are dropped lazily;
+// once they outnumber the live ones the engine compacts its heap, so long
+// runs with heavy preemption (which cancels completion events constantly)
+// cannot accumulate garbage.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.eng == nil || e.index < 0 {
+		return // already popped (fired or being fired)
+	}
+	e.eng.live--
+	e.eng.dead++
+	if e.eng.dead > len(e.eng.events)/2 {
+		e.eng.compact()
 	}
 }
 
@@ -57,11 +70,14 @@ func (h *eventHeap) Pop() any {
 }
 
 // Engine is a deterministic discrete-event executor. The zero value is ready
-// to use.
+// to use. An Engine is confined to a single goroutine; parallel simulations
+// each own their engine (see internal/parallel).
 type Engine struct {
 	now    Cycle
 	seq    uint64
 	events eventHeap
+	live   int // uncanceled events still in the heap
+	dead   int // canceled events still in the heap
 }
 
 // Now returns the current simulated cycle.
@@ -74,8 +90,9 @@ func (e *Engine) Schedule(at Cycle, fn func(now Cycle)) *Event {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	ev := &Event{At: at, seq: e.seq, fn: fn}
+	ev := &Event{At: at, seq: e.seq, fn: fn, eng: e}
 	heap.Push(&e.events, ev)
+	e.live++
 	return ev
 }
 
@@ -87,28 +104,48 @@ func (e *Engine) After(delay Cycle, fn func(now Cycle)) *Event {
 	return e.Schedule(e.now+delay, fn)
 }
 
-// Pending reports whether any uncanceled events remain.
-func (e *Engine) Pending() bool {
-	for _, ev := range e.events {
-		if !ev.canceled {
-			return true
-		}
-	}
-	return false
-}
+// Pending reports whether any uncanceled events remain. It is O(1): the
+// engine tracks the live-event count as events are scheduled, canceled, and
+// fired.
+func (e *Engine) Pending() bool { return e.live > 0 }
 
 // Step fires the next event. It returns false when no events remain.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.canceled {
+			e.dead--
 			continue
 		}
+		e.live--
 		e.now = ev.At
 		ev.fn(e.now)
 		return true
 	}
 	return false
+}
+
+// compact rebuilds the heap without its canceled events in O(n). Live events
+// keep their (At, seq) keys, so the pop order — and therefore the simulated
+// schedule — is unchanged.
+func (e *Engine) compact() {
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if ev.canceled {
+			ev.index = -1
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(e.events); i++ {
+		e.events[i] = nil // release dropped events to the GC
+	}
+	e.events = kept
+	for i, ev := range e.events {
+		ev.index = i
+	}
+	heap.Init(&e.events)
+	e.dead = 0
 }
 
 // RunUntil fires events until the predicate returns true (checked after each

@@ -51,6 +51,112 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
+func TestEngineCancelCompactsHeap(t *testing.T) {
+	var e Engine
+	events := make([]*Event, 10_000)
+	for i := range events {
+		events[i] = e.Schedule(Cycle(i+1), func(Cycle) {})
+	}
+	// Cancel everything but the last event: compaction must kick in well
+	// before the heap fills with garbage.
+	for _, ev := range events[:len(events)-1] {
+		ev.Cancel()
+	}
+	if len(e.events) > len(events)/2 {
+		t.Fatalf("heap holds %d entries after canceling %d of %d events",
+			len(e.events), len(events)-1, len(events))
+	}
+	if !e.Pending() {
+		t.Fatal("one live event remains, Pending must be true")
+	}
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d events, want 1", fired)
+	}
+	if e.Pending() {
+		t.Fatal("Pending after drain")
+	}
+}
+
+func TestEngineCompactionPreservesOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	var cancel []*Event
+	// Interleave kept and canceled events with colliding times so compaction
+	// has to preserve (At, seq) tie-breaks.
+	for i := 0; i < 200; i++ {
+		i := i
+		at := Cycle(100 - i/2) // descending, pairs tie
+		ev := e.Schedule(at, func(Cycle) { order = append(order, i) })
+		if i%2 == 1 {
+			cancel = append(cancel, ev)
+		}
+	}
+	for _, ev := range cancel {
+		ev.Cancel()
+	}
+	for e.Step() {
+	}
+	if len(order) != 100 {
+		t.Fatalf("fired %d events, want 100", len(order))
+	}
+	for k := 1; k < len(order); k++ {
+		a, b := order[k-1], order[k]
+		atA, atB := Cycle(100-a/2), Cycle(100-b/2)
+		if atA > atB || (atA == atB && a > b) {
+			t.Fatalf("fire order violated at %d: event %d (t=%d) before %d (t=%d)",
+				k, a, atA, b, atB)
+		}
+	}
+}
+
+func TestEngineLiveCountInvariants(t *testing.T) {
+	var e Engine
+	if e.Pending() {
+		t.Fatal("zero-value engine pending")
+	}
+	ev := e.Schedule(5, func(Cycle) {})
+	if !e.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
+	ev.Cancel()
+	ev.Cancel() // double-cancel must not corrupt the counters
+	if e.Pending() {
+		t.Fatal("canceled event still pending")
+	}
+	fired := false
+	ev2 := e.Schedule(7, func(Cycle) { fired = true })
+	for e.Step() {
+	}
+	if !fired || e.Pending() {
+		t.Fatalf("fired=%v pending=%v after drain", fired, e.Pending())
+	}
+	ev2.Cancel() // cancel-after-fire is a no-op
+	if e.Pending() || e.live != 0 || e.dead != 0 {
+		t.Fatalf("counters corrupted: live=%d dead=%d", e.live, e.dead)
+	}
+}
+
+func TestEngineCancelDuringCallback(t *testing.T) {
+	var e Engine
+	var fired []int
+	var later *Event
+	e.Schedule(1, func(Cycle) {
+		fired = append(fired, 1)
+		later.Cancel()
+	})
+	later = e.Schedule(2, func(Cycle) { fired = append(fired, 2) })
+	e.Schedule(3, func(Cycle) { fired = append(fired, 3) })
+	for e.Step() {
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v, want [1 3]", fired)
+	}
+}
+
 func TestEnginePastSchedulingPanics(t *testing.T) {
 	var e Engine
 	e.Schedule(10, func(Cycle) {})
