@@ -37,6 +37,10 @@ func main() {
 	bars := flag.Bool("bars", false, "render tables as ASCII bar charts on stdout")
 	markdown := flag.Bool("markdown", false, "additionally write <id>.md files")
 	par := flag.Int("parallel", 0, "simulation worker count (0 = GOMAXPROCS, 1 = serial)")
+	traceDir := flag.String("trace", "",
+		"write a Perfetto-loadable <pair>.trace.json timeline per collocation pair into this directory")
+	counterDir := flag.String("counters", "",
+		"write <pair>.counters.csv per-workload counter snapshots into this directory")
 	flag.Parse()
 
 	if *list {
@@ -51,6 +55,8 @@ func main() {
 	ctx.ProfileRequests = *profileReqs
 	ctx.Seed = *seed
 	ctx.Parallel = *par
+	ctx.TraceDir = *traceDir
+	ctx.CounterDir = *counterDir
 
 	var gens []experiments.Generator
 	if *only == "" {

@@ -6,11 +6,14 @@
 //	v10sim -workloads BERT:32,NCF:32 -scheme V10-Full -slice 4096
 //	v10sim -workloads BERT:32 -record bert.trace.json # capture a trace
 //	v10sim -traces bert.trace.json,ncf.trace.json     # replay traces
+//	v10sim -scheme V10-Full -trace timeline.json      # Perfetto timeline
+//	v10sim -counters counters.csv                     # counter snapshots
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -28,6 +31,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	record := flag.String("record", "", "record the first workload's trace to this file and exit")
 	traces := flag.String("traces", "", "comma-separated trace files to replay instead of -workloads")
+	traceOut := flag.String("trace", "",
+		"write a Chrome/Perfetto trace-event JSON timeline of the V10 runs to this file")
+	countersOut := flag.String("counters", "",
+		"write per-workload counter snapshots to this file (.json for JSON, else CSV)")
+	counterInterval := flag.Int64("counter-interval", 0,
+		"counter sampling interval in cycles (default 32x the time slice)")
 	flag.Parse()
 
 	cfg := v10.DefaultConfig()
@@ -58,7 +67,35 @@ func main() {
 		fmt.Printf("recorded %d requests of %s to %s\n", *requests, workloads[0].Name, *record)
 		return
 	}
-	opt := v10.Options{Config: cfg, Requests: *requests, TimeSlice: *slice, Seed: *seed}
+	opt := v10.Options{Config: cfg, Requests: *requests, TimeSlice: *slice, Seed: *seed,
+		CounterInterval: *counterInterval}
+	var tracer *v10.ChromeTrace
+	if *traceOut != "" {
+		tracer = v10.NewChromeTrace(cfg)
+		opt.Tracer = tracer
+	}
+	if *countersOut != "" {
+		opt.Counters = v10.NewCounterLog()
+	}
+	// flush writes the observability outputs; runs that time out still leave
+	// a timeline behind, which is exactly when it is most needed.
+	flush := func() {
+		if tracer != nil {
+			if err := tracer.WriteFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d trace events to %s (open in ui.perfetto.dev)\n",
+				tracer.Len(), *traceOut)
+		}
+		if opt.Counters != nil {
+			if err := opt.Counters.WriteFile(*countersOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d counter rows to %s\n", opt.Counters.Len(), *countersOut)
+		}
+	}
 
 	if *scheme != "" {
 		s, ok := schemeByName(*scheme)
@@ -66,23 +103,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
 			os.Exit(2)
 		}
+		if tracer != nil {
+			tracer.BeginSection(s.String())
+		}
+		if opt.Counters != nil {
+			opt.Counters.BeginSection(s.String())
+		}
 		res, err := v10.Collocate(workloads, s, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			if res == nil {
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "reporting partial measurements up to the cycle cap:")
 		}
 		printResult(res, nil)
+		flush()
+		if err != nil {
+			os.Exit(1)
+		}
 		return
 	}
 
 	results, rates, err := v10.CompareSchemes(workloads, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if len(results) == 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "reporting partial measurements up to the cycle cap:")
 	}
 	for _, name := range []string{"PMT", "V10-Base", "V10-Fair", "V10-Full"} {
-		printResult(results[name], rates)
-		fmt.Println()
+		if res, ok := results[name]; ok {
+			printResult(res, rates)
+			fmt.Println()
+		}
+	}
+	flush()
+	if err != nil {
+		os.Exit(1)
 	}
 }
 
@@ -126,6 +185,9 @@ func parseWorkloads(spec string, cfg v10.Config) ([]*v10.Workload, error) {
 			prio, err := strconv.ParseFloat(parts[2], 64)
 			if err != nil {
 				return nil, fmt.Errorf("bad priority in %q: %v", item, err)
+			}
+			if !(prio > 0) || math.IsInf(prio, 0) {
+				return nil, fmt.Errorf("bad priority in %q: must be positive and finite", item)
 			}
 			w = w.WithPriority(prio)
 		}

@@ -11,6 +11,7 @@ package baseline
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"v10/internal/mathx"
 	"v10/internal/metrics"
@@ -149,7 +150,7 @@ func RunPMT(workloads []*trace.Workload, opts PMTOptions) (*metrics.RunResult, e
 	}
 	finished := engine.RunUntil(done, opts.MaxCycles)
 	now := engine.Now()
-	busy.Advance(now)
+	busy.Finish(now)
 
 	result := &metrics.RunResult{
 		Scheme:      "PMT",
@@ -163,7 +164,17 @@ func RunPMT(workloads []*trace.Workload, opts PMTOptions) (*metrics.RunResult, e
 		result.Workloads = append(result.Workloads, wl.stats)
 	}
 	if !finished {
-		return result, ErrMaxCycles
+		// Keep the partial measurements: timed-out runs are diagnosed, not
+		// discarded (mirrors sched.Run).
+		var lag []string
+		for _, wl := range wls {
+			if wl.stats.Requests < opts.RequestsPerWorkload {
+				lag = append(lag, fmt.Sprintf("%s %d/%d",
+					wl.w.Name, wl.stats.Requests, opts.RequestsPerWorkload))
+			}
+		}
+		return result, fmt.Errorf("%w: stopped at cycle %d with incomplete workloads: %s",
+			ErrMaxCycles, now, strings.Join(lag, ", "))
 	}
 	return result, nil
 }

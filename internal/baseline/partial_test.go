@@ -1,0 +1,27 @@
+package baseline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"v10/internal/trace"
+)
+
+func TestPMTMaxCyclesPartialResult(t *testing.T) {
+	w := synthetic("Slow", 100000, 100000, 100)
+	res, err := RunPMT([]*trace.Workload{w},
+		PMTOptions{RequestsPerWorkload: 50, MaxCycles: 100000})
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	if res == nil {
+		t.Fatal("partial PMT result discarded on timeout")
+	}
+	if !strings.Contains(err.Error(), "Slow 0/50") {
+		t.Fatalf("diagnosis missing the lagging workload: %v", err)
+	}
+	if res.TotalCycles < 100000 {
+		t.Fatalf("partial result stops at %d, want >= the cycle cap", res.TotalCycles)
+	}
+}

@@ -13,6 +13,7 @@ package dma
 import (
 	"fmt"
 
+	"v10/internal/obs"
 	"v10/internal/sim"
 )
 
@@ -25,6 +26,10 @@ type Engine struct {
 	bytesMoved int64
 	busyCycles int64
 	pending    int
+
+	// Tracer, when non-nil, receives an EvDMA span per completed transfer
+	// (Dur = transfer cycles, Arg0 = bytes, Arg1 = FIFO queueing delay).
+	Tracer obs.Tracer
 }
 
 // New creates a DMA channel on the simulation engine.
@@ -63,9 +68,17 @@ func (d *Engine) Enqueue(bytes int64, onDone func(now sim.Cycle)) error {
 	d.busyUntil = done
 	d.busyCycles += cycles
 	d.pending++
+	queued := start - d.engine.Now()
 	d.engine.Schedule(done, func(now sim.Cycle) {
 		d.bytesMoved += bytes
 		d.pending--
+		if d.Tracer != nil {
+			d.Tracer.Emit(obs.Event{
+				Time: now, Dur: cycles, Type: obs.EvDMA,
+				WIdx: -1, FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+				Arg0: float64(bytes), Arg1: float64(queued),
+			})
+		}
 		if onDone != nil {
 			onDone(now)
 		}

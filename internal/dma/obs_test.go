@@ -1,0 +1,42 @@
+package dma
+
+import (
+	"testing"
+
+	"v10/internal/obs"
+	"v10/internal/sim"
+)
+
+func TestEnqueueEmitsDMAEvents(t *testing.T) {
+	e := &sim.Engine{}
+	d := New(e, 100) // 100 B/cycle
+	ring := obs.NewRing(16)
+	d.Tracer = ring
+	if err := d.Enqueue(1000, nil); err != nil { // 10 cycles
+		t.Fatal(err)
+	}
+	if err := d.Enqueue(500, nil); err != nil { // 5 cycles, queued behind the first
+		t.Fatal(err)
+	}
+	for e.Step() {
+	}
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("traced %d DMA events, want 2", len(evs))
+	}
+	first, second := evs[0], evs[1]
+	if first.Type != obs.EvDMA || second.Type != obs.EvDMA {
+		t.Fatalf("wrong event types: %+v %+v", first, second)
+	}
+	if first.Dur != 10 || first.Arg0 != 1000 || first.Arg1 != 0 {
+		t.Fatalf("first transfer = %+v, want dur 10, 1000 bytes, no queue wait", first)
+	}
+	// The second transfer waits the full 10 cycles of the first in the FIFO.
+	if second.Dur != 5 || second.Arg0 != 500 || second.Arg1 != 10 {
+		t.Fatalf("second transfer = %+v, want dur 5, 500 bytes, 10-cycle wait", second)
+	}
+	// Span-at-end convention: Time is the completion cycle.
+	if first.Time != 10 || second.Time != 15 {
+		t.Fatalf("completion times = %d, %d; want 10, 15", first.Time, second.Time)
+	}
+}

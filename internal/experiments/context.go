@@ -7,11 +7,14 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"v10/internal/baseline"
 	"v10/internal/metrics"
 	"v10/internal/models"
 	"v10/internal/npu"
+	"v10/internal/obs"
 	"v10/internal/parallel"
 	"v10/internal/sched"
 	"v10/internal/trace"
@@ -36,6 +39,16 @@ type Context struct {
 	// goroutine and rows are assembled in sweep order, so tables are
 	// bit-identical at any worker count.
 	Parallel int
+
+	// TraceDir, when set, attaches a Chrome trace writer to every V10 run of
+	// every collocation pair and writes <pair>.trace.json files there — any
+	// paper figure built on the pair runs can then be replayed as a Perfetto
+	// timeline. Pair runs are memoized, so each pair traces exactly once.
+	TraceDir string
+
+	// CounterDir, when set, writes interval-sampled per-workload counter
+	// snapshots for every pair as <pair>.counters.csv.
+	CounterDir string
 
 	profiles parallel.Memo[string, *metrics.RunResult]
 	pairs    parallel.Memo[string, *pairRun]
@@ -145,25 +158,60 @@ func (c *Context) pair(p [2]string) (*pairRun, error) {
 		}); err != nil {
 			return nil, fmt.Errorf("PMT %s: %w", key, err)
 		}
+		var tracer *obs.ChromeWriter
+		var counters *obs.CounterLog
+		if c.TraceDir != "" {
+			tracer = obs.NewChromeWriter(c.Config.CyclesPerMicrosecond())
+		}
+		if c.CounterDir != "" {
+			counters = obs.NewCounterLog()
+		}
 		for _, variant := range []struct {
-			opts sched.Options
-			dst  **metrics.RunResult
+			label string
+			opts  sched.Options
+			dst   **metrics.RunResult
 		}{
-			{sched.BaseOptions(), &run.base},
-			{sched.FairOptions(), &run.fair},
-			{sched.FullOptions(), &run.full},
+			{"V10-Base", sched.BaseOptions(), &run.base},
+			{"V10-Fair", sched.FairOptions(), &run.fair},
+			{"V10-Full", sched.FullOptions(), &run.full},
 		} {
 			opts := variant.opts
 			opts.Config = c.Config
 			opts.RequestsPerWorkload = c.Requests
+			if tracer != nil {
+				tracer.BeginSection(variant.label)
+				opts.Tracer = tracer
+			}
+			if counters != nil {
+				counters.BeginSection(variant.label)
+				opts.Counters = counters
+			}
 			res, err := sched.Run(mk(), opts)
 			if err != nil {
-				return nil, fmt.Errorf("%s %s: %w", opts.Scheme, key, err)
+				return nil, fmt.Errorf("%s %s: %w", variant.label, key, err)
 			}
 			*variant.dst = res
 		}
+		if tracer != nil {
+			if err := writeDir(c.TraceDir, key+".trace.json", tracer.WriteFile); err != nil {
+				return nil, err
+			}
+		}
+		if counters != nil {
+			if err := writeDir(c.CounterDir, key+".counters.csv", counters.WriteFile); err != nil {
+				return nil, err
+			}
+		}
 		return run, nil
 	})
+}
+
+// writeDir ensures dir exists and hands write the joined path.
+func writeDir(dir, name string, write func(path string) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return write(filepath.Join(dir, name))
 }
 
 // singleRates returns the pair's single-tenant progress rates, reusing the

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want %q", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestSetSwitchingUpperBound(t *testing.T) {
+	b := NewBusyTracker(2, 2)
+	b.SetSwitching(10, 2, 0) // at the bound: fine
+	mustPanic(t, "exceeds FU count", func() { b.SetSwitching(20, 1, 0) })
+
+	b2 := NewBusyTracker(2, 2)
+	mustPanic(t, "exceeds FU count", func() { b2.SetSwitching(10, 0, 3) })
+}
+
+func TestSetSwitchingNegative(t *testing.T) {
+	b := NewBusyTracker(2, 2)
+	mustPanic(t, "negative", func() { b.SetSwitching(10, -1, 0) })
+}
+
+func TestFinishPartitionsWallTime(t *testing.T) {
+	b := NewBusyTracker(1, 1)
+	b.SetBusy(100, 1, 0)  // SA busy from 100
+	b.SetBusy(200, 0, 1)  // both busy from 200
+	b.SetBusy(300, -1, 0) // VU only from 300
+	b.SetBusy(400, 0, -1) // idle from 400
+	b.Finish(500)
+	if b.IdleCycles != 200 || b.SAOnlyCycles != 100 || b.BothBusyCycles != 100 || b.VUOnlyCycles != 100 {
+		t.Fatalf("breakdown = idle %d / sa %d / both %d / vu %d",
+			b.IdleCycles, b.SAOnlyCycles, b.BothBusyCycles, b.VUOnlyCycles)
+	}
+	if b.TotalCycles() != 500 {
+		t.Fatalf("total = %d", b.TotalCycles())
+	}
+}
+
+func TestFinishDetectsCorruptedBreakdown(t *testing.T) {
+	b := NewBusyTracker(1, 1)
+	b.SetBusy(100, 1, 0)
+	b.SetBusy(200, -1, 0)
+	b.SAOnlyCycles += 7 // corrupt an accumulator behind the tracker's back
+	mustPanic(t, "does not sum to wall cycles", func() { b.Finish(300) })
+}

@@ -6,6 +6,8 @@
 package metrics
 
 import (
+	"fmt"
+
 	"v10/internal/mathx"
 )
 
@@ -70,13 +72,33 @@ func (b *BusyTracker) SetBusy(now int64, saDelta, vuDelta int) {
 	}
 }
 
-// SetSwitching adjusts the number of FUs performing context switches.
+// SetSwitching adjusts the number of FUs performing context switches. Counts
+// are bounded by the core's FU counts in both directions: a double-
+// SetSwitching bug would otherwise inflate SASwitchCycles/VUSwitchCycles
+// silently (each extra phantom switcher adds dt per interval).
 func (b *BusyTracker) SetSwitching(now int64, saDelta, vuDelta int) {
 	b.Advance(now)
 	b.saSwitch += saDelta
 	b.vuSwch += vuDelta
 	if b.saSwitch < 0 || b.vuSwch < 0 {
 		panic("metrics: FU switching count negative")
+	}
+	if b.saSwitch > b.numSA || b.vuSwch > b.numVU {
+		panic("metrics: FU switching count exceeds FU count")
+	}
+}
+
+// Finish integrates up to the end of the run and verifies the internal
+// invariant that the Fig. 17 overlap breakdown partitions wall time exactly:
+// BothBusy + SAOnly + VUOnly + Idle must equal the integrated span. Every
+// interval is accounted to exactly one bucket by Advance, so a mismatch means
+// tracker state was corrupted mid-run.
+func (b *BusyTracker) Finish(now int64) {
+	b.Advance(now)
+	sum := b.BothBusyCycles + b.SAOnlyCycles + b.VUOnlyCycles + b.IdleCycles
+	if sum != b.lastCycle {
+		panic(fmt.Sprintf("metrics: overlap breakdown (%d cycles) does not sum to wall cycles (%d)",
+			sum, b.lastCycle))
 	}
 }
 

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Track layout inside one trace section (= one Chrome "process"): functional
+// units get the low thread IDs so Perfetto sorts them to the top, each
+// workload gets its own track for stall/request events, and the DMA channel
+// sits below.
+const (
+	tidSA       = 1   // SA i → tidSA + i
+	tidVU       = 101 // VU j → tidVU + j
+	tidWorkload = 201 // workload w → tidWorkload + w
+	tidDMA      = 401
+)
+
+// ChromeWriter is a Tracer that renders the event stream as Chrome
+// trace-event JSON ("traceEvents" array format), loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+//
+// Sections group events into separate processes: call BeginSection before
+// each simulation run sharing the writer (e.g. one section per scheme in a
+// CompareSchemes sweep) and the runs appear side by side in the UI. Events
+// emitted before any BeginSection land in a default "sim" section.
+//
+// The writer buffers raw events and renders on WriteTo; under the simulator's
+// determinism contract the byte output is stable for a given run, which the
+// golden-file test pins down.
+type ChromeWriter struct {
+	cyclesPerUS float64
+	sections    []string
+	events      []sectionedEvent
+}
+
+type sectionedEvent struct {
+	Event
+	pid int
+	seq int
+}
+
+// NewChromeWriter creates a writer converting cycle timestamps to trace
+// microseconds at the given rate (CoreConfig.CyclesPerMicrosecond(); 700 for
+// the paper's 700 MHz core). Rates <= 0 keep timestamps in raw cycles.
+func NewChromeWriter(cyclesPerMicrosecond float64) *ChromeWriter {
+	if cyclesPerMicrosecond <= 0 {
+		cyclesPerMicrosecond = 1
+	}
+	return &ChromeWriter{cyclesPerUS: cyclesPerMicrosecond}
+}
+
+// BeginSection starts a new process-level grouping; subsequent events belong
+// to it.
+func (w *ChromeWriter) BeginSection(label string) {
+	w.sections = append(w.sections, label)
+}
+
+// Emit buffers one event into the current section.
+func (w *ChromeWriter) Emit(e Event) {
+	if len(w.sections) == 0 {
+		w.sections = append(w.sections, "sim")
+	}
+	w.events = append(w.events, sectionedEvent{Event: e, pid: len(w.sections), seq: len(w.events)})
+}
+
+// chromeEvent is one record of the trace-event format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// tid returns the thread track an event belongs on, with a display name for
+// the first encounter, or 0 for track-less records (counters).
+func (e sectionedEvent) tid() (tid int, name string) {
+	switch e.Type {
+	case EvStall, EvRequestDone:
+		if e.WIdx >= 0 {
+			name = e.Workload
+			if name == "" {
+				name = fmt.Sprintf("workload %d", e.WIdx)
+			}
+			return tidWorkload + e.WIdx, name
+		}
+	case EvDMA:
+		return tidDMA, "DMA"
+	case EvHBMRebalance:
+		return 0, ""
+	}
+	switch e.FUKind {
+	case FUSA:
+		return tidSA + e.FUIndex, fmt.Sprintf("SA %d", e.FUIndex)
+	case FUVU:
+		return tidVU + e.FUIndex, fmt.Sprintf("VU %d", e.FUIndex)
+	}
+	// Unattributed event: fall back to the workload track.
+	if e.WIdx >= 0 {
+		return tidWorkload + e.WIdx, e.Workload
+	}
+	return tidDMA + 1, "misc"
+}
+
+// render converts one buffered event.
+func (w *ChromeWriter) render(e sectionedEvent) chromeEvent {
+	ts := float64(e.Time-e.Dur) / w.cyclesPerUS
+	out := chromeEvent{Ts: ts, Pid: e.pid, Name: e.Type.String()}
+	tid, _ := e.tid()
+	out.Tid = tid
+
+	args := map[string]any{}
+	if e.Workload != "" {
+		args["workload"] = e.Workload
+	}
+	if e.Request >= 0 {
+		args["request"] = e.Request
+	}
+	if e.Op >= 0 {
+		args["op"] = e.Op
+	}
+
+	switch e.Type {
+	case EvHBMRebalance:
+		// Counter event: draws the allocated-bandwidth curve in Perfetto.
+		return chromeEvent{
+			Name: "hbm", Ph: "C", Ts: ts, Pid: e.pid,
+			Args: map[string]any{"allocated_Bpc": e.Arg1, "tasks": e.Arg0},
+		}
+	case EvRunSegment:
+		// Name run segments after the workload so the FU track reads as the
+		// paper's Fig. 16 timeline.
+		if e.Workload != "" {
+			out.Name = e.Workload
+		}
+	case EvPreempt:
+		args["remaining_cycles"] = e.Arg0
+	case EvRequestDone:
+		args["latency_cycles"] = e.Arg0
+	case EvDMA:
+		args["bytes"] = e.Arg0
+		args["queue_wait_cycles"] = e.Arg1
+	}
+
+	if e.Dur > 0 {
+		out.Ph = "X"
+		out.Dur = float64(e.Dur) / w.cyclesPerUS
+	} else {
+		out.Ph = "i"
+		out.S = "t"
+	}
+	if len(args) > 0 {
+		out.Args = args
+	}
+	return out
+}
+
+// WriteTo renders the buffered trace as JSON. It implements io.WriterTo.
+func (w *ChromeWriter) WriteTo(out io.Writer) (int64, error) {
+	f := chromeFile{DisplayTimeUnit: "ms"}
+
+	// Process metadata: one entry per section, in section order.
+	for i, label := range w.sections {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: i + 1,
+			Args: map[string]any{"name": label},
+		})
+	}
+	// Thread metadata: first-encounter order per (pid, tid).
+	type track struct{ pid, tid int }
+	seen := map[track]bool{}
+	for _, e := range w.events {
+		tid, name := e.tid()
+		if tid == 0 || name == "" || seen[track{e.pid, tid}] {
+			continue
+		}
+		seen[track{e.pid, tid}] = true
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: e.pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// Events sorted by span start, ties in emission order: spans are emitted
+	// at their end, so sorting restores a reader-friendly start ordering
+	// while staying deterministic.
+	evs := append([]sectionedEvent(nil), w.events...)
+	sort.SliceStable(evs, func(i, j int) bool {
+		si, sj := evs[i].Time-evs[i].Dur, evs[j].Time-evs[j].Dur
+		if si != sj {
+			return si < sj
+		}
+		return evs[i].seq < evs[j].seq
+	})
+	for _, e := range evs {
+		f.TraceEvents = append(f.TraceEvents, w.render(e))
+	}
+
+	data, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	n, err := out.Write(data)
+	return int64(n), err
+}
+
+// WriteFile renders the trace into path.
+func (w *ChromeWriter) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing trace %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Len returns the number of buffered events.
+func (w *ChromeWriter) Len() int { return len(w.events) }

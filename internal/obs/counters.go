@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// CounterRow is one per-workload counter snapshot: the cumulative values of
+// the workload's context-table counters at a sampling instant. Consecutive
+// rows for the same workload difference into rates (busy cycles per interval,
+// requests per interval, …), which is how the paper's utilization-over-time
+// breakdowns are built.
+type CounterRow struct {
+	Scheme       string  `json:"scheme,omitempty"`
+	Cycle        int64   `json:"cycle"`
+	Workload     string  `json:"workload"`
+	Requests     int     `json:"requests"`
+	ActiveCycles int64   `json:"active_cycles"`
+	SABusyCycles int64   `json:"sa_busy_cycles"`
+	VUBusyCycles int64   `json:"vu_busy_cycles"`
+	Preemptions  int64   `json:"preemptions"`
+	SwitchCycles int64   `json:"switch_cycles"`
+	HBMBytes     float64 `json:"hbm_bytes"`
+	CtxBytes     int64   `json:"ctx_bytes"`
+	QueueDepth   int     `json:"queue_depth"`
+}
+
+// CounterLog collects counter snapshots sampled on an interval during a run
+// and exports them as CSV or JSON. Like the ChromeWriter it supports
+// sections: BeginSection stamps subsequent rows with a scheme label so one
+// log can hold a whole CompareSchemes sweep.
+type CounterLog struct {
+	label string
+	Rows  []CounterRow
+}
+
+// NewCounterLog returns an empty log.
+func NewCounterLog() *CounterLog { return &CounterLog{} }
+
+// BeginSection stamps subsequent rows with the given scheme label.
+func (l *CounterLog) BeginSection(label string) { l.label = label }
+
+// Add appends one snapshot row, stamping the current section label.
+func (l *CounterLog) Add(r CounterRow) {
+	if r.Scheme == "" {
+		r.Scheme = l.label
+	}
+	l.Rows = append(l.Rows, r)
+}
+
+// Len returns the number of rows collected.
+func (l *CounterLog) Len() int { return len(l.Rows) }
+
+// csvHeader lists the exported columns, in order.
+var csvHeader = []string{
+	"scheme", "cycle", "workload", "requests", "active_cycles",
+	"sa_busy_cycles", "vu_busy_cycles", "preemptions", "switch_cycles",
+	"hbm_bytes", "ctx_bytes", "queue_depth",
+}
+
+// WriteCSV renders the rows as CSV with a header line.
+func (l *CounterLog) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(csvHeader, ","))
+	b.WriteByte('\n')
+	for _, r := range l.Rows {
+		fmt.Fprintf(&b, "%s,%d,%s,%d,%d,%d,%d,%d,%d,%.0f,%d,%d\n",
+			csvField(r.Scheme), r.Cycle, csvField(r.Workload), r.Requests,
+			r.ActiveCycles, r.SABusyCycles, r.VUBusyCycles, r.Preemptions,
+			r.SwitchCycles, r.HBMBytes, r.CtxBytes, r.QueueDepth)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// csvField quotes a value when it would break the row.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// WriteJSON renders the rows as a JSON array.
+func (l *CounterLog) WriteJSON(w io.Writer) error {
+	rows := l.Rows
+	if rows == nil {
+		rows = []CounterRow{}
+	}
+	data, err := json.MarshalIndent(rows, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile exports to path, picking the format from the extension:
+// .json writes JSON, anything else CSV.
+func (l *CounterLog) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = l.WriteJSON(f)
+	} else {
+		err = l.WriteCSV(f)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing counters %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,153 @@
+// Package obs is the simulator's observability layer: a zero-cost-when-
+// disabled tracing hook plus counter-snapshot export, threaded through the
+// discrete-event engine, the fluid HBM pool, the DMA engine, and the V10
+// operator scheduler.
+//
+// The design splits event *production* from event *consumption*:
+//
+//   - Producers (sched.runner, sim.FluidPool, dma.Engine) hold a Tracer that
+//     is nil by default. Every emission site is guarded by a nil check, so a
+//     run without tracing pays only an untaken branch — the acceptance bar is
+//     that BenchmarkRun shows no measurable regression with tracing off.
+//   - Sinks implement Tracer: Ring (bounded in-memory buffer the tests assert
+//     against), ChromeWriter (Chrome trace-event JSON loadable in Perfetto or
+//     chrome://tracing), or any user-provided implementation. Multi fans one
+//     event stream out to several sinks.
+//
+// Events carry workload / functional-unit / request attribution so a
+// timeline can answer the questions the paper's Figs. 16–17 and §3.3
+// preemption accounting ask: which operator ran where, when, and what the
+// context-switch overhead around it was.
+package obs
+
+import "fmt"
+
+// EventType enumerates the typed events the simulators emit.
+type EventType uint8
+
+const (
+	// EvDispatch marks the scheduler binding a ready operator to an FU
+	// (instant, FU-attributed).
+	EvDispatch EventType = iota
+	// EvStall spans an operator's DMA/instruction-fetch stall phase before it
+	// becomes ready (Dur cycles, workload-attributed).
+	EvStall
+	// EvRunSegment spans one contiguous execution segment of an operator on
+	// an FU (Dur cycles). An unpreempted operator is one segment; a preempted
+	// one contributes a segment per resumption.
+	EvRunSegment
+	// EvPreempt marks an operator being preempted off its FU (instant).
+	// Arg0 is the remaining compute cycles at the preemption point.
+	EvPreempt
+	// EvCtxSave spans the exposed context-save cost of a preemption
+	// (§3.3: SA input-replay drain or VU register spill; Dur cycles).
+	EvCtxSave
+	// EvCtxRestore spans the context-restore cost paid when a preempted
+	// operator is re-dispatched (Dur cycles).
+	EvCtxRestore
+	// EvDispatchDelay spans the exposed scheduling-decision latency of the
+	// §4 software scheduler (Dur cycles; the hardware scheduler hides it).
+	EvDispatchDelay
+	// EvRequestDone marks a request completing (instant). Arg0 is the
+	// request latency in cycles, including open-loop queueing.
+	EvRequestDone
+	// EvHBMRebalance marks the fluid pool re-solving its max-min bandwidth
+	// allocation (instant). Arg0 is the number of active tasks, Arg1 the
+	// total allocated bandwidth in bytes/cycle.
+	EvHBMRebalance
+	// EvDMA spans one DMA transfer on the channel (Dur cycles). Arg0 is the
+	// transfer size in bytes, Arg1 the cycles it waited behind earlier
+	// transfers in the FIFO.
+	EvDMA
+
+	numEventTypes // keep last
+)
+
+// String names the event type the way the trace files spell it.
+func (t EventType) String() string {
+	switch t {
+	case EvDispatch:
+		return "dispatch"
+	case EvStall:
+		return "stall"
+	case EvRunSegment:
+		return "run"
+	case EvPreempt:
+		return "preempt"
+	case EvCtxSave:
+		return "ctx-save"
+	case EvCtxRestore:
+		return "ctx-restore"
+	case EvDispatchDelay:
+		return "sched-latency"
+	case EvRequestDone:
+		return "request-done"
+	case EvHBMRebalance:
+		return "hbm-rebalance"
+	case EvDMA:
+		return "dma"
+	}
+	return fmt.Sprintf("EventType(%d)", uint8(t))
+}
+
+// FU kind codes used in Event.FUKind.
+const (
+	FUNone = -1 // event is not attributed to a functional unit
+	FUSA   = 0
+	FUVU   = 1
+)
+
+// Event is one timeline record. Spans (Dur > 0) are emitted at their *end*:
+// Time is the cycle the span finished and Time-Dur the cycle it began, which
+// lets producers emit a segment once its length is known instead of pairing
+// begin/end records.
+type Event struct {
+	Time int64 // cycle the event fired (span end when Dur > 0)
+	Dur  int64 // span length in cycles; 0 = instant event
+	Type EventType
+
+	Workload string // workload display name; "" when not attributed
+	WIdx     int    // workload index within the run; -1 when not attributed
+	FUKind   int    // FUSA, FUVU, or FUNone
+	FUIndex  int    // index within the FU kind; -1 when not attributed
+	Request  int    // request ordinal within the workload; -1 when n/a
+	Op       int    // operator index within the request; -1 when n/a
+
+	Arg0 float64 // type-specific payload (see the EventType docs)
+	Arg1 float64
+}
+
+// Tracer receives simulation events. Implementations must not retain the
+// engine's time ordering assumptions beyond what Emit is given: events arrive
+// in nondecreasing Time order per producer under the determinism contract.
+// A nil Tracer disables tracing; producers guard every emission site.
+type Tracer interface {
+	Emit(e Event)
+}
+
+// multi fans events out to several sinks.
+type multi []Tracer
+
+func (m multi) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
+// Multi returns a Tracer that forwards every event to all non-nil sinks.
+// It returns nil when no usable sink remains, preserving the nil fast path.
+func Multi(sinks ...Tracer) Tracer {
+	var out multi
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

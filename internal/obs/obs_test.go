@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventTypeStrings(t *testing.T) {
+	for ty := EventType(0); ty < numEventTypes; ty++ {
+		s := ty.String()
+		if s == "" || strings.HasPrefix(s, "EventType(") {
+			t.Errorf("EventType %d has no name", ty)
+		}
+	}
+	if !strings.HasPrefix(EventType(250).String(), "EventType(") {
+		t.Error("unknown event type should render its number")
+	}
+}
+
+func TestRingHoldsTail(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Time: int64(i), Type: EvDispatch})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Time != int64(6+i) {
+			t.Fatalf("event %d time = %d, want %d (oldest-first tail)", i, e.Time, 6+i)
+		}
+	}
+}
+
+func TestRingCountAndSumDur(t *testing.T) {
+	r := NewRing(16)
+	r.Emit(Event{Type: EvRunSegment, Dur: 100, WIdx: 0})
+	r.Emit(Event{Type: EvRunSegment, Dur: 50, WIdx: 1})
+	r.Emit(Event{Type: EvRunSegment, Dur: 25, WIdx: 0})
+	r.Emit(Event{Type: EvPreempt, WIdx: 0})
+	if got := r.Count(EvRunSegment); got != 3 {
+		t.Fatalf("Count(run) = %d", got)
+	}
+	if got := r.Count(EvPreempt); got != 1 {
+		t.Fatalf("Count(preempt) = %d", got)
+	}
+	if got := r.SumDur(EvRunSegment, -1); got != 175 {
+		t.Fatalf("SumDur(all) = %d", got)
+	}
+	if got := r.SumDur(EvRunSegment, 0); got != 125 {
+		t.Fatalf("SumDur(w0) = %d", got)
+	}
+}
+
+func TestRingRejectsZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestMulti(t *testing.T) {
+	a, b := NewRing(8), NewRing(8)
+	m := Multi(nil, a, nil, b)
+	m.Emit(Event{Type: EvDispatch})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out missed a sink: %d/%d", a.Len(), b.Len())
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi of no sinks must stay nil (the disabled fast path)")
+	}
+	if one := Multi(nil, a); one != Tracer(a) {
+		t.Fatal("Multi of one sink should return it directly")
+	}
+}
+
+func TestCounterLogCSV(t *testing.T) {
+	l := NewCounterLog()
+	l.BeginSection("V10-Full")
+	l.Add(CounterRow{Cycle: 100, Workload: "BERT-b32", Requests: 2, ActiveCycles: 90,
+		SABusyCycles: 60, VUBusyCycles: 20, Preemptions: 1, SwitchCycles: 384,
+		HBMBytes: 1234.5, CtxBytes: 98304, QueueDepth: 3})
+	var sb strings.Builder
+	if err := l.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want header + 1 row:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != strings.Join(csvHeader, ",") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// %.0f rounds half to even: 1234.5 HBM bytes renders as 1234.
+	want := "V10-Full,100,BERT-b32,2,90,60,20,1,384,1234,98304,3"
+	if lines[1] != want {
+		t.Fatalf("row = %q, want %q", lines[1], want)
+	}
+}
+
+func TestCounterLogCSVQuoting(t *testing.T) {
+	l := NewCounterLog()
+	l.Add(CounterRow{Workload: `odd,"name"`})
+	var sb strings.Builder
+	if err := l.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"odd,""name"""`) {
+		t.Fatalf("workload not CSV-quoted: %s", sb.String())
+	}
+}
+
+func TestCounterLogJSON(t *testing.T) {
+	l := NewCounterLog()
+	var sb strings.Builder
+	if err := l.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Fatalf("empty log JSON = %q, want []", sb.String())
+	}
+	l.BeginSection("V10-Base")
+	l.Add(CounterRow{Cycle: 7, Workload: "NCF-b32"})
+	sb.Reset()
+	if err := l.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"scheme": "V10-Base"`, `"cycle": 7`, `"workload": "NCF-b32"`} {
+		if !strings.Contains(sb.String(), frag) {
+			t.Fatalf("JSON missing %s:\n%s", frag, sb.String())
+		}
+	}
+}

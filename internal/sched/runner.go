@@ -3,10 +3,12 @@ package sched
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"v10/internal/mathx"
 
 	"v10/internal/metrics"
+	"v10/internal/obs"
 	"v10/internal/sim"
 	"v10/internal/trace"
 )
@@ -84,11 +86,32 @@ type runner struct {
 	engine   *sim.Engine
 	pool     *sim.FluidPool
 	busy     *metrics.BusyTracker
+	tr       obs.Tracer    // nil when tracing is disabled
 	fus      [2][]*fuState // by kind
 	wls      []*wlState
 	dispatch uint64
 	ctxCap   int64 // per-workload cap on held preemption context
 	vmemPart int64 // per-workload vector-memory partition
+}
+
+// event builds a workload/FU-attributed trace event. Call sites guard on
+// r.tr != nil before constructing the event, keeping the disabled path free.
+func (r *runner) event(t obs.EventType, now, dur int64, wl *wlState, fu *fuState) obs.Event {
+	e := obs.Event{
+		Time: now, Dur: dur, Type: t,
+		WIdx: -1, FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+	}
+	if wl != nil {
+		e.Workload = wl.w.Name
+		e.WIdx = wl.idx
+		e.Request = wl.requestNo
+		e.Op = wl.opIdx
+	}
+	if fu != nil {
+		e.FUKind = fu.kind
+		e.FUIndex = fu.idx
+	}
+	return e
 }
 
 // Run simulates the workloads sharing one NPU core under the given options
@@ -100,6 +123,15 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 	}
 	if len(workloads) == 0 {
 		return nil, fmt.Errorf("sched: no workloads")
+	}
+	// Algorithm 1 divides by the priority when computing active_rate_p, so a
+	// zero, negative, or non-finite priority silently turns the policy's
+	// comparisons into ±Inf/NaN ordering. Reject it up front.
+	for i, w := range workloads {
+		if !(w.Priority > 0) || math.IsInf(w.Priority, 0) {
+			return nil, fmt.Errorf("sched: workload %d (%s) has invalid priority %v; must be positive and finite",
+				i, w.Name, w.Priority)
+		}
 	}
 
 	cfg := opts.Config
@@ -113,9 +145,11 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 		engine:   engine,
 		pool:     sim.NewFluidPool(engine, capacity),
 		busy:     metrics.NewBusyTracker(cfg.NumSA, cfg.NumVU),
+		tr:       opts.Tracer,
 		vmemPart: cfg.VMemBytes / int64(len(workloads)),
 	}
 	r.ctxCap = r.vmemPart / 4
+	r.pool.Tracer = opts.Tracer
 	for i := 0; i < cfg.NumSA; i++ {
 		r.fus[0] = append(r.fus[0], &fuState{kind: 0, idx: i})
 	}
@@ -140,6 +174,9 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 	if opts.Preemption {
 		r.scheduleSliceTimer()
 	}
+	if opts.Counters != nil {
+		r.scheduleCounterTimer()
+	}
 
 	done := func() bool {
 		for _, wl := range r.wls {
@@ -151,7 +188,10 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 	}
 	finished := engine.RunUntil(done, opts.MaxCycles)
 	now := engine.Now()
-	r.busy.Advance(now)
+	r.busy.Finish(now)
+	if opts.Counters != nil {
+		r.sampleCounters(now) // final snapshot at the end of the run
+	}
 
 	result := &metrics.RunResult{
 		Scheme:      opts.scheme(),
@@ -166,9 +206,50 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 		result.Workloads = append(result.Workloads, wl.stats)
 	}
 	if !finished {
-		return result, ErrMaxCycles
+		// Return the partial measurements alongside the error: a timed-out
+		// open-loop run is diagnosed from its trace and counters, not
+		// discarded. The wrap says who was behind when the cap hit.
+		var lag []string
+		for _, wl := range r.wls {
+			if wl.stats.Requests < opts.RequestsPerWorkload {
+				lag = append(lag, fmt.Sprintf("%s %d/%d (queue %d)",
+					wl.w.Name, wl.stats.Requests, opts.RequestsPerWorkload, len(wl.queue)))
+			}
+		}
+		return result, fmt.Errorf("%w: stopped at cycle %d with incomplete workloads: %s",
+			ErrMaxCycles, now, strings.Join(lag, ", "))
 	}
 	return result, nil
+}
+
+// scheduleCounterTimer arms the periodic counter-snapshot sampler.
+func (r *runner) scheduleCounterTimer() {
+	var tick func(now int64)
+	tick = func(now int64) {
+		r.sampleCounters(now)
+		r.engine.Schedule(now+r.opts.CounterInterval, tick)
+	}
+	r.engine.Schedule(r.opts.CounterInterval, tick)
+}
+
+// sampleCounters snapshots every workload's cumulative context-table
+// counters into the counter log.
+func (r *runner) sampleCounters(now int64) {
+	for _, wl := range r.wls {
+		r.opts.Counters.Add(obs.CounterRow{
+			Cycle:        now,
+			Workload:     wl.w.Name,
+			Requests:     wl.stats.Requests,
+			ActiveCycles: wl.activeAt(now),
+			SABusyCycles: wl.stats.SABusyCycles,
+			VUBusyCycles: wl.stats.VUBusyCycles,
+			Preemptions:  wl.stats.Preemptions,
+			SwitchCycles: wl.stats.SwitchCycles,
+			HBMBytes:     wl.stats.HBMBytes,
+			CtxBytes:     wl.ctxBytes,
+			QueueDepth:   len(wl.queue),
+		})
+	}
 }
 
 // startRequest loads the next request's operator stream (tiled for the
@@ -228,6 +309,9 @@ func (r *runner) beginOp(wl *wlState, now int64) {
 // is idle.
 func (r *runner) opReady(wl *wlState, now int64) {
 	wl.phase = phaseReady
+	if r.tr != nil {
+		r.tr.Emit(r.event(obs.EvStall, now, wl.currentOp().Stall, wl, nil))
+	}
 	if wl.fu != nil {
 		return // already bound to an FU (mid context-restore)
 	}
@@ -257,6 +341,9 @@ func (r *runner) dispatchTo(fu *fuState, wl *wlState, now int64) {
 	wl.lastDispatch = r.dispatch
 	wl.fu = fu
 	fu.running = wl
+	if r.tr != nil {
+		r.tr.Emit(r.event(obs.EvDispatch, now, 0, wl, fu))
+	}
 
 	// Exposed scheduling-decision latency (zero for the hardware scheduler;
 	// ~20 µs for the §4 software alternative). The FU waits for the verdict.
@@ -267,6 +354,9 @@ func (r *runner) dispatchTo(fu *fuState, wl *wlState, now int64) {
 		r.engine.Schedule(now+lat, func(t int64) {
 			fu.switching = false
 			r.setSwitching(t, fu.kind, -1)
+			if r.tr != nil {
+				r.tr.Emit(r.event(obs.EvDispatchDelay, t, lat, wl, fu))
+			}
 			r.finishDispatch(fu, wl, t)
 		})
 		return
@@ -287,6 +377,9 @@ func (r *runner) finishDispatch(fu *fuState, wl *wlState, now int64) {
 			r.setSwitching(t, fu.kind, -1)
 			r.releaseCtx(wl, fu.kind)
 			wl.preempted = false
+			if r.tr != nil {
+				r.tr.Emit(r.event(obs.EvCtxRestore, t, restore, wl, fu))
+			}
 			r.startTask(fu, wl, t)
 		})
 		return
@@ -325,6 +418,9 @@ func (r *runner) opComplete(fu *fuState, wl *wlState, now int64) {
 	wl.task = nil
 	wl.fu = nil
 	fu.running = nil
+	if r.tr != nil {
+		r.tr.Emit(r.event(obs.EvRunSegment, now, seg, wl, fu))
+	}
 
 	wl.opIdx++
 	if wl.opIdx == len(wl.ops) {
@@ -333,6 +429,11 @@ func (r *runner) opComplete(fu *fuState, wl *wlState, now int64) {
 		// closed loop, from the arrival queue in the open loop.
 		lat := float64(now - wl.requestStart)
 		wl.stats.LatencyCycles = append(wl.stats.LatencyCycles, lat)
+		if r.tr != nil {
+			e := r.event(obs.EvRequestDone, now, 0, wl, nil)
+			e.Arg0 = lat
+			r.tr.Emit(e)
+		}
 		wl.stats.Requests++
 		if wl.stats.Requests == 1 {
 			wl.stats.FirstCompleteAt = now
@@ -444,6 +545,12 @@ func (r *runner) preempt(fu *fuState, wl *wlState, now int64) {
 	wl.phase = phaseReady
 	wl.preempted = true
 	fu.running = nil
+	if r.tr != nil {
+		r.tr.Emit(r.event(obs.EvRunSegment, now, seg, wl, fu))
+		e := r.event(obs.EvPreempt, now, 0, wl, fu)
+		e.Arg0 = wl.remaining
+		r.tr.Emit(e)
+	}
 
 	save := r.saveCycles(fu.kind)
 	wl.stats.SwitchCycles += save
@@ -452,6 +559,9 @@ func (r *runner) preempt(fu *fuState, wl *wlState, now int64) {
 	r.engine.Schedule(now+save, func(t int64) {
 		fu.switching = false
 		r.setSwitching(t, fu.kind, -1)
+		if r.tr != nil {
+			r.tr.Emit(r.event(obs.EvCtxSave, t, save, wl, fu))
+		}
 		r.fillFU(fu, t)
 	})
 }

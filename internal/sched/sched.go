@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"v10/internal/npu"
+	"v10/internal/obs"
 	"v10/internal/trace"
 )
 
@@ -93,6 +94,21 @@ type Options struct {
 
 	// Scheme overrides the result label; empty derives it from the options.
 	Scheme string
+
+	// Tracer, when non-nil, receives the run's timeline events (operator
+	// dispatch, stall, run segments, preemption save/restore, HBM
+	// rebalancing). Nil — the default — disables tracing entirely; every
+	// emission site is nil-guarded so the disabled path costs one branch.
+	Tracer obs.Tracer
+
+	// Counters, when non-nil, receives a per-workload snapshot of the
+	// context-table counters every CounterInterval cycles plus one final
+	// snapshot at the end of the run.
+	Counters *obs.CounterLog
+
+	// CounterInterval is the counter sampling period in cycles
+	// (default 32 × Config.TimeSlice ≈ 1.5 ms at the paper's configuration).
+	CounterInterval int64
 }
 
 // scheme returns the label for results.
@@ -147,6 +163,12 @@ func (o Options) withDefaults() (Options, error) {
 	// host-side decision plus round trip.
 	if o.SoftwareScheduler && o.DispatchLatency == 0 {
 		o.DispatchLatency = int64(20 * o.Config.CyclesPerMicrosecond())
+	}
+	if o.CounterInterval < 0 {
+		return o, errors.New("sched: negative CounterInterval")
+	}
+	if o.CounterInterval == 0 {
+		o.CounterInterval = 32 * o.Config.TimeSlice
 	}
 	return o, nil
 }

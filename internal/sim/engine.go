@@ -35,6 +35,7 @@ func (e *Event) Cancel() {
 	}
 	e.eng.live--
 	e.eng.dead++
+	e.eng.canceled++
 	if e.eng.dead > len(e.eng.events)/2 {
 		e.eng.compact()
 	}
@@ -73,15 +74,25 @@ func (h *eventHeap) Pop() any {
 // to use. An Engine is confined to a single goroutine; parallel simulations
 // each own their engine (see internal/parallel).
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	events eventHeap
-	live   int // uncanceled events still in the heap
-	dead   int // canceled events still in the heap
+	now      Cycle
+	seq      uint64
+	events   eventHeap
+	live     int // uncanceled events still in the heap
+	dead     int // canceled events still in the heap
+	fired    uint64
+	canceled uint64
 }
 
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
+
+// EventStats reports the engine's lifetime event counters: how many events
+// were scheduled, how many fired, and how many were canceled before firing.
+// The difference (scheduled - fired - canceled) is the pending backlog; the
+// cancel count is the churn preemption-heavy schedules put on the heap.
+func (e *Engine) EventStats() (scheduled, fired, canceled uint64) {
+	return e.seq, e.fired, e.canceled
+}
 
 // Schedule registers fn to run at cycle at. Scheduling in the past panics —
 // that is always a simulator bug. Ties fire in scheduling order.
@@ -118,6 +129,7 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.live--
+		e.fired++
 		e.now = ev.At
 		ev.fn(e.now)
 		return true

@@ -1,6 +1,9 @@
 package sim
 
-import "v10/internal/npu"
+import (
+	"v10/internal/npu"
+	"v10/internal/obs"
+)
 
 // FluidTask is one operator making progress on a functional unit while
 // streaming HBM traffic. Work is measured in compute cycles: a task with no
@@ -33,6 +36,12 @@ type FluidPool struct {
 	nextID   int
 
 	totalBytes float64 // all traffic ever moved through the pool
+
+	// Tracer, when non-nil, receives an EvHBMRebalance event at every
+	// re-solve of the bandwidth allocation (each task start, completion, and
+	// preemption). Every emission is nil-guarded so the disabled path costs
+	// one branch.
+	Tracer obs.Tracer
 }
 
 // NewFluidPool creates a pool over the engine with the given bytes/cycle
@@ -123,6 +132,17 @@ func (p *FluidPool) recompute() {
 		demands = append(demands, p.tasks[id].DemandBW)
 	}
 	alloc := npu.WaterFill(demands, p.capacity)
+	if p.Tracer != nil {
+		used := 0.0
+		for _, a := range alloc {
+			used += a
+		}
+		p.Tracer.Emit(obs.Event{
+			Time: now, Type: obs.EvHBMRebalance,
+			WIdx: -1, FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+			Arg0: float64(len(p.tasks)), Arg1: used,
+		})
+	}
 
 	for i, id := range ids {
 		t := p.tasks[id]

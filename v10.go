@@ -29,6 +29,7 @@ import (
 	"v10/internal/metrics"
 	"v10/internal/models"
 	"v10/internal/npu"
+	"v10/internal/obs"
 	"v10/internal/sched"
 	"v10/internal/trace"
 )
@@ -55,6 +56,65 @@ type Result = metrics.RunResult
 
 // WorkloadResult holds one workload's measurements within a Result.
 type WorkloadResult = metrics.WorkloadStats
+
+// Observability layer (see internal/obs): a Tracer receives the simulation's
+// typed timeline events; a CounterLog receives interval-sampled per-workload
+// counter snapshots. Both are nil by default and cost nothing when disabled.
+
+// Tracer receives simulation timeline events.
+type Tracer = obs.Tracer
+
+// TraceEvent is one timeline record.
+type TraceEvent = obs.Event
+
+// ChromeTrace renders the event stream as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.
+type ChromeTrace = obs.ChromeWriter
+
+// TraceRing is a bounded in-memory event sink holding the timeline's tail.
+type TraceRing = obs.Ring
+
+// CounterLog collects per-workload counter snapshots for CSV/JSON export.
+type CounterLog = obs.CounterLog
+
+// TraceEventType classifies timeline events (TraceEvent.Type).
+type TraceEventType = obs.EventType
+
+// Timeline event types, re-exported for filtering TraceRing contents.
+const (
+	EvDispatch      = obs.EvDispatch
+	EvStall         = obs.EvStall
+	EvRunSegment    = obs.EvRunSegment
+	EvPreempt       = obs.EvPreempt
+	EvCtxSave       = obs.EvCtxSave
+	EvCtxRestore    = obs.EvCtxRestore
+	EvDispatchDelay = obs.EvDispatchDelay
+	EvRequestDone   = obs.EvRequestDone
+	EvHBMRebalance  = obs.EvHBMRebalance
+	EvDMA           = obs.EvDMA
+)
+
+// NewChromeTrace creates a Perfetto-loadable trace writer whose timestamps
+// are converted from cycles at the config's clock rate.
+func NewChromeTrace(cfg Config) *ChromeTrace {
+	if cfg.SADim == 0 {
+		cfg = DefaultConfig()
+	}
+	return obs.NewChromeWriter(cfg.CyclesPerMicrosecond())
+}
+
+// NewTraceRing creates an in-memory event sink holding up to capacity events.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRing(capacity) }
+
+// NewCounterLog creates an empty counter-snapshot log.
+func NewCounterLog() *CounterLog { return obs.NewCounterLog() }
+
+// MultiTracer fans events out to every non-nil sink.
+func MultiTracer(sinks ...Tracer) Tracer { return obs.Multi(sinks...) }
+
+// ErrMaxCycles is returned (wrapped, alongside the partial Result) when a
+// V10 simulation exceeds its cycle cap before every workload finishes.
+var ErrMaxCycles = sched.ErrMaxCycles
 
 // ModelNames returns the 11 evaluated model families (paper Table 4).
 func ModelNames() []string { return models.Names() }
@@ -152,6 +212,18 @@ type Options struct {
 
 	// Seed controls PMT context-switch jitter.
 	Seed uint64
+
+	// Tracer, when non-nil, receives the run's timeline events (V10 schemes
+	// only; the PMT baseline runs untraced).
+	Tracer Tracer
+
+	// Counters, when non-nil, receives per-workload counter snapshots every
+	// CounterInterval cycles plus a final one (V10 schemes only).
+	Counters *CounterLog
+
+	// CounterInterval is the counter sampling period in cycles
+	// (default 32 × the scheduler time slice).
+	CounterInterval int64
 }
 
 func (o Options) config() Config {
@@ -207,6 +279,9 @@ func Collocate(workloads []*Workload, scheme Scheme, opt Options) (*Result, erro
 			ArrivalRateHz:       opt.ArrivalRateHz,
 			SoftwareScheduler:   opt.SoftwareScheduler,
 			Seed:                opt.Seed,
+			Tracer:              opt.Tracer,
+			Counters:            opt.Counters,
+			CounterInterval:     opt.CounterInterval,
 		}
 		switch scheme {
 		case SchemeV10Base:
@@ -223,9 +298,17 @@ func Collocate(workloads []*Workload, scheme Scheme, opt Options) (*Result, erro
 	}
 }
 
+// sectioner is implemented by sinks that group a multi-run sweep (the
+// ChromeTrace writer and the CounterLog both do).
+type sectioner interface{ BeginSection(label string) }
+
 // CompareSchemes runs all four designs on the same workload set and returns
 // results keyed by scheme name, plus the single-tenant progress rates needed
-// to compute STP (Result.STP).
+// to compute STP (Result.STP). When opt.Tracer or opt.Counters support
+// sections (ChromeTrace, CounterLog), each scheme's events land in its own
+// section so one file holds the whole sweep. On error the partially filled
+// result map is returned alongside it, including any partial result of the
+// failing run.
 func CompareSchemes(workloads []*Workload, opt Options) (map[string]*Result, []float64, error) {
 	requests := opt.Requests
 	if requests <= 0 {
@@ -237,11 +320,19 @@ func CompareSchemes(workloads []*Workload, opt Options) (map[string]*Result, []f
 	}
 	out := make(map[string]*Result, 4)
 	for _, s := range []Scheme{SchemePMT, SchemeV10Base, SchemeV10Fair, SchemeV10Full} {
-		res, err := Collocate(workloads, s, opt)
-		if err != nil {
-			return nil, nil, fmt.Errorf("v10: %s: %w", s, err)
+		if sec, ok := opt.Tracer.(sectioner); ok && opt.Tracer != nil {
+			sec.BeginSection(s.String())
 		}
-		out[s.String()] = res
+		if opt.Counters != nil {
+			opt.Counters.BeginSection(s.String())
+		}
+		res, err := Collocate(workloads, s, opt)
+		if res != nil {
+			out[s.String()] = res
+		}
+		if err != nil {
+			return out, rates, fmt.Errorf("v10: %s: %w", s, err)
+		}
 	}
 	return out, rates, nil
 }
