@@ -1,0 +1,97 @@
+// Command v10check is the differential simulation-testing gate: it runs N
+// seed-addressed random trials through every scheduling scheme with the
+// runtime invariant checker attached, cross-checks the differential oracles
+// (serial equivalence, permutation fairness, determinism), and on the first
+// violation writes a minimized JSON repro plus an optional Chrome trace of
+// the failing run, then exits 1.
+//
+//	v10check                                  # 500 trials from seed 0
+//	v10check -trials 2000 -seed 100           # wider sweep, custom base seed
+//	v10check -out repro.json -trace fail.json # artifacts on first violation
+//	v10check -replay repro.json               # re-run a saved repro
+//	v10check -v                               # per-trial progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"v10/internal/obs"
+	"v10/internal/simcheck"
+)
+
+func main() {
+	trials := flag.Int("trials", 500, "number of random trials")
+	seed := flag.Uint64("seed", 0, "base seed (trial i uses seed+i)")
+	out := flag.String("out", "repro.json", "minimized repro file written on violation")
+	tracePath := flag.String("trace", "", "Chrome trace of the first failing run (open in Perfetto)")
+	replay := flag.String("replay", "", "re-check a saved repro instead of random trials")
+	minimizeBudget := flag.Int("minimize", 200, "max re-checks spent minimizing a failure (0 disables)")
+	verbose := flag.Bool("v", false, "log every trial")
+	flag.Parse()
+
+	if *replay != "" {
+		sc, err := simcheck.ReadScenario(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		if v := simcheck.CheckScenario(sc); v != nil {
+			report(sc, v, *out, *tracePath, 0) // replays are already minimal
+			os.Exit(1)
+		}
+		fmt.Printf("repro %s: all schemes clean\n", *replay)
+		return
+	}
+
+	for i := 0; i < *trials; i++ {
+		s := *seed + uint64(i)
+		if *verbose {
+			fmt.Printf("trial %d/%d seed %d\n", i+1, *trials, s)
+		}
+		if v := simcheck.RunTrial(s); v != nil {
+			fmt.Fprintf(os.Stderr, "seed %d violated %d invariant(s)\n", s, len(v.Problems))
+			report(v.Scenario, v, *out, *tracePath, *minimizeBudget)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("v10check: %d trials from seed %d, zero violations\n", *trials, *seed)
+}
+
+// report minimizes the failure, writes the repro and optional Chrome trace,
+// and prints every problem.
+func report(sc *simcheck.Scenario, v *simcheck.Violation, out, tracePath string, minimizeBudget int) {
+	if minimizeBudget > 0 {
+		if min, mv := simcheck.Minimize(sc, minimizeBudget); mv != nil {
+			sc, v = min, mv
+		}
+	}
+	for _, p := range v.Problems {
+		fmt.Fprintf(os.Stderr, "  - %s\n", p)
+	}
+	if out != "" {
+		if err := sc.WriteFile(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "repro written to %s (replay with -replay %s)\n", out, out)
+	}
+	if tracePath != "" {
+		cw := obs.NewChromeWriter(sc.Config.CyclesPerMicrosecond())
+		for _, scheme := range sc.Schemes {
+			cw.BeginSection(scheme)
+			run := simcheck.RunScheme(sc, scheme, false)
+			for _, e := range run.Events {
+				cw.Emit(e)
+			}
+		}
+		if err := cw.WriteFile(tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "timeline written to %s\n", tracePath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "v10check:", err)
+	os.Exit(1)
+}

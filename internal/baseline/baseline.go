@@ -9,13 +9,13 @@
 package baseline
 
 import (
-	"errors"
 	"fmt"
 	"strings"
 
 	"v10/internal/mathx"
 	"v10/internal/metrics"
 	"v10/internal/npu"
+	"v10/internal/obs"
 	"v10/internal/sched"
 	"v10/internal/sim"
 	"v10/internal/trace"
@@ -69,6 +69,11 @@ type PMTOptions struct {
 	// WeightByPriority scales each workload's quantum by its priority
 	// (the paper's §5.6 PMT comparison assigns time slices proportionally).
 	WeightByPriority bool
+
+	// Tracer receives timeline events (dispatch, stall, run segments,
+	// preemptions, whole-core context switches). nil disables tracing; every
+	// emission site is nil-guarded, mirroring sched.Run.
+	Tracer obs.Tracer
 }
 
 func (o PMTOptions) withDefaults() (PMTOptions, error) {
@@ -90,8 +95,10 @@ func (o PMTOptions) withDefaults() (PMTOptions, error) {
 	return o, nil
 }
 
-// ErrMaxCycles mirrors sched.ErrMaxCycles for the baseline runner.
-var ErrMaxCycles = errors.New("baseline: simulation exceeded MaxCycles before completing")
+// ErrMaxCycles is the sentinel for runs stopped by the MaxCycles guard. It
+// aliases sched.ErrMaxCycles so errors.Is matches uniformly whichever runner
+// produced the timeout.
+var ErrMaxCycles = sched.ErrMaxCycles
 
 type pmtWL struct {
 	idx          int
@@ -108,7 +115,8 @@ type pmtWL struct {
 	remainingCompute float64 // of the current op (mid-run checkpoint)
 	remainingStall   int64
 	stallStartedAt   int64
-	started          bool // current op passed its stall phase
+	started          bool  // current op passed its stall phase
+	segStart         int64 // when the current compute segment began
 }
 
 // RunPMT simulates preemptive multitasking over the workloads.
@@ -136,8 +144,9 @@ func RunPMT(workloads []*trace.Workload, opts PMTOptions) (*metrics.RunResult, e
 
 	r := &pmtRunner{
 		opts: opts, engine: engine, pool: pool, busy: busy, rng: rng,
-		wls: wls, prioSum: prioSum,
+		wls: wls, prioSum: prioSum, tr: opts.Tracer,
 	}
+	pool.Tracer = opts.Tracer
 	r.activate(0, 0)
 
 	done := func() bool {
@@ -150,6 +159,24 @@ func RunPMT(workloads []*trace.Workload, opts PMTOptions) (*metrics.RunResult, e
 	}
 	finished := engine.RunUntil(done, opts.MaxCycles)
 	now := engine.Now()
+	// Close the in-flight compute segment so the results account occupancy up
+	// to the stop cycle (the counterpart of sched.Run's activeAt): without it
+	// a capped run under-reports the active workload by up to one operator.
+	if r.task != nil {
+		wl := wls[r.active]
+		op := &wl.ops[wl.opIdx]
+		kind := kindOf(op.Kind)
+		remaining := pool.Preempt(r.task)
+		wl.stats.HBMBytes += r.task.BytesMoved()
+		seg := now - wl.segStart
+		wl.stats.ActiveCycles += seg
+		wl.addBusy(kind, int64((wl.remainingCompute-remaining)*op.Eff()))
+		r.setBusy(now, kind, -1)
+		if r.tr != nil && seg > 0 {
+			r.tr.Emit(r.event(obs.EvRunSegment, now, seg, wl, kind))
+		}
+		r.task = nil
+	}
 	busy.Finish(now)
 
 	result := &metrics.RunResult{
@@ -185,6 +212,7 @@ type pmtRunner struct {
 	pool    *sim.FluidPool
 	busy    *metrics.BusyTracker
 	rng     *mathx.RNG
+	tr      obs.Tracer // nil when tracing is disabled
 	wls     []*pmtWL
 	prioSum float64
 
@@ -228,6 +256,26 @@ func (wl *pmtWL) addBusy(kind int, cycles int64) {
 	}
 }
 
+// event builds a workload-attributed trace event. PMT time-shares the whole
+// core, so FU-attributed events use index 0 of the operator's FU kind. Call
+// sites guard on r.tr != nil first, keeping the disabled path free.
+func (r *pmtRunner) event(t obs.EventType, now, dur int64, wl *pmtWL, kind int) obs.Event {
+	e := obs.Event{
+		Time: now, Dur: dur, Type: t,
+		WIdx: -1, FUKind: kind, FUIndex: -1, Request: -1, Op: -1,
+	}
+	if wl != nil {
+		e.Workload = wl.w.Name
+		e.WIdx = wl.idx
+		e.Request = wl.requestNo
+		e.Op = wl.opIdx
+	}
+	if kind != obs.FUNone {
+		e.FUIndex = 0
+	}
+	return e
+}
+
 // quantum returns the active workload's slice length.
 func (r *pmtRunner) quantum(wl *pmtWL) int64 {
 	if !r.opts.WeightByPriority || r.prioSum == 0 {
@@ -246,6 +294,9 @@ func (r *pmtRunner) activate(idx int, now int64) {
 	r.active = idx
 	r.epoch++
 	wl := r.wls[idx]
+	if r.tr != nil {
+		r.tr.Emit(r.event(obs.EvDispatch, now, 0, wl, kindOf(wl.ops[wl.opIdx].Kind)))
+	}
 	if len(r.wls) > 1 {
 		epoch := r.epoch
 		r.sliceEvent = r.engine.Schedule(now+r.quantum(wl), func(t int64) {
@@ -273,6 +324,9 @@ func (r *pmtRunner) resumeOp(wl *pmtWL, now int64) {
 			}
 			wl.started = true
 			wl.remainingStall = -1
+			if r.tr != nil {
+				r.tr.Emit(r.event(obs.EvStall, t, stall, wl, obs.FUNone))
+			}
 			r.runOp(wl, t)
 		})
 		wl.remainingStall = stall
@@ -295,6 +349,7 @@ func (r *pmtRunner) runOp(wl *pmtWL, now int64) {
 	}
 	kind := kindOf(op.Kind)
 	r.setBusy(now, kind, +1)
+	wl.segStart = now
 	epoch := r.epoch
 	r.task = r.pool.Start(work, demand, func(t int64) {
 		if epoch != r.epoch {
@@ -309,14 +364,20 @@ func (r *pmtRunner) opComplete(wl *pmtWL, now int64) {
 	op := &wl.ops[wl.opIdx]
 	kind := kindOf(op.Kind)
 	r.setBusy(now, kind, -1)
-	// The final segment executed whatever remained at its start; earlier
-	// segments were credited when their slices expired.
-	wl.stats.ActiveCycles += int64(wl.remainingCompute)
+	// The final segment ran wall-clock from its (re)start to now; earlier
+	// segments were credited when their slices expired. Occupancy is wall
+	// time (not work cycles) so ActiveCycles stays conserved against the
+	// busy tracker even when the fluid HBM pool stretches the segment.
+	seg := now - wl.segStart
+	wl.stats.ActiveCycles += seg
 	wl.addBusy(kind, int64(wl.remainingCompute*op.Eff()))
 	wl.stats.HBMBytes += r.task.BytesMoved()
 	wl.stats.ProgressOps++
 	wl.stats.ProgressOpCycles += float64(op.Compute)
 	wl.stats.FLOPs += op.FLOPs
+	if r.tr != nil {
+		r.tr.Emit(r.event(obs.EvRunSegment, now, seg, wl, kind))
+	}
 	r.task = nil
 	wl.remainingCompute = -1
 	wl.started = false
@@ -324,7 +385,13 @@ func (r *pmtRunner) opComplete(wl *pmtWL, now int64) {
 
 	wl.opIdx++
 	if wl.opIdx == len(wl.ops) {
-		wl.stats.LatencyCycles = append(wl.stats.LatencyCycles, float64(now-wl.requestStart))
+		lat := float64(now - wl.requestStart)
+		wl.stats.LatencyCycles = append(wl.stats.LatencyCycles, lat)
+		if r.tr != nil {
+			e := r.event(obs.EvRequestDone, now, 0, wl, obs.FUNone)
+			e.Arg0 = lat
+			r.tr.Emit(e)
+		}
 		wl.stats.Requests++
 		if wl.stats.Requests == 1 {
 			wl.stats.FirstCompleteAt = now
@@ -344,19 +411,38 @@ func (r *pmtRunner) sliceExpired(now int64) {
 	// Freeze the current operator wherever it is.
 	if r.task != nil {
 		op := &wl.ops[wl.opIdx]
+		kind := kindOf(op.Kind)
 		remaining := r.pool.Preempt(r.task)
 		wl.stats.HBMBytes += r.task.BytesMoved()
-		wl.stats.ActiveCycles += int64(wl.remainingCompute - remaining)
-		wl.addBusy(kindOf(op.Kind), int64((wl.remainingCompute-remaining)*op.Eff()))
+		seg := now - wl.segStart
+		wl.stats.ActiveCycles += seg
+		wl.addBusy(kind, int64((wl.remainingCompute-remaining)*op.Eff()))
 		wl.remainingCompute = remaining
-		r.setBusy(now, kindOf(op.Kind), -1)
+		r.setBusy(now, kind, -1)
 		r.task = nil
+		if r.tr != nil {
+			r.tr.Emit(r.event(obs.EvRunSegment, now, seg, wl, kind))
+			e := r.event(obs.EvPreempt, now, 0, wl, kind)
+			e.Arg0 = remaining
+			r.tr.Emit(e)
+		}
 	} else if r.stallEvent != nil {
 		r.stallEvent.Cancel()
 		elapsed := now - wl.stallStartedAt
+		before := wl.remainingStall
 		wl.remainingStall -= elapsed
 		if wl.remainingStall < 0 {
 			wl.remainingStall = 0
+		}
+		if r.tr != nil {
+			if consumed := before - wl.remainingStall; consumed > 0 {
+				r.tr.Emit(r.event(obs.EvStall, now, consumed, wl, obs.FUNone))
+			}
+			// Arg0 = -1 marks a stall-phase preemption: no compute was
+			// outstanding, so the op re-arms its remaining stall on resume.
+			e := r.event(obs.EvPreempt, now, 0, wl, obs.FUNone)
+			e.Arg0 = -1
+			r.tr.Emit(e)
 		}
 	}
 	wl.stats.Preemptions++
@@ -368,6 +454,9 @@ func (r *pmtRunner) sliceExpired(now int64) {
 	wl.stats.SwitchCycles += switchCycles
 	next := r.pickNext()
 	r.engine.Schedule(now+switchCycles, func(t int64) {
+		if r.tr != nil {
+			r.tr.Emit(r.event(obs.EvCtxSave, t, switchCycles, wl, obs.FUNone))
+		}
 		r.activate(next, t)
 	})
 }

@@ -65,7 +65,7 @@ func (c *Context) Table2() (*report.Table, error) {
 	// instances have high FU occupancy, so many same-FU pairs genuinely
 	// fall below the 1.3× benefit threshold (the negative class).
 	workloads, feats := c.clusterInstances([]int{32, 256, 1024})
-	perf := collocate.SimPairPerf(c.Config, maxInt(2, c.Requests/2))
+	perf := collocate.SimPairPerf(c.Config, mathx.MaxInt(2, c.Requests/2))
 	results, err := collocate.CrossValidate(workloads, feats, perf,
 		collocate.TrainConfig{K: 5, Threshold: 1.3, PairSamples: 12, Seed: c.Seed, Parallel: c.Parallel},
 		func(m *collocate.Model) []collocate.Predictor {

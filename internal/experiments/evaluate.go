@@ -181,19 +181,12 @@ func (c *Context) Fig21() (*report.Table, error) {
 			fullW := run.full.Workloads[wl]
 			pmtOvhd := mathx.Ratio(float64(pmtW.SwitchCycles), float64(run.pmt.TotalCycles), 0)
 			fullOvhd := mathx.Ratio(float64(fullW.SwitchCycles), float64(run.full.TotalCycles), 0)
-			pmtPre := float64(pmtW.Preemptions) / float64(maxInt(pmtW.Requests, 1))
-			fullPre := float64(fullW.Preemptions) / float64(maxInt(fullW.Requests, 1))
+			pmtPre := float64(pmtW.Preemptions) / float64(mathx.MaxInt(pmtW.Requests, 1))
+			fullPre := float64(fullW.Preemptions) / float64(mathx.MaxInt(fullW.Requests, 1))
 			t.AddRow(PairLabel(p), pmtW.Name,
 				report.Percent(pmtOvhd), report.Percent(fullOvhd),
 				report.FormatFloat(pmtPre), report.FormatFloat(fullPre))
 		}
 	}
 	return t, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -266,7 +266,7 @@ func (c *Context) Fig25() (*report.Table, error) {
 			}
 			opts := sched.FullOptions()
 			opts.Config = cfg
-			opts.RequestsPerWorkload = maxInt(2, c.Requests/2)
+			opts.RequestsPerWorkload = mathx.MaxInt(2, c.Requests/2)
 			res, err := sched.Run(ws, opts)
 			if err != nil {
 				return "", fmt.Errorf("fig25 (%d,%d)x%d: %w", n, n, m, err)

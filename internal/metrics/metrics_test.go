@@ -244,3 +244,59 @@ func TestProgressRateZeroCycles(t *testing.T) {
 		t.Fatal("zero-cycle progress rate should be 0")
 	}
 }
+
+// --- BusyTracker boundary behaviour ---
+
+// A zero-FU tracker is degenerate but legal (a core model with one FU kind
+// disabled): time integrates entirely into Idle, and any attempt to mark an
+// FU busy or switching panics immediately.
+func TestBusyTrackerZeroFUs(t *testing.T) {
+	b := NewBusyTracker(0, 0)
+	b.Advance(500)
+	b.Finish(1000)
+	if b.IdleCycles != 1000 || b.TotalCycles() != 1000 {
+		t.Fatalf("idle = %d, total = %d, want 1000, 1000", b.IdleCycles, b.TotalCycles())
+	}
+	if b.SABusyCycles != 0 || b.VUBusyCycles != 0 {
+		t.Fatal("zero-FU tracker accumulated busy cycles")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("busy FU accepted on a zero-FU tracker")
+		}
+	}()
+	b2 := NewBusyTracker(0, 0)
+	b2.SetBusy(0, 1, 0)
+}
+
+// Finish with no recorded activity must not trip the partition check: the
+// whole span is idle, and Both+SAOnly+VUOnly+Idle still sums to wall time.
+func TestBusyTrackerFinishWithoutActivity(t *testing.T) {
+	b := NewBusyTracker(2, 2)
+	b.Finish(12345)
+	if b.IdleCycles != 12345 {
+		t.Fatalf("idle = %d, want 12345", b.IdleCycles)
+	}
+	if got := b.BothBusyCycles + b.SAOnlyCycles + b.VUOnlyCycles + b.IdleCycles; got != b.TotalCycles() {
+		t.Fatalf("partition %d != wall %d", got, b.TotalCycles())
+	}
+	// Finish at cycle 0 (a run that never advanced) is also fine.
+	NewBusyTracker(1, 1).Finish(0)
+}
+
+// SetSwitching at exactly the FU count is legal (every FU mid-switch); one
+// more panics.
+func TestBusyTrackerSwitchingAtFUCountBoundary(t *testing.T) {
+	b := NewBusyTracker(2, 3)
+	b.SetSwitching(0, 2, 3) // exactly numSA, numVU: allowed
+	b.SetSwitching(100, -2, -3)
+	if b.SASwitchCycles != 200 || b.VUSwitchCycles != 300 {
+		t.Fatalf("switch unit-cycles = %d/%d, want 200/300", b.SASwitchCycles, b.VUSwitchCycles)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("switching count above FU count accepted")
+		}
+	}()
+	b.SetSwitching(200, 3, 0)
+}

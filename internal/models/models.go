@@ -213,8 +213,8 @@ func (s Spec) derive(batch int, cfg npu.CoreConfig) derived {
 	// fractions are target/intra-op-efficiency.
 	occupSA := math.Min(s.UtilSA/s.IntraEffSA, 0.95)
 	occupVU := math.Min(s.UtilVU/s.IntraEffVU, 0.95)
-	d.numSA = maxInt(1, int(math.Round(occupSA*tRef/saLenRef)))
-	d.numVU = maxInt(1, int(math.Round(occupVU*tRef/vuLenRef)))
+	d.numSA = mathx.MaxInt(1, int(math.Round(occupSA*tRef/saLenRef)))
+	d.numVU = mathx.MaxInt(1, int(math.Round(occupVU*tRef/vuLenRef)))
 
 	// Operator lengths: SA ops scale with occupied row tiles (padding floor
 	// for small batches), VU ops scale linearly with a pipeline floor.
@@ -320,7 +320,7 @@ func buildGraph(s Spec, d derived, seed uint64, request int) *trace.Graph {
 		op := trace.Op{
 			ID:         len(g.Ops),
 			Kind:       kind,
-			Compute:    maxI64(1, int64(compute*jitter)),
+			Compute:    mathx.MaxInt64(1, int64(compute*jitter)),
 			Stall:      int64(stall * mathx.Clamp(rng.LogNormalMean(1, s.CV), 0.3, 3.0)),
 			Efficiency: eff,
 			FLOPs:      flops * jitter,
@@ -390,18 +390,4 @@ func Table1(n int, cfg npu.CoreConfig) []Table1Row {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Model < rows[j].Model })
 	return rows
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

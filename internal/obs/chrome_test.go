@@ -1,3 +1,15 @@
+// Golden-file tests for the Chrome/Perfetto trace writer.
+//
+// TestChromeWriterGolden compares WriteTo's byte output against
+// testdata/chrome_golden.json. After an intentional format change, regenerate
+// the golden file with:
+//
+//	go test ./internal/obs -run TestChromeWriterGolden -update
+//
+// then eyeball the diff (and ideally load the file in ui.perfetto.dev) before
+// committing it. The -update flag rewrites the golden file with the current
+// output, so running it against a broken writer would bless the breakage —
+// never use it to "fix" an unexplained failure.
 package obs
 
 import (

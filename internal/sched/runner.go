@@ -487,7 +487,12 @@ func (r *runner) pickNext(kind int, now int64) *wlState {
 		case Priority:
 			key = wl.arpAt(now)
 		}
-		if best == nil || key < bestKey {
+		// Exact active_rate_p ties fall back to least-recently-dispatched.
+		// Ties are persistent — not just momentary — when operators carry no
+		// compute (active cycles never accrue, arp stays 0 for everyone), and
+		// breaking them by table index would starve the last workload forever.
+		if best == nil || key < bestKey ||
+			(key == bestKey && wl.lastDispatch < best.lastDispatch) {
 			best, bestKey = wl, key
 		}
 	}

@@ -1,6 +1,10 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+
+	"v10/internal/mathx"
+)
 
 // Workload is a deployed inference service: a model at a fixed batch size
 // that repeatedly serves requests. Request graphs vary slightly from request
@@ -80,7 +84,7 @@ func TileForVMem(g *Graph, partition int64, reloadFactor float64) *Graph {
 				Efficiency: op.Efficiency,
 				FLOPs:      op.FLOPs / float64(k),
 				HBMBytes:   totalHBM / float64(k),
-				VMemBytes:  minInt64(op.VMemBytes, partition),
+				VMemBytes:  mathx.MinInt64(op.VMemBytes, partition),
 				Deps:       deps,
 			}
 			if t == 0 {
@@ -94,11 +98,4 @@ func TileForVMem(g *Graph, partition int64, reloadFactor float64) *Graph {
 		remap[op.ID] = len(out.Ops) - 1
 	}
 	return out
-}
-
-func minInt64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -23,6 +23,7 @@
 package v10
 
 import (
+	"errors"
 	"fmt"
 
 	"v10/internal/baseline"
@@ -213,8 +214,13 @@ type Options struct {
 	// Seed controls PMT context-switch jitter.
 	Seed uint64
 
-	// Tracer, when non-nil, receives the run's timeline events (V10 schemes
-	// only; the PMT baseline runs untraced).
+	// MaxCycles caps the simulated cycles before a run is abandoned with
+	// ErrMaxCycles (default 200e9). Capped runs still return their partial
+	// Result alongside the error.
+	MaxCycles int64
+
+	// Tracer, when non-nil, receives the run's timeline events from both the
+	// V10 schemes and the PMT baseline.
 	Tracer Tracer
 
 	// Counters, when non-nil, receives per-workload counter snapshots every
@@ -268,13 +274,16 @@ func Collocate(workloads []*Workload, scheme Scheme, opt Options) (*Result, erro
 			Policy:              policy,
 			Quantum:             opt.PMTQuantum,
 			RequestsPerWorkload: opt.Requests,
+			MaxCycles:           opt.MaxCycles,
 			Seed:                opt.Seed,
 			WeightByPriority:    true,
+			Tracer:              opt.Tracer,
 		})
 	case SchemeV10Base, SchemeV10Fair, SchemeV10Full:
 		so := sched.Options{
 			Config:              cfg,
 			RequestsPerWorkload: opt.Requests,
+			MaxCycles:           opt.MaxCycles,
 			PreemptMargin:       opt.PreemptMargin,
 			ArrivalRateHz:       opt.ArrivalRateHz,
 			SoftwareScheduler:   opt.SoftwareScheduler,
@@ -306,9 +315,11 @@ type sectioner interface{ BeginSection(label string) }
 // results keyed by scheme name, plus the single-tenant progress rates needed
 // to compute STP (Result.STP). When opt.Tracer or opt.Counters support
 // sections (ChromeTrace, CounterLog), each scheme's events land in its own
-// section so one file holds the whole sweep. On error the partially filled
-// result map is returned alongside it, including any partial result of the
-// failing run.
+// section so one file holds the whole sweep. A failing scheme does not stop
+// the sweep: the remaining schemes still run, every partial result (including
+// a cycle-capped run's measurements up to the cap) lands in the map, and the
+// per-scheme errors come back joined, so errors.Is(err, ErrMaxCycles) still
+// identifies timeouts.
 func CompareSchemes(workloads []*Workload, opt Options) (map[string]*Result, []float64, error) {
 	requests := opt.Requests
 	if requests <= 0 {
@@ -319,6 +330,7 @@ func CompareSchemes(workloads []*Workload, opt Options) (map[string]*Result, []f
 		return nil, nil, err
 	}
 	out := make(map[string]*Result, 4)
+	var errs []error
 	for _, s := range []Scheme{SchemePMT, SchemeV10Base, SchemeV10Fair, SchemeV10Full} {
 		if sec, ok := opt.Tracer.(sectioner); ok && opt.Tracer != nil {
 			sec.BeginSection(s.String())
@@ -331,8 +343,8 @@ func CompareSchemes(workloads []*Workload, opt Options) (map[string]*Result, []f
 			out[s.String()] = res
 		}
 		if err != nil {
-			return out, rates, fmt.Errorf("v10: %s: %w", s, err)
+			errs = append(errs, fmt.Errorf("v10: %s: %w", s, err))
 		}
 	}
-	return out, rates, nil
+	return out, rates, errors.Join(errs...)
 }

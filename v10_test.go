@@ -2,6 +2,7 @@ package v10
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -357,5 +358,52 @@ func TestAdvisorPlanGroups(t *testing.T) {
 	}
 	if res.TotalSTP <= 0 {
 		t.Fatal("grouped cluster made no progress")
+	}
+}
+
+// A cycle-capped sweep must not lose information: every scheme's partial
+// result (measurements up to the cap) stays in the map, the joined error
+// matches ErrMaxCycles, and the lag diagnosis names the workload that was
+// still incomplete when the cap hit.
+func TestCompareSchemesPartialOnMaxCycles(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := NewWorkload("BERT", 32, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWorkload("NCF", 32, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rates, err := CompareSchemes([]*Workload{a, b}, Options{Requests: 3, MaxCycles: 50_000})
+	if err == nil {
+		t.Fatal("50k-cycle cap did not trip on a multi-million-cycle sweep")
+	}
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	if len(rates) != 2 {
+		t.Fatalf("single-tenant rates = %d entries, want 2", len(rates))
+	}
+	for _, scheme := range []string{"PMT", "V10-Base", "V10-Fair", "V10-Full"} {
+		res, ok := out[scheme]
+		if !ok {
+			t.Fatalf("capped scheme %s missing from partial results (have %d)", scheme, len(out))
+		}
+		if res.TotalCycles < 50_000 {
+			t.Fatalf("%s: partial result stops at %d cycles, cap was 50k", scheme, res.TotalCycles)
+		}
+		if len(res.Workloads) != 2 {
+			t.Fatalf("%s: partial result has %d workloads", scheme, len(res.Workloads))
+		}
+	}
+	// The diagnosis must name at least one lagging workload with its
+	// progress so the timeout is actionable without re-running.
+	msg := err.Error()
+	if !strings.Contains(msg, a.Name) && !strings.Contains(msg, b.Name) {
+		t.Fatalf("lag diagnosis does not name a workload: %s", msg)
+	}
+	if !strings.Contains(msg, "incomplete") {
+		t.Fatalf("lag diagnosis missing progress detail: %s", msg)
 	}
 }
