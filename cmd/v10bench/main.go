@@ -26,6 +26,23 @@ import (
 	"v10/internal/report"
 )
 
+// selectGenerators resolves the -only flag: empty means every generator, else
+// a comma-separated ID list in the order given.
+func selectGenerators(only string) ([]experiments.Generator, error) {
+	if only == "" {
+		return experiments.Generators(), nil
+	}
+	var gens []experiments.Generator
+	for _, id := range strings.Split(only, ",") {
+		g, ok := experiments.ByID(strings.TrimSpace(id))
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		gens = append(gens, g)
+	}
+	return gens, nil
+}
+
 func main() {
 	out := flag.String("out", "results", "directory to write tables into")
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
@@ -58,18 +75,10 @@ func main() {
 	ctx.TraceDir = *traceDir
 	ctx.CounterDir = *counterDir
 
-	var gens []experiments.Generator
-	if *only == "" {
-		gens = experiments.Generators()
-	} else {
-		for _, id := range strings.Split(*only, ",") {
-			g, ok := experiments.ByID(strings.TrimSpace(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
-				os.Exit(2)
-			}
-			gens = append(gens, g)
-		}
+	gens, err := selectGenerators(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v; use -list\n", err)
+		os.Exit(2)
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {

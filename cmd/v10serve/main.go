@@ -1,0 +1,262 @@
+// Command v10serve simulates a multi-NPU serving fleet: M tenants send
+// open-loop Poisson request streams through a front-end dispatcher onto N
+// simulated cores, with placement driven by the trained collocation advisor
+// (or the least-loaded / random baselines) and bounded per-core queues that
+// spill or shed the overflow. It prints a JSON summary to stdout and a human
+// digest to stderr.
+//
+//	v10serve -cores 4 -tenants 8 -policy advisor
+//	v10serve -cores 2 -tenants 6 -policy least-loaded -rate 250
+//	v10serve -cores 4 -tenants 8 -scheme PMT -policy random
+//	v10serve -cores 4 -tenants 8 -trace fleet.json -counters fleet.csv
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	v10 "v10"
+)
+
+// defaultMix cycles SA-heavy (BERT, Transformer, ResNet) and VU-heavy (NCF,
+// DLRM, MNIST) models so every policy has both compatible and clashing pairs
+// to work with.
+var defaultMix = []string{"BERT", "NCF", "Transformer", "DLRM", "ResNet", "MNIST", "ShapeMask", "EfficientNet"}
+
+// summary is the JSON document v10serve emits on stdout.
+type summary struct {
+	Scheme         string                 `json:"scheme"`
+	Policy         string                 `json:"policy"`
+	Cores          int                    `json:"cores"`
+	TenantCount    int                    `json:"tenant_count"`
+	RateHz         float64                `json:"rate_hz"`
+	DurationCycles int64                  `json:"duration_cycles"`
+	TotalCycles    int64                  `json:"total_cycles"`
+	Offered        int                    `json:"offered"`
+	Admitted       int                    `json:"admitted"`
+	Shed           int                    `json:"shed"`
+	Completed      int                    `json:"completed"`
+	Good           int                    `json:"good"`
+	GoodputHz      float64                `json:"goodput_hz"`
+	ShedRate       float64                `json:"shed_rate"`
+	Placement      [][]int                `json:"placement"`
+	CoreResults    []coreSummary          `json:"core_results"`
+	Tenants        []v10.FleetTenantStats `json:"tenants"`
+}
+
+type coreSummary struct {
+	Core          int     `json:"core"`
+	Tenants       []int   `json:"tenants"`
+	Admitted      int     `json:"admitted"`
+	TotalCycles   int64   `json:"total_cycles"`
+	AggregateUtil float64 `json:"aggregate_util"`
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main's testable body: parse flags, serve the fleet, emit the JSON
+// summary on stdout. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("v10serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cores := fs.Int("cores", 4, "number of simulated NPU cores")
+	tenants := fs.Int("tenants", 8, "number of tenants (cycles through -models)")
+	modelsFlag := fs.String("models", strings.Join(defaultMix, ","),
+		"comma-separated model mix tenants cycle through")
+	batch := fs.Int("batch", 8, "inference batch size for every tenant")
+	rate := fs.Float64("rate", 60, "per-tenant open-loop arrival rate in Hz")
+	policy := fs.String("policy", "advisor", "tenant placement: advisor, least-loaded, or random")
+	schemeFlag := fs.String("scheme", "V10-Full", "per-core scheduler: PMT, V10-Base, V10-Fair, V10-Full")
+	duration := fs.Int64("duration-cycles", 50_000_000, "arrival window in cycles")
+	queueLimit := fs.Int("queue-limit", 8, "per-core dispatcher queue bound")
+	noSpill := fs.Bool("no-spill", false, "shed over-bound arrivals instead of spilling to other cores")
+	sloFactor := fs.Float64("slo-factor", 10, "latency SLO as a multiple of each tenant's estimated service time")
+	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same result)")
+	parallelism := fs.Int("parallel", 0, "worker goroutines for per-core simulations (0 = GOMAXPROCS)")
+	traceOut := fs.String("trace", "", "write a Perfetto timeline of the whole fleet (one section per core) to this file")
+	countersOut := fs.String("counters", "", "write per-core counter snapshots to this file (.json for JSON, else CSV)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	pol, err := v10.ParseFleetPolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	scheme, ok := schemeByName(*schemeFlag)
+	if !ok {
+		fmt.Fprintf(stderr, "unknown scheme %q (want PMT, V10-Base, V10-Fair, or V10-Full)\n", *schemeFlag)
+		return 2
+	}
+	cfg := v10.DefaultConfig()
+	ws, err := buildTenants(*modelsFlag, *tenants, *batch, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	opt := v10.FleetOptions{
+		Config:         cfg,
+		Cores:          *cores,
+		Policy:         pol,
+		RateHz:         *rate,
+		DurationCycles: *duration,
+		QueueLimit:     *queueLimit,
+		NoSpill:        *noSpill,
+		SLOFactor:      *sloFactor,
+		Seed:           *seed,
+		Parallel:       *parallelism,
+	}
+	if pol == v10.PlaceAdvisor {
+		fmt.Fprintf(stderr, "training collocation advisor on %d tenants...\n", len(ws))
+		adv, err := v10.TrainAdvisor(ws, v10.AdvisorOptions{
+			Config: cfg, Clusters: 4, ProfileRequests: 3, PairSamples: 8,
+			Seed: *seed, Parallel: *parallelism,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		opt.Advisor = adv
+	}
+	var tracer *v10.ChromeTrace
+	if *traceOut != "" {
+		tracer = v10.NewChromeTrace(cfg)
+		opt.Tracer = tracer
+	}
+	if *countersOut != "" {
+		opt.Counters = v10.NewCounterLog()
+	}
+
+	res, runErr := v10.ServeFleet(ws, scheme, opt)
+	if runErr != nil && res == nil {
+		fmt.Fprintln(stderr, runErr)
+		return 1
+	}
+	if runErr != nil {
+		fmt.Fprintln(stderr, runErr)
+		fmt.Fprintln(stderr, "reporting partial measurements up to the cycle cap:")
+	}
+
+	printDigest(stderr, res)
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote %d trace events to %s (open in ui.perfetto.dev)\n",
+			tracer.Len(), *traceOut)
+	}
+	if opt.Counters != nil {
+		if err := opt.Counters.WriteFile(*countersOut); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote %d counter rows to %s\n", opt.Counters.Len(), *countersOut)
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(buildSummary(res, len(ws), *rate)); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if runErr != nil {
+		return 1
+	}
+	return 0
+}
+
+// buildTenants instantiates count tenants cycling through the model mix, each
+// with its own jitter seed and a #N-suffixed name so per-tenant rows stay
+// distinguishable.
+func buildTenants(mix string, count, batch int, cfg v10.Config) ([]*v10.Workload, error) {
+	names := strings.Split(mix, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("invalid tenant count %d", count)
+	}
+	var out []*v10.Workload
+	for i := 0; i < count; i++ {
+		w, err := v10.NewWorkload(names[i%len(names)], batch, uint64(i+1), cfg)
+		if err != nil {
+			return nil, err
+		}
+		t := *w
+		t.Name = fmt.Sprintf("%s#%d", w.Name, i)
+		out = append(out, &t)
+	}
+	return out, nil
+}
+
+func schemeByName(name string) (v10.Scheme, bool) {
+	switch strings.ToLower(name) {
+	case "pmt":
+		return v10.SchemePMT, true
+	case "v10-base", "base":
+		return v10.SchemeV10Base, true
+	case "v10-fair", "fair":
+		return v10.SchemeV10Fair, true
+	case "v10-full", "full":
+		return v10.SchemeV10Full, true
+	}
+	return 0, false
+}
+
+// buildSummary flattens the fleet result into the stdout JSON document.
+func buildSummary(res *v10.FleetResult, tenantCount int, rateHz float64) summary {
+	s := summary{
+		Scheme:         res.Scheme,
+		Policy:         string(res.Policy),
+		Cores:          len(res.Cores),
+		TenantCount:    tenantCount,
+		RateHz:         rateHz,
+		DurationCycles: res.DurationCycles,
+		TotalCycles:    res.TotalCycles,
+		Offered:        res.Offered,
+		Admitted:       res.Admitted,
+		Shed:           res.Shed,
+		Completed:      res.Completed,
+		Good:           res.Good,
+		GoodputHz:      res.GoodputHz,
+		ShedRate:       res.ShedRate,
+		Placement:      res.Placement,
+		Tenants:        res.Tenants,
+	}
+	for _, cr := range res.Cores {
+		cs := coreSummary{Core: cr.Core, Tenants: cr.Tenants, Admitted: cr.Admitted}
+		if cr.Run != nil {
+			cs.TotalCycles = cr.Run.TotalCycles
+			cs.AggregateUtil = cr.Run.AggregateUtil()
+		}
+		s.CoreResults = append(s.CoreResults, cs)
+	}
+	return s
+}
+
+// printDigest writes the human-readable fleet digest.
+func printDigest(w io.Writer, res *v10.FleetResult) {
+	fmt.Fprintf(w, "=== fleet: %s, %d cores, policy %s ===\n", res.Scheme, len(res.Cores), res.Policy)
+	fmt.Fprintf(w, "offered %d  admitted %d  shed %d (%.1f%%)  completed %d  good %d  goodput %.1f req/s\n",
+		res.Offered, res.Admitted, res.Shed, 100*res.ShedRate, res.Completed, res.Good, res.GoodputHz)
+	for _, cr := range res.Cores {
+		if cr.Run == nil {
+			fmt.Fprintf(w, "  core %d: idle\n", cr.Core)
+			continue
+		}
+		fmt.Fprintf(w, "  core %d: tenants %v  admitted %d  %d cycles  util %.1f%%\n",
+			cr.Core, cr.Tenants, cr.Admitted, cr.Run.TotalCycles, 100*cr.Run.AggregateUtil())
+	}
+	for _, ts := range res.Tenants {
+		fmt.Fprintf(w, "  %-18s home=%d offered=%-3d shed=%-3d done=%-3d good=%-3d avg=%.2fms p99=%.2fms\n",
+			ts.Name, ts.Home, ts.Offered, ts.Shed, ts.Completed, ts.Good,
+			ts.AvgLatencyCycles/700e3, ts.P99LatencyCycles/700e3)
+	}
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	v10 "v10"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden summary")
+
+// quickArgs is a small deterministic fleet: two cores, three tenants, high
+// open-loop rate over a short window.
+func quickArgs(extra ...string) []string {
+	return append([]string{
+		"-cores", "2", "-tenants", "3", "-models", "BERT,NCF", "-batch", "2",
+		"-rate", "2000", "-duration-cycles", "3000000",
+		"-policy", "least-loaded", "-seed", "3",
+	}, extra...)
+}
+
+func TestRunEmitsGoldenSummary(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(quickArgs(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "summary.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("summary drifted from golden (run with -update if intended):\n%s", stdout.String())
+	}
+}
+
+func TestRunSummarySchema(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(quickArgs(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout is not JSON: %v", err)
+	}
+	for _, key := range []string{
+		"scheme", "policy", "cores", "tenant_count", "rate_hz", "duration_cycles",
+		"total_cycles", "offered", "admitted", "shed", "completed", "good",
+		"goodput_hz", "shed_rate", "placement", "core_results", "tenants",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("summary is missing %q", key)
+		}
+	}
+	tenants, ok := doc["tenants"].([]any)
+	if !ok || len(tenants) != 3 {
+		t.Fatalf("tenants = %v", doc["tenants"])
+	}
+	first, ok := tenants[0].(map[string]any)
+	if !ok {
+		t.Fatalf("tenant row = %v", tenants[0])
+	}
+	for _, key := range []string{
+		"tenant", "name", "home_core", "offered", "admitted", "spilled", "shed",
+		"completed", "good", "slo_cycles", "avg_latency_cycles",
+		"p95_latency_cycles", "p99_latency_cycles", "goodput_hz", "shed_rate",
+	} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("tenant row is missing %q", key)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown flag":    {"-definitely-not-a-flag"},
+		"invalid policy":  quickArgs("-policy", "greedy"),
+		"invalid scheme":  quickArgs("-scheme", "V11"),
+		"unknown model":   quickArgs("-models", "NoSuchModel"),
+		"zero tenants":    quickArgs("-tenants", "0"),
+		"bad rate string": quickArgs("-rate", "fast"),
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", name, code, stderr.String())
+		}
+	}
+}
+
+func TestRunAdvisorPolicy(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := quickArgs("-policy", "advisor", "-tenants", "4")
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("advisor run exit %d\n%s", code, stderr.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["policy"] != "advisor" {
+		t.Fatalf("policy = %v", doc["policy"])
+	}
+	if !strings.Contains(stderr.String(), "training collocation advisor") {
+		t.Error("advisor training notice missing from stderr")
+	}
+}
+
+func TestRunWritesTraceAndCounters(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "fleet.trace.json")
+	counterPath := filepath.Join(dir, "fleet.counters.csv")
+	var stdout, stderr bytes.Buffer
+	args := quickArgs("-trace", tracePath, "-counters", counterPath)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not Chrome trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	counters, err := os.ReadFile(counterPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(counters), "core 0") {
+		t.Fatalf("counters lack per-core sections:\n%.200s", counters)
+	}
+}
+
+func TestBuildTenantsCyclesMix(t *testing.T) {
+	cfg := v10.DefaultConfig()
+	ws, err := buildTenants("BERT, NCF", 3, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("built %d tenants", len(ws))
+	}
+	if ws[0].Name != "BERT-b2#0" || ws[1].Name != "NCF-b2#1" || ws[2].Name != "BERT-b2#2" {
+		t.Fatalf("names = %s / %s / %s", ws[0].Name, ws[1].Name, ws[2].Name)
+	}
+}

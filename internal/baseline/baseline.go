@@ -60,6 +60,14 @@ type PMTOptions struct {
 	// RequestsPerWorkload ends the run once every workload served this many.
 	RequestsPerWorkload int
 
+	// RequestTargets, when non-nil, replaces RequestsPerWorkload with a
+	// per-workload completion target: the run ends once workload i has
+	// served RequestTargets[i] requests (zero allowed). PMT serves
+	// closed-loop — requests issue back to back — so a workload that
+	// reaches its target keeps serving while slower tenants catch up; the
+	// fleet layer caps its per-tenant accounting to the target.
+	RequestTargets []int
+
 	// MaxCycles is the runaway guard.
 	MaxCycles int64
 
@@ -92,7 +100,20 @@ func (o PMTOptions) withDefaults() (PMTOptions, error) {
 	if o.MaxCycles <= 0 {
 		o.MaxCycles = 200_000_000_000
 	}
+	for i, t := range o.RequestTargets {
+		if t < 0 {
+			return o, fmt.Errorf("baseline: RequestTargets[%d] = %d is negative", i, t)
+		}
+	}
 	return o, nil
+}
+
+// target returns how many requests workload i must serve before the run ends.
+func (o PMTOptions) target(i int) int {
+	if o.RequestTargets != nil {
+		return o.RequestTargets[i]
+	}
+	return o.RequestsPerWorkload
 }
 
 // ErrMaxCycles is the sentinel for runs stopped by the MaxCycles guard. It
@@ -128,6 +149,10 @@ func RunPMT(workloads []*trace.Workload, opts PMTOptions) (*metrics.RunResult, e
 	if len(workloads) == 0 {
 		return nil, fmt.Errorf("baseline: no workloads")
 	}
+	if opts.RequestTargets != nil && len(opts.RequestTargets) != len(workloads) {
+		return nil, fmt.Errorf("baseline: RequestTargets has %d entries for %d workloads",
+			len(opts.RequestTargets), len(workloads))
+	}
 	cfg := opts.Config
 	engine := &sim.Engine{}
 	pool := sim.NewFluidPool(engine, cfg.HBMBytesPerCycle())
@@ -150,8 +175,8 @@ func RunPMT(workloads []*trace.Workload, opts PMTOptions) (*metrics.RunResult, e
 	r.activate(0, 0)
 
 	done := func() bool {
-		for _, wl := range wls {
-			if wl.stats.Requests < opts.RequestsPerWorkload {
+		for i, wl := range wls {
+			if wl.stats.Requests < opts.target(i) {
 				return false
 			}
 		}
@@ -194,10 +219,10 @@ func RunPMT(workloads []*trace.Workload, opts PMTOptions) (*metrics.RunResult, e
 		// Keep the partial measurements: timed-out runs are diagnosed, not
 		// discarded (mirrors sched.Run).
 		var lag []string
-		for _, wl := range wls {
-			if wl.stats.Requests < opts.RequestsPerWorkload {
+		for i, wl := range wls {
+			if wl.stats.Requests < opts.target(i) {
 				lag = append(lag, fmt.Sprintf("%s %d/%d",
-					wl.w.Name, wl.stats.Requests, opts.RequestsPerWorkload))
+					wl.w.Name, wl.stats.Requests, opts.target(i)))
 			}
 		}
 		return result, fmt.Errorf("%w: stopped at cycle %d with incomplete workloads: %s",

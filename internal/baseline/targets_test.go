@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"testing"
+
+	"v10/internal/trace"
+)
+
+func TestPMTRequestTargetsPerWorkload(t *testing.T) {
+	a := synthetic("A", 5000, 100, 10)
+	b := synthetic("B", 100, 5000, 10)
+	res, err := RunPMT([]*trace.Workload{a, b}, PMTOptions{
+		RequestTargets: []int{2, 5},
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PMT serves closed-loop: it may overshoot a satisfied target while the
+	// other workload finishes, but never undershoot.
+	for i, want := range []int{2, 5} {
+		if got := res.Workloads[i].Requests; got < want {
+			t.Fatalf("workload %d served %d requests, target %d", i, got, want)
+		}
+	}
+}
+
+func TestPMTRequestTargetZero(t *testing.T) {
+	// A zero-target workload holds a context-table slot but need not serve.
+	a := synthetic("A", 5000, 100, 10)
+	b := synthetic("B", 100, 5000, 10)
+	res, err := RunPMT([]*trace.Workload{a, b}, PMTOptions{
+		RequestTargets: []int{3, 0},
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Workloads[0].Requests; got < 3 {
+		t.Fatalf("workload 0 served %d requests, target 3", got)
+	}
+}
+
+func TestPMTRequestTargetsValidation(t *testing.T) {
+	a := synthetic("A", 5000, 100, 10)
+	b := synthetic("B", 100, 5000, 10)
+	if _, err := RunPMT([]*trace.Workload{a, b}, PMTOptions{
+		RequestTargets: []int{-1, 2},
+	}); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, err := RunPMT([]*trace.Workload{a, b}, PMTOptions{
+		RequestTargets: []int{2},
+	}); err == nil {
+		t.Error("target/workload length mismatch accepted")
+	}
+}

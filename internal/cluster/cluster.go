@@ -147,7 +147,7 @@ func AdvisorGroups(model *collocate.Model, feats []collocate.Features, maxPerCor
 				if assigned[cand] {
 					continue
 				}
-				fit := groupFit(model, feats, g, cand)
+				fit := model.GroupFit(feats, g, cand)
 				if fit > bestFit {
 					best, bestFit = cand, fit
 				}
@@ -166,24 +166,6 @@ func AdvisorGroups(model *collocate.Model, feats []collocate.Features, maxPerCor
 		}
 	}
 	return p
-}
-
-// groupFit returns the minimum pairwise predicted performance between cand
-// and every group member, or 0 when any pair falls below the threshold.
-func groupFit(model *collocate.Model, feats []collocate.Features, group []int, cand int) float64 {
-	minPerf := 1e18
-	for _, m := range group {
-		if !model.ShouldCollocate(feats[m], feats[cand]) {
-			return 0
-		}
-		if perf := model.PredictPerf(feats[m], feats[cand]); perf < minPerf {
-			minPerf = perf
-		}
-	}
-	if minPerf == 1e18 {
-		return 0
-	}
-	return minPerf
 }
 
 // Options configure a cluster simulation.

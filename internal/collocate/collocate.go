@@ -374,6 +374,27 @@ func (m *Model) ShouldCollocate(a, b Features) bool {
 	return m.PredictPerf(a, b) >= m.cfg.Threshold
 }
 
+// GroupFit scores adding candidate cand to an already-formed group: the
+// minimum pairwise predicted performance between cand and every member, or 0
+// when any pair falls below the benefit threshold (the group is incompatible)
+// or the group is empty. Both the cluster placement planner and the fleet
+// dispatcher's spill path rank candidate cores with it.
+func (m *Model) GroupFit(feats []Features, group []int, cand int) float64 {
+	minPerf := math.Inf(1)
+	for _, g := range group {
+		if !m.ShouldCollocate(feats[g], feats[cand]) {
+			return 0
+		}
+		if perf := m.PredictPerf(feats[g], feats[cand]); perf < minPerf {
+			minPerf = perf
+		}
+	}
+	if math.IsInf(minPerf, 1) {
+		return 0
+	}
+	return minPerf
+}
+
 // ClusterAssignments returns instance name → cluster for the training set
 // ordering given (used by the Fig. 15 scatter experiment).
 func (m *Model) ClusterAssignments(feats []Features) map[string]int {

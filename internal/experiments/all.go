@@ -47,6 +47,7 @@ func Generators() []Generator {
 		{"disc4", "Hardware vs software scheduler (§4)", (*Context).Disc4},
 		{"ext1", "Task-level scheduling gap (PREMA)", (*Context).Ext1},
 		{"calib", "Workload-zoo calibration report", (*Context).Calib},
+		{"fleet", "Fleet placement-policy sweep", (*Context).Fleet},
 	}
 }
 

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFleetExperiment(t *testing.T) {
+	c := testContext()
+	tb, err := c.Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(fleetRates) * 3; len(tb.Rows) != want {
+		t.Fatalf("rows = %d, want %d (rates × policies)", len(tb.Rows), want)
+	}
+	// Sum goodput per policy straight off the table cells.
+	goodput := map[string]float64{}
+	for _, row := range tb.Rows {
+		g := parseFloatCell(t, row[5])
+		if g < 0 {
+			t.Fatalf("negative goodput %v", g)
+		}
+		goodput[row[1]] += g
+	}
+	// The tentpole acceptance criterion: advisor-guided placement must not
+	// lose to compatibility-blind least-loaded on aggregate goodput.
+	if goodput["advisor"] < goodput["least-loaded"] {
+		t.Errorf("advisor goodput %v < least-loaded %v across the sweep",
+			goodput["advisor"], goodput["least-loaded"])
+	}
+	if !strings.Contains(tb.Note, "aggregate goodput") {
+		t.Errorf("note missing the aggregate comparison: %q", tb.Note)
+	}
+}

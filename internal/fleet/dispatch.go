@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+
+	"v10/internal/mathx"
+)
+
+// arrival is one tenant request hitting the front end.
+type arrival struct {
+	at     int64
+	tenant int
+}
+
+// genArrivals draws every tenant's open-loop Poisson stream over
+// [0, DurationCycles) and merges them into one time-ordered sequence (ties by
+// tenant index). Seeding is per tenant, so a tenant's stream is independent of
+// the fleet size and of the other tenants.
+func genArrivals(tenants int, o Options) []arrival {
+	meanGap := o.Config.FrequencyHz / o.RateHz
+	var all []arrival
+	for t := 0; t < tenants; t++ {
+		rng := mathx.NewRNG(o.Seed + 0xf1ee7 + uint64(t)*7919)
+		at := int64(0)
+		for {
+			u := rng.Float64()
+			for u == 0 {
+				u = rng.Float64()
+			}
+			gap := int64(-meanGap * math.Log(u))
+			if gap < 1 {
+				gap = 1
+			}
+			at += gap
+			if at >= o.DurationCycles {
+				break
+			}
+			all = append(all, arrival{at: at, tenant: t})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		return all[i].tenant < all[j].tenant
+	})
+	return all
+}
+
+// dispatchOutcome is the admission-control phase's verdict over the whole
+// arrival sequence.
+type dispatchOutcome struct {
+	// admitted[c][t] lists the arrival cycles of tenant t's requests admitted
+	// to core c (global tenant index; nil when none).
+	admitted [][][]int64
+	// spilled[t] counts tenant t's requests admitted on a non-home core.
+	spilled []int
+	// shed[t] counts tenant t's rejected requests.
+	shed []int
+	// offered[t] counts tenant t's total arrivals.
+	offered []int
+}
+
+// coreQueue is one core's virtual dispatcher state: estimated completion
+// times of everything admitted and not yet (estimated) finished. The depth of
+// this queue — request in service included — is what QueueLimit bounds.
+type coreQueue struct {
+	pending []int64 // estimated completion cycles, ascending
+	busyTil int64   // estimated cycle the core drains its current backlog
+}
+
+// drain drops queue entries whose estimated completion is ≤ now.
+func (q *coreQueue) drain(now int64) {
+	i := 0
+	for i < len(q.pending) && q.pending[i] <= now {
+		i++
+	}
+	if i > 0 {
+		q.pending = q.pending[i:]
+	}
+}
+
+// admit books one request with the given service estimate.
+func (q *coreQueue) admit(now int64, estCycles float64) {
+	start := q.busyTil
+	if now > start {
+		start = now
+	}
+	done := start + int64(estCycles)
+	if done <= now {
+		done = now + 1
+	}
+	q.busyTil = done
+	q.pending = append(q.pending, done)
+}
+
+// dispatch runs admission control over the merged arrival sequence. homes is
+// the placement; residents[c] (== homes[c]) gates the advisor policy's spill
+// compatibility check.
+func dispatch(arrivals []arrival, homes [][]int, profs []tenantProfile, o Options) *dispatchOutcome {
+	nT := len(profs)
+	out := &dispatchOutcome{
+		admitted: make([][][]int64, o.Cores),
+		spilled:  make([]int, nT),
+		shed:     make([]int, nT),
+		offered:  make([]int, nT),
+	}
+	for c := range out.admitted {
+		out.admitted[c] = make([][]int64, nT)
+	}
+	home := make([]int, nT)
+	for c, group := range homes {
+		for _, t := range group {
+			home[t] = c
+		}
+	}
+	feats := features(profs)
+	queues := make([]coreQueue, o.Cores)
+
+	admit := func(c int, a arrival) {
+		queues[c].admit(a.at, profs[a.tenant].estCycles)
+		out.admitted[c][a.tenant] = append(out.admitted[c][a.tenant], a.at)
+		if c != home[a.tenant] {
+			out.spilled[a.tenant]++
+		}
+	}
+
+	for _, a := range arrivals {
+		out.offered[a.tenant]++
+		for c := range queues {
+			queues[c].drain(a.at)
+		}
+		h := home[a.tenant]
+		if len(queues[h].pending) < o.QueueLimit {
+			admit(h, a)
+			continue
+		}
+		if o.NoSpill {
+			out.shed[a.tenant]++
+			continue
+		}
+		// Spill: probe the other cores for room, preferring the shallowest
+		// queue (ties by smaller estimated backlog, then index). The advisor
+		// policy only spills onto cores whose residents the tenant is
+		// predicted compatible with; empty cores are trivially compatible.
+		best := -1
+		for c := range queues {
+			if c == h || len(queues[c].pending) >= o.QueueLimit {
+				continue
+			}
+			if o.Policy == PolicyAdvisor && len(homes[c]) > 0 &&
+				o.Model.GroupFit(feats, homes[c], a.tenant) <= 0 {
+				continue
+			}
+			if best < 0 ||
+				len(queues[c].pending) < len(queues[best].pending) ||
+				(len(queues[c].pending) == len(queues[best].pending) &&
+					queues[c].busyTil < queues[best].busyTil) {
+				best = c
+			}
+		}
+		if best < 0 {
+			out.shed[a.tenant]++
+			continue
+		}
+		admit(best, a)
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+// Package fleet composes the per-core V10 simulator into a multi-NPU serving
+// system: a front-end dispatcher routes open-loop request streams from M
+// tenants onto N simulated cores, placement is driven by the §3.4 collocation
+// advisor's compatibility predictions (with least-loaded and random baselines),
+// and admission control bounds every core's queue, shedding or spilling the
+// overflow. Each core then replays its admitted arrival schedule through the
+// cycle-accurate operator scheduler (sched.Run) or the PMT baseline, and the
+// per-core results aggregate into per-tenant SLO statistics.
+//
+// The dispatcher itself is a discrete-event simulation over *estimated*
+// service times — like a production front end it routes on cheap load
+// estimates, while ground truth comes from the per-core NPU simulations.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"v10/internal/collocate"
+	"v10/internal/mathx"
+	"v10/internal/npu"
+	"v10/internal/obs"
+	"v10/internal/trace"
+)
+
+// Policy selects how the dispatcher places tenants on cores.
+type Policy string
+
+const (
+	// PolicyAdvisor groups compatible tenants using the trained collocation
+	// model (Options.Model): each tenant lands on the core whose residents it
+	// is predicted to share best with, falling back to least-loaded when no
+	// core clears the benefit threshold.
+	PolicyAdvisor Policy = "advisor"
+	// PolicyLeastLoaded balances estimated service demand across cores
+	// (longest-processing-time-first greedy), ignoring compatibility.
+	PolicyLeastLoaded Policy = "least-loaded"
+	// PolicyRandom places tenants uniformly at random (seeded), the paper's
+	// "blind collocation" strawman.
+	PolicyRandom Policy = "random"
+)
+
+// ParsePolicy maps a CLI spelling to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicyAdvisor, PolicyLeastLoaded, PolicyRandom:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("fleet: unknown placement policy %q (want advisor, least-loaded, or random)", s)
+}
+
+// Options configure a fleet run. The zero value serves two cores of V10-Full
+// under least-loaded placement.
+type Options struct {
+	Config npu.CoreConfig // per-core configuration (zero → npu.DefaultConfig)
+
+	// Cores is the number of independent NPU cores (default 2).
+	Cores int
+
+	// Scheme is the per-core scheduler: "V10-Full" (default), "V10-Fair",
+	// "V10-Base", or "PMT". PMT cores serve their admitted request counts
+	// closed-loop (PREMA has no operator-granularity arrival hook), so PMT
+	// latencies exclude dispatcher queueing delay.
+	Scheme string
+
+	// Policy picks tenant placement (default least-loaded).
+	Policy Policy
+
+	// Model is the trained collocation predictor PolicyAdvisor requires; it
+	// also gates the spill path's compatibility check. Other policies ignore
+	// it.
+	Model *collocate.Model
+
+	// ProfileRequests bounds the requests sampled per tenant when extracting
+	// features and estimating service times (default 3).
+	ProfileRequests int
+
+	// RateHz is each tenant's open-loop Poisson arrival rate (default 60,
+	// which puts a mixed-model fleet near saturation at two tenants per
+	// core).
+	RateHz float64
+
+	// DurationCycles is the arrival window: requests arrive in
+	// [0, DurationCycles); cores then drain their admitted queues
+	// (default 50e6 cycles ≈ 71 ms at 700 MHz).
+	DurationCycles int64
+
+	// QueueLimit bounds each core's dispatcher queue, counting the request
+	// in service (default 8). An arrival beyond the bound spills or sheds.
+	QueueLimit int
+
+	// NoSpill disables cross-core spill: over-bound arrivals shed
+	// immediately instead of probing other compatible cores.
+	NoSpill bool
+
+	// SLOFactor sets each tenant's latency SLO as a multiple of its
+	// estimated single-tenant serial service time (default 10).
+	SLOFactor float64
+
+	// MaxCycles caps each core's simulated cycles (default: the scheduler's
+	// 200e9 runaway guard). Capped cores keep their partial measurements.
+	MaxCycles int64
+
+	// Seed drives arrival draws, random placement, and per-core scheduler
+	// seeds. Same seed → bit-identical Result.
+	Seed uint64
+
+	// Parallel bounds the worker goroutines running per-core simulations
+	// (0 = GOMAXPROCS, 1 = serial). Results are bit-identical at any width.
+	Parallel int
+
+	// Tracer, when non-nil, receives every core's timeline replayed in core
+	// order after the run; a sink with BeginSection (ChromeWriter) gets one
+	// "core N" section per core so a whole fleet run lands in one Perfetto
+	// file.
+	Tracer obs.Tracer
+
+	// Counters, when non-nil, receives every core's counter snapshots, one
+	// "core N" section per core.
+	Counters *obs.CounterLog
+
+	// CoreTracer, when non-nil, supplies an additional live tracer for each
+	// core's simulation, called with the core index and its roster (global
+	// tenant indices, spill targets included). The simcheck property tests
+	// ride fleet runs through this hook.
+	CoreTracer func(core int, tenants []int) obs.Tracer
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Config.SADim == 0 {
+		o.Config = npu.DefaultConfig()
+	}
+	if err := o.Config.Validate(); err != nil {
+		return o, err
+	}
+	if o.Cores == 0 {
+		o.Cores = 2
+	}
+	if o.Cores < 1 {
+		return o, fmt.Errorf("fleet: invalid core count %d", o.Cores)
+	}
+	if o.Scheme == "" {
+		o.Scheme = "V10-Full"
+	}
+	switch o.Scheme {
+	case "V10-Full", "V10-Fair", "V10-Base", "PMT":
+	default:
+		return o, fmt.Errorf("fleet: unknown scheme %q", o.Scheme)
+	}
+	if o.Policy == "" {
+		o.Policy = PolicyLeastLoaded
+	}
+	if _, err := ParsePolicy(string(o.Policy)); err != nil {
+		return o, err
+	}
+	if o.Policy == PolicyAdvisor && o.Model == nil {
+		return o, fmt.Errorf("fleet: PolicyAdvisor requires a trained collocation model")
+	}
+	if o.ProfileRequests <= 0 {
+		o.ProfileRequests = 3
+	}
+	if o.RateHz == 0 {
+		o.RateHz = 60
+	}
+	if o.RateHz < 0 || math.IsInf(o.RateHz, 0) || math.IsNaN(o.RateHz) {
+		return o, fmt.Errorf("fleet: invalid arrival rate %v", o.RateHz)
+	}
+	if o.DurationCycles == 0 {
+		o.DurationCycles = 50_000_000
+	}
+	if o.DurationCycles < 0 {
+		return o, fmt.Errorf("fleet: negative DurationCycles %d", o.DurationCycles)
+	}
+	if o.QueueLimit == 0 {
+		o.QueueLimit = 8
+	}
+	if o.QueueLimit < 1 {
+		return o, fmt.Errorf("fleet: invalid QueueLimit %d", o.QueueLimit)
+	}
+	if o.SLOFactor == 0 {
+		o.SLOFactor = 10
+	}
+	if o.SLOFactor < 0 {
+		return o, fmt.Errorf("fleet: negative SLOFactor %v", o.SLOFactor)
+	}
+	return o, nil
+}
+
+// tenantProfile is the dispatcher's cheap per-tenant characterization: the
+// collocation feature vector plus the estimated single-tenant serial service
+// time the virtual queues and SLOs are denominated in.
+type tenantProfile struct {
+	feat      collocate.Features
+	estCycles float64
+}
+
+// profileTenants extracts features and service-time estimates from the first
+// ProfileRequests request graphs of every tenant (pure trace analysis — no
+// simulation).
+func profileTenants(tenants []*trace.Workload, o Options) []tenantProfile {
+	profs := make([]tenantProfile, len(tenants))
+	// Estimate against a half-core vector-memory partition: the typical
+	// residency the placement aims for is two tenants per core.
+	part := o.Config.VMemBytes / 2
+	for i, w := range tenants {
+		var total float64
+		for rq := 0; rq < o.ProfileRequests; rq++ {
+			g := trace.TileForVMem(w.Request(rq), part, 0.5)
+			for _, op := range g.Linearize() {
+				total += float64(op.Stall + op.Compute)
+			}
+		}
+		profs[i] = tenantProfile{estCycles: total / float64(o.ProfileRequests)}
+		if o.Model != nil {
+			profs[i].feat = collocate.ExtractFeatures(w, o.Config, o.ProfileRequests)
+		}
+	}
+	return profs
+}
+
+// features projects the profiles' feature vectors (advisor policies only).
+func features(profs []tenantProfile) []collocate.Features {
+	feats := make([]collocate.Features, len(profs))
+	for i, p := range profs {
+		feats[i] = p.feat
+	}
+	return feats
+}
+
+// place assigns every tenant a home core under the policy. The returned
+// placement has exactly o.Cores entries; cores may be empty when tenants are
+// scarce.
+func place(profs []tenantProfile, o Options, rng *mathx.RNG) [][]int {
+	homes := make([][]int, o.Cores)
+	switch o.Policy {
+	case PolicyRandom:
+		for t := range profs {
+			c := rng.Intn(o.Cores)
+			homes[c] = append(homes[c], t)
+		}
+		return homes
+	case PolicyLeastLoaded:
+		for _, t := range byDescendingLoad(profs) {
+			c := leastLoaded(homes, profs, nil)
+			homes[c] = append(homes[c], t)
+		}
+		return homes
+	case PolicyAdvisor:
+		// Greedy compatibility grouping under a balance cap: each tenant
+		// (heaviest first) joins the core whose residents it is predicted to
+		// share best with — highest minimum pairwise gain above the model's
+		// threshold — falling back to the least-loaded core with room when no
+		// resident set clears it (including the empty cores).
+		feats := features(profs)
+		capacity := (len(profs) + o.Cores - 1) / o.Cores
+		for _, t := range byDescendingLoad(profs) {
+			best, bestFit := -1, 0.0
+			for c := range homes {
+				if len(homes[c]) >= capacity {
+					continue
+				}
+				if fit := o.Model.GroupFit(feats, homes[c], t); fit > bestFit {
+					best, bestFit = c, fit
+				}
+			}
+			if best < 0 {
+				open := func(c int) bool { return len(homes[c]) < capacity }
+				best = leastLoaded(homes, profs, open)
+			}
+			homes[best] = append(homes[best], t)
+		}
+		return homes
+	}
+	panic("fleet: unreachable policy " + string(o.Policy))
+}
+
+// byDescendingLoad orders tenant indices by estimated service time, heaviest
+// first (ties by index), the classic LPT greedy order.
+func byDescendingLoad(profs []tenantProfile) []int {
+	order := make([]int, len(profs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return profs[order[a]].estCycles > profs[order[b]].estCycles
+	})
+	return order
+}
+
+// leastLoaded returns the eligible core with the smallest summed service
+// estimate (ties by index). eligible == nil admits every core; when the
+// filter rejects all cores it is ignored.
+func leastLoaded(homes [][]int, profs []tenantProfile, eligible func(c int) bool) int {
+	best, bestLoad := -1, math.Inf(1)
+	for pass := 0; pass < 2 && best < 0; pass++ {
+		for c := range homes {
+			if pass == 0 && eligible != nil && !eligible(c) {
+				continue
+			}
+			load := 0.0
+			for _, t := range homes[c] {
+				load += profs[t].estCycles
+			}
+			if load < bestLoad {
+				best, bestLoad = c, load
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"testing"
+
+	"v10/internal/obs"
+	"v10/internal/simcheck"
+	"v10/internal/trace"
+)
+
+// specPairs mirrors the synthetic() workload shapes as simcheck WorkloadSpecs
+// so the invariant checker can derive each core's expected operator streams
+// independently of the runner.
+func specFor(name string, saLen, vuLen int64, pairs int) simcheck.WorkloadSpec {
+	spec := simcheck.WorkloadSpec{Name: name, Priority: 1}
+	for i := 0; i < pairs; i++ {
+		spec.Ops = append(spec.Ops,
+			simcheck.OpSpec{Kind: "SA", Compute: saLen},
+			simcheck.OpSpec{Kind: "VU", Compute: vuLen})
+	}
+	return spec
+}
+
+// oracleTenants pairs each fleet tenant with its independently-derived spec.
+func oracleTenants() ([]*trace.Workload, []simcheck.WorkloadSpec) {
+	type shape struct {
+		name   string
+		sa, vu int64
+		pairs  int
+	}
+	shapes := []shape{
+		{"sa0", 4000, 10, 6},
+		{"vu0", 10, 4000, 6},
+		{"sa1", 3000, 20, 5},
+		{"vu1", 20, 3000, 5},
+	}
+	ws := make([]*trace.Workload, len(shapes))
+	specs := make([]simcheck.WorkloadSpec, len(shapes))
+	for i, s := range shapes {
+		ws[i] = synthetic(s.name, s.sa, s.vu, s.pairs)
+		specs[i] = specFor(s.name, s.sa, s.vu, s.pairs)
+	}
+	return ws, specs
+}
+
+// TestFleetPassesSimcheckOracles rides a simcheck.Checker on every core of a
+// fleet run through the CoreTracer hook: each core's event stream must satisfy
+// the full invariant suite (wall-cycle partition per FU, every dispatched
+// operator completes or resumes exactly once, ActiveCycles equals the traced
+// run segments) against operator streams derived independently from the specs.
+func TestFleetPassesSimcheckOracles(t *testing.T) {
+	tenants, specs := oracleTenants()
+	checkers := map[int]*simcheck.Checker{}
+
+	o := quickOptions()
+	o.CoreTracer = func(core int, roster []int) obs.Tracer {
+		sc := &simcheck.Scenario{
+			Config:        o.Config,
+			ArrivalRateHz: 1, // marker: open-loop serving, no latency telescoping
+		}
+		for _, tnt := range roster {
+			sc.Workloads = append(sc.Workloads, specs[tnt])
+		}
+		checkers[core] = simcheck.NewChecker(sc, o.Scheme, false)
+		return checkers[core]
+	}
+	res, err := Run(tenants, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checkers) == 0 {
+		t.Fatal("CoreTracer was never invoked")
+	}
+	for core, ck := range checkers {
+		for _, p := range ck.Finalize(res.Cores[core].Run, nil) {
+			t.Errorf("core %d: %s", core, p)
+		}
+	}
+
+	// Conservation across the fleet: every offered request completes or sheds
+	// exactly once, and fleet throughput is exactly the sum of the per-core
+	// cycle-accurate results.
+	if res.Offered != res.Completed+res.Shed {
+		t.Fatalf("offered %d != completed %d + shed %d", res.Offered, res.Completed, res.Shed)
+	}
+	var coreRequests int
+	for _, cr := range res.Cores {
+		if cr.Run == nil {
+			continue
+		}
+		for _, wl := range cr.Run.Workloads {
+			coreRequests += wl.Requests
+		}
+	}
+	if coreRequests != res.Completed {
+		t.Fatalf("Σ per-core requests %d != fleet completed %d", coreRequests, res.Completed)
+	}
+
+	// Per-core wall-cycle sanity: the fleet's makespan is its slowest core.
+	var slowest int64
+	for _, cr := range res.Cores {
+		if cr.Run != nil && cr.Run.TotalCycles > slowest {
+			slowest = cr.Run.TotalCycles
+		}
+	}
+	if res.TotalCycles != slowest {
+		t.Fatalf("TotalCycles %d != slowest core %d", res.TotalCycles, slowest)
+	}
+}
+
+// TestFleetOraclesAllSchemes repeats the checker ride-along on every per-core
+// scheduler scheme the fleet supports.
+func TestFleetOraclesAllSchemes(t *testing.T) {
+	for _, scheme := range []string{"V10-Base", "V10-Fair", "V10-Full", "PMT"} {
+		t.Run(scheme, func(t *testing.T) {
+			tenants, specs := oracleTenants()
+			checkers := map[int]*simcheck.Checker{}
+			o := quickOptions()
+			o.Scheme = scheme
+			o.CoreTracer = func(core int, roster []int) obs.Tracer {
+				sc := &simcheck.Scenario{Config: o.Config, ArrivalRateHz: 1}
+				for _, tnt := range roster {
+					sc.Workloads = append(sc.Workloads, specs[tnt])
+				}
+				checkers[core] = simcheck.NewChecker(sc, scheme, false)
+				return checkers[core]
+			}
+			res, err := Run(tenants, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for core, ck := range checkers {
+				for _, p := range ck.Finalize(res.Cores[core].Run, nil) {
+					t.Errorf("core %d: %s", core, p)
+				}
+			}
+			// PMT serves closed-loop: completions may exceed admissions on the
+			// raw per-core results, but tenant stats must stay capped.
+			for _, ts := range res.Tenants {
+				if ts.Completed > ts.Admitted {
+					t.Errorf("tenant %d completed %d > admitted %d", ts.Tenant, ts.Completed, ts.Admitted)
+				}
+			}
+		})
+	}
+}

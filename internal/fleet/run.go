@@ -1,0 +1,314 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"v10/internal/baseline"
+	"v10/internal/mathx"
+	"v10/internal/metrics"
+	"v10/internal/obs"
+	"v10/internal/parallel"
+	"v10/internal/sched"
+	"v10/internal/trace"
+)
+
+// TenantStats is one tenant's serving outcome across the whole fleet.
+type TenantStats struct {
+	Tenant int    `json:"tenant"`
+	Name   string `json:"name"`
+	Home   int    `json:"home_core"`
+
+	Offered   int `json:"offered"`   // arrivals the front end saw
+	Admitted  int `json:"admitted"`  // requests admitted (home + spill)
+	Spilled   int `json:"spilled"`   // admitted on a non-home core
+	Shed      int `json:"shed"`      // rejected by admission control
+	Completed int `json:"completed"` // served by a core simulation
+	Good      int `json:"good"`      // completed within the SLO
+
+	SLOCycles        float64 `json:"slo_cycles"`
+	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
+	P95LatencyCycles float64 `json:"p95_latency_cycles"`
+	P99LatencyCycles float64 `json:"p99_latency_cycles"`
+	GoodputHz        float64 `json:"goodput_hz"` // SLO-compliant req/s over the arrival window
+	ShedRate         float64 `json:"shed_rate"`  // shed / offered
+}
+
+// CoreResult is one core's simulation outcome.
+type CoreResult struct {
+	Core     int   `json:"core"`
+	Tenants  []int `json:"tenants"` // roster: residents first, spill sources after
+	Admitted int   `json:"admitted"`
+	// Run holds the core's cycle-accurate measurements; nil when the core
+	// had no tenants. Cycle-capped cores keep their partial measurements
+	// (the joined error identifies them).
+	Run *metrics.RunResult `json:"-"`
+}
+
+// Result is a whole fleet run.
+type Result struct {
+	Scheme         string        `json:"scheme"`
+	Policy         Policy        `json:"policy"`
+	Placement      [][]int       `json:"placement"` // home tenants per core
+	DurationCycles int64         `json:"duration_cycles"`
+	TotalCycles    int64         `json:"total_cycles"` // slowest core's finish
+	Cores          []CoreResult  `json:"cores"`
+	Tenants        []TenantStats `json:"tenants"`
+
+	Offered   int     `json:"offered"`
+	Admitted  int     `json:"admitted"`
+	Shed      int     `json:"shed"`
+	Completed int     `json:"completed"`
+	Good      int     `json:"good"`
+	GoodputHz float64 `json:"goodput_hz"`
+	ShedRate  float64 `json:"shed_rate"`
+}
+
+// coreJob is one core's prepared simulation input.
+type coreJob struct {
+	roster    []int // global tenant indices
+	ws        []*trace.Workload
+	schedules [][]int64 // admitted arrival cycles per roster entry
+	targets   []int     // admitted request counts per roster entry
+	admitted  int
+}
+
+// coreOut is one core's simulation output.
+type coreOut struct {
+	res      *metrics.RunResult
+	err      error
+	log      *obs.Log
+	counters *obs.CounterLog
+}
+
+// sectioner is implemented by sinks that group multi-run output (ChromeWriter
+// and CounterLog both do).
+type sectioner interface{ BeginSection(label string) }
+
+// Run serves the tenants' open-loop request streams on a fleet of simulated
+// NPU cores: place → dispatch (admission control) → per-core cycle-accurate
+// simulation → aggregate. Same Options (and seed) produce a bit-identical
+// Result at any Parallel width. Cycle-capped cores keep their partial
+// measurements; their errors come back joined alongside the Result.
+func Run(tenants []*trace.Workload, o Options) (*Result, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(tenants) == 0 {
+		return nil, errors.New("fleet: no tenants")
+	}
+
+	profs := profileTenants(tenants, o)
+	homes := place(profs, o, mathx.NewRNG(o.Seed+0x9f1e))
+	arrivals := genArrivals(len(tenants), o)
+	disp := dispatch(arrivals, homes, profs, o)
+	jobs := buildJobs(tenants, homes, disp, o)
+
+	outs, runErr := runCores(tenants, jobs, o)
+
+	res := &Result{
+		Scheme:         o.Scheme,
+		Policy:         o.Policy,
+		Placement:      homes,
+		DurationCycles: o.DurationCycles,
+	}
+	replayObservability(outs, o)
+	for c, job := range jobs {
+		cr := CoreResult{Core: c, Tenants: job.roster, Admitted: job.admitted}
+		if outs[c] != nil {
+			cr.Run = outs[c].res
+			if cr.Run != nil && cr.Run.TotalCycles > res.TotalCycles {
+				res.TotalCycles = cr.Run.TotalCycles
+			}
+		}
+		res.Cores = append(res.Cores, cr)
+	}
+	res.Tenants = tenantStats(tenants, profs, homes, disp, jobs, outs, o)
+	for _, ts := range res.Tenants {
+		res.Offered += ts.Offered
+		res.Admitted += ts.Admitted
+		res.Shed += ts.Shed
+		res.Completed += ts.Completed
+		res.Good += ts.Good
+		res.GoodputHz += ts.GoodputHz
+	}
+	res.ShedRate = mathx.Ratio(float64(res.Shed), float64(res.Offered), 0)
+	return res, runErr
+}
+
+// buildJobs turns the dispatch outcome into per-core simulation inputs. A
+// core's roster is its home residents (placement order — they hold vector-
+// memory partitions even when idle) followed by spill sources (ascending
+// tenant index) that actually landed requests on it.
+func buildJobs(tenants []*trace.Workload, homes [][]int, disp *dispatchOutcome, o Options) []coreJob {
+	jobs := make([]coreJob, o.Cores)
+	for c := range jobs {
+		job := &jobs[c]
+		resident := make([]bool, len(tenants))
+		for _, t := range homes[c] {
+			resident[t] = true
+			job.roster = append(job.roster, t)
+		}
+		for t := range tenants {
+			if !resident[t] && len(disp.admitted[c][t]) > 0 {
+				job.roster = append(job.roster, t)
+			}
+		}
+		for _, t := range job.roster {
+			sc := disp.admitted[c][t]
+			if sc == nil {
+				sc = []int64{}
+			}
+			job.ws = append(job.ws, tenants[t])
+			job.schedules = append(job.schedules, sc)
+			job.targets = append(job.targets, len(sc))
+			job.admitted += len(sc)
+		}
+	}
+	return jobs
+}
+
+// runCores executes every core's simulation on the worker pool, each with its
+// own engine, event log, and counter log. Per-core errors (cycle caps) are
+// joined, labeled with the core; partial results are kept.
+func runCores(tenants []*trace.Workload, jobs []coreJob, o Options) ([]*coreOut, error) {
+	outs, _ := parallel.Map(context.Background(), len(jobs), o.Parallel, func(c int) (*coreOut, error) {
+		job := jobs[c]
+		if len(job.roster) == 0 {
+			return nil, nil
+		}
+		out := &coreOut{}
+		var sinks []obs.Tracer
+		if o.Tracer != nil {
+			out.log = &obs.Log{}
+			sinks = append(sinks, out.log)
+		}
+		if o.CoreTracer != nil {
+			sinks = append(sinks, o.CoreTracer(c, job.roster))
+		}
+		tr := obs.Multi(sinks...)
+
+		if o.Scheme == "PMT" {
+			out.res, out.err = baseline.RunPMT(job.ws, baseline.PMTOptions{
+				Config:           o.Config,
+				Policy:           baseline.PMTRoundRobin,
+				RequestTargets:   job.targets,
+				MaxCycles:        o.MaxCycles,
+				Seed:             o.Seed + 0xc0e + uint64(c),
+				WeightByPriority: true,
+				Tracer:           tr,
+			})
+			return out, nil
+		}
+		so := sched.Options{
+			Config:        o.Config,
+			ArrivalCycles: job.schedules,
+			MaxCycles:     o.MaxCycles,
+			Seed:          o.Seed + 0xc0e + uint64(c),
+			Scheme:        o.Scheme,
+			Tracer:        tr,
+		}
+		switch o.Scheme {
+		case "V10-Base":
+			so.Policy = sched.RoundRobin
+		case "V10-Fair":
+			so.Policy = sched.Priority
+		default: // V10-Full
+			so.Policy = sched.Priority
+			so.Preemption = true
+		}
+		if o.Counters != nil {
+			out.counters = obs.NewCounterLog()
+			so.Counters = out.counters
+		}
+		out.res, out.err = sched.Run(job.ws, so)
+		return out, nil
+	})
+	var errs []error
+	for c, out := range outs {
+		if out != nil && out.err != nil {
+			errs = append(errs, fmt.Errorf("fleet: core %d: %w", c, out.err))
+		}
+	}
+	return outs, errors.Join(errs...)
+}
+
+// replayObservability re-emits every core's captured events and counter rows
+// into the shared sinks, in core order, under "core N" sections — one
+// deterministic Perfetto timeline (and counter log) for the whole fleet.
+func replayObservability(outs []*coreOut, o Options) {
+	for c, out := range outs {
+		if out == nil {
+			continue
+		}
+		if o.Tracer != nil && out.log != nil {
+			if sec, ok := o.Tracer.(sectioner); ok {
+				sec.BeginSection(fmt.Sprintf("core %d", c))
+			}
+			out.log.Replay(o.Tracer)
+		}
+		if o.Counters != nil && out.counters != nil {
+			o.Counters.BeginSection(fmt.Sprintf("core %d", c))
+			for _, row := range out.counters.Rows {
+				o.Counters.Add(row)
+			}
+		}
+	}
+}
+
+// tenantStats folds the per-core workload measurements back into per-tenant
+// serving statistics. PMT cores serve closed-loop and can overshoot their
+// targets, so completions and latencies are capped to the admitted count.
+func tenantStats(tenants []*trace.Workload, profs []tenantProfile, homes [][]int,
+	disp *dispatchOutcome, jobs []coreJob, outs []*coreOut, o Options) []TenantStats {
+	home := make([]int, len(tenants))
+	for c, group := range homes {
+		for _, t := range group {
+			home[t] = c
+		}
+	}
+	durationSec := float64(o.DurationCycles) / o.Config.FrequencyHz
+	stats := make([]TenantStats, len(tenants))
+	for t := range tenants {
+		ts := &stats[t]
+		ts.Tenant = t
+		ts.Name = tenants[t].Name
+		ts.Home = home[t]
+		ts.Offered = disp.offered[t]
+		ts.Admitted = disp.offered[t] - disp.shed[t]
+		ts.Spilled = disp.spilled[t]
+		ts.Shed = disp.shed[t]
+		ts.SLOCycles = o.SLOFactor * profs[t].estCycles
+
+		var lats []float64
+		for c, job := range jobs {
+			if outs[c] == nil || outs[c].res == nil {
+				continue
+			}
+			for k, rt := range job.roster {
+				if rt != t {
+					continue
+				}
+				got := outs[c].res.Workloads[k].LatencyCycles
+				if len(got) > job.targets[k] {
+					got = got[:job.targets[k]] // PMT closed-loop overshoot
+				}
+				lats = append(lats, got...)
+			}
+		}
+		ts.Completed = len(lats)
+		for _, l := range lats {
+			if l <= ts.SLOCycles {
+				ts.Good++
+			}
+		}
+		ts.AvgLatencyCycles = mathx.Mean(lats)
+		ts.P95LatencyCycles = mathx.Percentile(lats, 95)
+		ts.P99LatencyCycles = mathx.Percentile(lats, 99)
+		ts.GoodputHz = mathx.Ratio(float64(ts.Good), durationSec, 0)
+		ts.ShedRate = mathx.Ratio(float64(ts.Shed), float64(ts.Offered), 0)
+	}
+	return stats
+}

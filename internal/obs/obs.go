@@ -125,6 +125,27 @@ type Tracer interface {
 	Emit(e Event)
 }
 
+// Log is the simplest Tracer: it records the full event stream in memory, in
+// emission order. The simcheck oracles replay it against closed-form
+// expectations and the fleet runner uses one per core so parallel core runs
+// can be re-emitted deterministically into a shared sink afterwards.
+type Log struct {
+	Events []Event
+}
+
+// Emit implements Tracer.
+func (l *Log) Emit(e Event) { l.Events = append(l.Events, e) }
+
+// Replay re-emits every recorded event into sink in order.
+func (l *Log) Replay(sink Tracer) {
+	if sink == nil {
+		return
+	}
+	for _, e := range l.Events {
+		sink.Emit(e)
+	}
+}
+
 // multi fans events out to several sinks.
 type multi []Tracer
 

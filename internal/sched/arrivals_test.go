@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"v10/internal/trace"
+)
+
+func TestArrivalCyclesServesExactSchedule(t *testing.T) {
+	w := synthetic("S", 1000, 500, 2)
+	opts := FullOptions()
+	opts.ArrivalCycles = [][]int64{{0, 10_000, 10_000, 50_000}}
+	res, err := Run([]*trace.Workload{w}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workloads[0].Requests != 4 {
+		t.Fatalf("requests = %d, want the schedule length 4", res.Workloads[0].Requests)
+	}
+	// Serial service is 2×(1000+500) = 3000 cycles: the spaced arrivals see
+	// bare service latency, the back-to-back one queues behind its twin.
+	lats := res.Workloads[0].LatencyCycles
+	if len(lats) != 4 {
+		t.Fatalf("latencies = %v", lats)
+	}
+	for i, lat := range lats {
+		if lat < 3000 {
+			t.Fatalf("latency[%d] = %v < serial minimum 3000", i, lat)
+		}
+	}
+	if lats[2] < lats[1]+3000-1 {
+		t.Fatalf("queued twin latency %v should exceed its predecessor's %v by a service time", lats[2], lats[1])
+	}
+}
+
+func TestArrivalCyclesEmptySchedule(t *testing.T) {
+	// A workload with no arrivals holds its partition but serves nothing.
+	a := synthetic("A", 1000, 500, 2)
+	b := synthetic("B", 1000, 500, 2)
+	opts := FullOptions()
+	opts.ArrivalCycles = [][]int64{{0, 1000}, {}}
+	res, err := Run([]*trace.Workload{a, b}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workloads[0].Requests != 2 || res.Workloads[1].Requests != 0 {
+		t.Fatalf("requests = %d/%d, want 2/0", res.Workloads[0].Requests, res.Workloads[1].Requests)
+	}
+}
+
+func TestArrivalCyclesDeterministic(t *testing.T) {
+	mk := func() []*trace.Workload {
+		return []*trace.Workload{synthetic("A", 2000, 10, 4), synthetic("B", 10, 2000, 4)}
+	}
+	opts := FullOptions()
+	opts.ArrivalCycles = [][]int64{{0, 5000, 9000}, {100, 100, 20_000}}
+	r1, err1 := Run(mk(), opts)
+	r2, err2 := Run(mk(), opts)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.TotalCycles != r2.TotalCycles ||
+		!reflect.DeepEqual(r1.Workloads[0].LatencyCycles, r2.Workloads[0].LatencyCycles) ||
+		!reflect.DeepEqual(r1.Workloads[1].LatencyCycles, r2.Workloads[1].LatencyCycles) {
+		t.Fatal("explicit arrival schedules are nondeterministic")
+	}
+}
+
+func TestArrivalCyclesValidation(t *testing.T) {
+	w := synthetic("S", 1000, 500, 1)
+	for name, opts := range map[string]Options{
+		"decreasing schedule": {ArrivalCycles: [][]int64{{100, 50}}},
+		"negative arrival":    {ArrivalCycles: [][]int64{{-1}}},
+		"exclusive with rate": {ArrivalCycles: [][]int64{{0}}, ArrivalRateHz: 10},
+	} {
+		if _, err := Run([]*trace.Workload{w}, opts); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Length mismatch: one schedule for two workloads.
+	opts := Options{ArrivalCycles: [][]int64{{0}}}
+	if _, err := Run([]*trace.Workload{w, synthetic("T", 10, 10, 1)}, opts); err == nil {
+		t.Error("schedule/workload length mismatch accepted")
+	}
+}

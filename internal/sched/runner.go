@@ -156,6 +156,10 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 	for i := 0; i < cfg.NumVU; i++ {
 		r.fus[1] = append(r.fus[1], &fuState{kind: 1, idx: i})
 	}
+	if opts.ArrivalCycles != nil && len(opts.ArrivalCycles) != len(workloads) {
+		return nil, fmt.Errorf("sched: ArrivalCycles has %d schedules for %d workloads",
+			len(opts.ArrivalCycles), len(workloads))
+	}
 	for i, w := range workloads {
 		wl := &wlState{
 			idx:      i,
@@ -164,10 +168,16 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 			stats:    &metrics.WorkloadStats{Name: w.Name},
 		}
 		r.wls = append(r.wls, wl)
-		if opts.ArrivalRateHz > 0 {
+		switch {
+		case opts.ArrivalCycles != nil:
+			wl.phase = phaseIdle
+			for _, at := range opts.ArrivalCycles[i] {
+				r.scheduleArrivalAt(wl, at)
+			}
+		case opts.ArrivalRateHz > 0:
 			wl.arrivals = mathx.NewRNG(opts.Seed + 0xa221 + uint64(i)*7919)
 			r.scheduleArrival(wl, 0)
-		} else {
+		default:
 			r.startRequest(wl, 0, 0)
 		}
 	}
@@ -179,8 +189,8 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 	}
 
 	done := func() bool {
-		for _, wl := range r.wls {
-			if wl.stats.Requests < opts.RequestsPerWorkload {
+		for i, wl := range r.wls {
+			if wl.stats.Requests < opts.target(i) {
 				return false
 			}
 		}
@@ -210,10 +220,10 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 		// open-loop run is diagnosed from its trace and counters, not
 		// discarded. The wrap says who was behind when the cap hit.
 		var lag []string
-		for _, wl := range r.wls {
-			if wl.stats.Requests < opts.RequestsPerWorkload {
+		for i, wl := range r.wls {
+			if wl.stats.Requests < opts.target(i) {
 				lag = append(lag, fmt.Sprintf("%s %d/%d (queue %d)",
-					wl.w.Name, wl.stats.Requests, opts.RequestsPerWorkload, len(wl.queue)))
+					wl.w.Name, wl.stats.Requests, opts.target(i), len(wl.queue)))
 			}
 		}
 		return result, fmt.Errorf("%w: stopped at cycle %d with incomplete workloads: %s",
@@ -267,6 +277,19 @@ func (r *runner) startRequest(wl *wlState, now, arrivedAt int64) {
 	wl.requestStart = arrivedAt
 	wl.inFlight = true
 	r.beginOp(wl, now)
+}
+
+// scheduleArrivalAt plants one explicit arrival (ArrivalCycles mode). The
+// handler mirrors the Poisson path: queue behind the in-flight request or
+// start serving immediately.
+func (r *runner) scheduleArrivalAt(wl *wlState, at int64) {
+	r.engine.Schedule(at, func(t int64) {
+		if wl.inFlight {
+			wl.queue = append(wl.queue, t)
+		} else {
+			r.startRequest(wl, t, t)
+		}
+	})
 }
 
 // scheduleArrival arms the next Poisson arrival for wl (open-loop mode).
@@ -441,7 +464,7 @@ func (r *runner) opComplete(fu *fuState, wl *wlState, now int64) {
 		wl.stats.LastCompleteAt = now
 		wl.requestNo++
 		wl.inFlight = false
-		if r.opts.ArrivalRateHz > 0 {
+		if r.opts.openLoop() {
 			if len(wl.queue) > 0 {
 				arrivedAt := wl.queue[0]
 				wl.queue = wl.queue[1:]

@@ -92,6 +92,17 @@ type Options struct {
 	// workload's service capacity make the queue — and MaxCycles — blow up.
 	ArrivalRateHz float64
 
+	// ArrivalCycles, when non-nil, drives every workload from an explicit
+	// open-loop arrival schedule instead of drawing Poisson gaps:
+	// ArrivalCycles[i] lists workload i's absolute arrival cycles
+	// (nondecreasing, ≥ 0) and the run ends once each workload has served
+	// exactly len(ArrivalCycles[i]) requests. RequestsPerWorkload is ignored
+	// and an empty schedule is allowed (the workload stays resident but
+	// idle). This is the fleet dispatcher's interface: admission decisions
+	// are made centrally, then each core replays its admitted schedule
+	// cycle-accurately. Mutually exclusive with ArrivalRateHz.
+	ArrivalCycles [][]int64
+
 	// Scheme overrides the result label; empty derives it from the options.
 	Scheme string
 
@@ -167,10 +178,36 @@ func (o Options) withDefaults() (Options, error) {
 	if o.CounterInterval < 0 {
 		return o, errors.New("sched: negative CounterInterval")
 	}
+	if o.ArrivalCycles != nil {
+		if o.ArrivalRateHz > 0 {
+			return o, errors.New("sched: ArrivalCycles and ArrivalRateHz are mutually exclusive")
+		}
+		for i, schedule := range o.ArrivalCycles {
+			prev := int64(0)
+			for k, at := range schedule {
+				if at < prev {
+					return o, fmt.Errorf("sched: ArrivalCycles[%d][%d] = %d is negative or decreasing", i, k, at)
+				}
+				prev = at
+			}
+		}
+	}
 	if o.CounterInterval == 0 {
 		o.CounterInterval = 32 * o.Config.TimeSlice
 	}
 	return o, nil
+}
+
+// openLoop reports whether requests arrive over time (Poisson draws or an
+// explicit schedule) rather than back-to-back the moment the core frees up.
+func (o Options) openLoop() bool { return o.ArrivalRateHz > 0 || o.ArrivalCycles != nil }
+
+// target returns how many requests workload i must serve before the run ends.
+func (o Options) target(i int) int {
+	if o.ArrivalCycles != nil {
+		return len(o.ArrivalCycles[i])
+	}
+	return o.RequestsPerWorkload
 }
 
 // BaseOptions returns the V10-Base configuration (RR, no preemption).

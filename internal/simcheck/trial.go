@@ -12,12 +12,8 @@ import (
 
 // EventLog is a Tracer that records the full event stream in memory, for the
 // oracles (serial timing, determinism) and for Chrome-trace export of repros.
-type EventLog struct {
-	Events []obs.Event
-}
-
-// Emit implements obs.Tracer.
-func (l *EventLog) Emit(e obs.Event) { l.Events = append(l.Events, e) }
+// It aliases obs.Log, which the fleet runner shares for per-core capture.
+type EventLog = obs.Log
 
 // Outcome is one scheme's run: its result, full event stream, and every
 // invariant the Checker flagged.

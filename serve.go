@@ -1,0 +1,134 @@
+package v10
+
+import (
+	"fmt"
+
+	"v10/internal/fleet"
+)
+
+// Fleet serving (see internal/fleet): a front-end dispatcher routes open-loop
+// request streams from many tenants onto a fleet of simulated NPU cores, with
+// placement driven by the trained collocation advisor (or the least-loaded /
+// random baselines), bounded per-core queues with spill-or-shed backpressure,
+// and per-tenant SLO accounting.
+
+// FleetPolicy selects how the fleet dispatcher places tenants on cores.
+type FleetPolicy = fleet.Policy
+
+// Placement policies.
+const (
+	// PlaceAdvisor groups compatible tenants using a trained Advisor.
+	PlaceAdvisor = fleet.PolicyAdvisor
+	// PlaceLeastLoaded balances estimated load, ignoring compatibility.
+	PlaceLeastLoaded = fleet.PolicyLeastLoaded
+	// PlaceRandom scatters tenants uniformly (seeded).
+	PlaceRandom = fleet.PolicyRandom
+)
+
+// ParseFleetPolicy maps a CLI spelling ("advisor", "least-loaded", "random")
+// to a FleetPolicy.
+func ParseFleetPolicy(s string) (FleetPolicy, error) { return fleet.ParsePolicy(s) }
+
+// FleetResult is a whole fleet run's outcome: per-core simulation results,
+// per-tenant SLO statistics, and aggregate goodput/shed accounting.
+type FleetResult = fleet.Result
+
+// FleetTenantStats is one tenant's serving outcome across the fleet.
+type FleetTenantStats = fleet.TenantStats
+
+// FleetCoreResult is one core's simulation outcome within a fleet run.
+type FleetCoreResult = fleet.CoreResult
+
+// FleetOptions configure ServeFleet. The zero value serves two cores under
+// least-loaded placement at the built-in default load.
+type FleetOptions struct {
+	Config Config // zero value → DefaultConfig
+
+	// Cores is the number of independent NPU cores (default 2).
+	Cores int
+
+	// Policy picks tenant placement (default PlaceLeastLoaded).
+	// PlaceAdvisor requires Advisor.
+	Policy FleetPolicy
+
+	// Advisor is the trained collocation advisor PlaceAdvisor places with
+	// (and whose model gates spill compatibility). Other policies ignore it.
+	Advisor *Advisor
+
+	// RateHz is each tenant's open-loop Poisson arrival rate (default 60).
+	RateHz float64
+
+	// DurationCycles is the arrival window (default 50e6 cycles ≈ 71 ms at
+	// 700 MHz); cores then drain their admitted queues.
+	DurationCycles int64
+
+	// QueueLimit bounds each core's dispatcher queue (default 8); arrivals
+	// beyond it spill to another compatible core with room, or shed.
+	QueueLimit int
+
+	// NoSpill sheds over-bound arrivals immediately instead of probing
+	// other cores.
+	NoSpill bool
+
+	// SLOFactor sets each tenant's latency SLO as a multiple of its
+	// estimated single-tenant service time (default 10).
+	SLOFactor float64
+
+	// MaxCycles caps each core's simulated cycles (default 200e9). Capped
+	// cores keep their partial measurements; ErrMaxCycles comes back joined.
+	MaxCycles int64
+
+	// Seed drives arrivals, random placement, and per-core scheduler seeds.
+	Seed uint64
+
+	// Parallel bounds the workers running per-core simulations (0 =
+	// GOMAXPROCS). Results are bit-identical at any width.
+	Parallel int
+
+	// Tracer, when non-nil, receives every core's timeline after the run —
+	// a ChromeTrace sink gets one "core N" section per core, so the whole
+	// fleet lands in one Perfetto file.
+	Tracer Tracer
+
+	// Counters, when non-nil, receives every core's counter snapshots under
+	// "core N" sections (V10 schemes only).
+	Counters *CounterLog
+}
+
+// ServeFleet simulates the tenants' open-loop request streams on a fleet of
+// NPU cores, each running the chosen scheme's scheduler. Placement, admission
+// control (bounded queues with spill/shed backpressure), and per-tenant SLO
+// accounting follow opt; see FleetOptions. Note the PMT baseline serves each
+// core's admitted request count closed-loop, so its latencies exclude
+// dispatcher queueing delay.
+func ServeFleet(tenants []*Workload, scheme Scheme, opt FleetOptions) (*FleetResult, error) {
+	switch scheme {
+	case SchemePMT, SchemeV10Base, SchemeV10Fair, SchemeV10Full:
+	default:
+		return nil, fmt.Errorf("v10: unknown scheme %v", scheme)
+	}
+	if opt.Policy == PlaceAdvisor && opt.Advisor == nil {
+		return nil, fmt.Errorf("v10: PlaceAdvisor requires a trained Advisor (see TrainAdvisor)")
+	}
+	fo := fleet.Options{
+		Config:         opt.Config,
+		Cores:          opt.Cores,
+		Scheme:         scheme.String(),
+		Policy:         opt.Policy,
+		RateHz:         opt.RateHz,
+		DurationCycles: opt.DurationCycles,
+		QueueLimit:     opt.QueueLimit,
+		NoSpill:        opt.NoSpill,
+		SLOFactor:      opt.SLOFactor,
+		MaxCycles:      opt.MaxCycles,
+		Seed:           opt.Seed,
+		Parallel:       opt.Parallel,
+		Tracer:         opt.Tracer,
+		Counters:       opt.Counters,
+	}
+	if opt.Advisor != nil {
+		fo.Model = opt.Advisor.model
+		fo.ProfileRequests = opt.Advisor.requests
+	}
+	return fleet.Run(tenants, fo)
+}
