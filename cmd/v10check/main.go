@@ -9,10 +9,12 @@
 //	v10check -trials 2000 -seed 100           # wider sweep, custom base seed
 //	v10check -out repro.json -trace fail.json # artifacts on first violation
 //	v10check -replay repro.json               # re-run a saved repro
+//	v10check -chaos 200                       # fleet chaos trials under fault injection
 //	v10check -v                               # per-trial progress
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +29,15 @@ func main() {
 	out := flag.String("out", "repro.json", "minimized repro file written on violation")
 	tracePath := flag.String("trace", "", "Chrome trace of the first failing run (open in Perfetto)")
 	replay := flag.String("replay", "", "re-check a saved repro instead of random trials")
+	chaos := flag.Int("chaos", 0, "run this many fleet chaos trials (fault injection) instead of scheme trials")
 	minimizeBudget := flag.Int("minimize", 200, "max re-checks spent minimizing a failure (0 disables)")
 	verbose := flag.Bool("v", false, "log every trial")
 	flag.Parse()
+
+	if *chaos > 0 {
+		runChaos(*chaos, *seed, *out, *verbose)
+		return
+	}
 
 	if *replay != "" {
 		sc, err := simcheck.ReadScenario(*replay)
@@ -56,6 +64,40 @@ func main() {
 		}
 	}
 	fmt.Printf("v10check: %d trials from seed %d, zero violations\n", *trials, *seed)
+}
+
+// runChaos is the fleet-level resilience gate: every seeded random chaos
+// trial — core failures, stragglers, degradation windows against a random
+// fleet — must conserve requests, replay bit-identically, and keep its typed
+// fault events consistent with its recovery metrics. The first violation
+// writes the full scenario as a JSON repro and exits 1.
+func runChaos(trials int, seed uint64, out string, verbose bool) {
+	for i := 0; i < trials; i++ {
+		s := seed + uint64(i)
+		if verbose {
+			fmt.Printf("chaos trial %d/%d seed %d\n", i+1, trials, s)
+		}
+		v := simcheck.RunChaosTrial(s)
+		if v == nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "chaos seed %d violated %d invariant(s)\n", s, len(v.Problems))
+		for _, p := range v.Problems {
+			fmt.Fprintf(os.Stderr, "  - %s\n", p)
+		}
+		if out != "" {
+			j, err := json.MarshalIndent(v, "", "  ")
+			if err == nil {
+				err = os.WriteFile(out, append(j, '\n'), 0o644)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "chaos repro written to %s\n", out)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("v10check: %d chaos trials from seed %d, zero violations\n", trials, seed)
 }
 
 // report minimizes the failure, writes the repro and optional Chrome trace,

@@ -44,8 +44,23 @@ type summary struct {
 	GoodputHz      float64                `json:"goodput_hz"`
 	ShedRate       float64                `json:"shed_rate"`
 	Placement      [][]int                `json:"placement"`
+	Faults         *faultSummary          `json:"faults,omitempty"`
 	CoreResults    []coreSummary          `json:"core_results"`
 	Tenants        []v10.FleetTenantStats `json:"tenants"`
+}
+
+// faultSummary is the resilience block of the stdout JSON, present only when
+// fault injection is on.
+type faultSummary struct {
+	Spec              string  `json:"spec"`
+	Count             int     `json:"count"`
+	FailedCores       []int   `json:"failed_cores"`
+	HeartbeatCycles   int64   `json:"heartbeat_cycles"`
+	Migrated          int     `json:"migrated"`
+	MigrationShed     int     `json:"migration_shed"`
+	MigrationCycles   int64   `json:"migration_cycles"`
+	BaselineGoodputHz float64 `json:"baseline_goodput_hz"`
+	GoodputRetained   float64 `json:"goodput_retained"`
 }
 
 type coreSummary struct {
@@ -75,6 +90,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queueLimit := fs.Int("queue-limit", 8, "per-core dispatcher queue bound")
 	noSpill := fs.Bool("no-spill", false, "shed over-bound arrivals instead of spilling to other cores")
 	sloFactor := fs.Float64("slo-factor", 10, "latency SLO as a multiple of each tenant's estimated service time")
+	faultSpec := fs.String("faults", "", `explicit fault schedule, e.g. "fail@0:30e6;stall@1:10e6+2e6"`)
+	mttf := fs.Int64("mttf", 0, "generate random faults with this mean-time-to-failure in cycles (0 = off)")
+	faultSeed := fs.Uint64("fault-seed", 0, "seed for -mttf fault generation (0 = use -seed)")
+	heartbeat := fs.Int64("heartbeat", 0, "dispatcher liveness heartbeat period in cycles (0 = default 1e6)")
+	noMigration := fs.Bool("no-migration", false, "shed failure victims instead of migrating (resilience baseline)")
 	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same result)")
 	parallelism := fs.Int("parallel", 0, "worker goroutines for per-core simulations (0 = GOMAXPROCS)")
 	traceOut := fs.String("trace", "", "write a Perfetto timeline of the whole fleet (one section per core) to this file")
@@ -100,6 +120,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var schedule *v10.FaultSchedule
+	switch {
+	case *faultSpec != "" && *mttf != 0:
+		fmt.Fprintln(stderr, "-faults and -mttf are mutually exclusive")
+		return 2
+	case *faultSpec != "":
+		schedule, err = v10.ParseFaults(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	case *mttf != 0:
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		schedule = v10.GenerateFaults(*cores, *duration, *mttf, fseed)
+	}
+	if err := schedule.Validate(*cores); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
 	opt := v10.FleetOptions{
 		Config:         cfg,
 		Cores:          *cores,
@@ -111,6 +154,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SLOFactor:      *sloFactor,
 		Seed:           *seed,
 		Parallel:       *parallelism,
+
+		Faults:          schedule,
+		HeartbeatCycles: *heartbeat,
+		NoMigration:     *noMigration,
 	}
 	if pol == v10.PlaceAdvisor {
 		fmt.Fprintf(stderr, "training collocation advisor on %d tenants...\n", len(ws))
@@ -160,9 +207,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "wrote %d counter rows to %s\n", opt.Counters.Len(), *countersOut)
 	}
 
+	doc := buildSummary(res, len(ws), *rate)
+	if schedule != nil && !schedule.Empty() {
+		// A fault-free re-run of the same configuration anchors the resilience
+		// block: goodput_retained says how much serving capacity the recovery
+		// path preserved through the injected failures.
+		baseOpt := opt
+		baseOpt.Faults = nil
+		baseOpt.Tracer = nil
+		baseOpt.Counters = nil
+		baseRes, baseErr := v10.ServeFleet(ws, scheme, baseOpt)
+		if baseErr != nil && baseRes == nil {
+			fmt.Fprintln(stderr, baseErr)
+			return 1
+		}
+		hb := *heartbeat
+		if hb == 0 {
+			hb = 1_000_000 // the fleet dispatcher's default period
+		}
+		fsum := &faultSummary{
+			Spec:            schedule.String(),
+			Count:           len(schedule.Faults),
+			FailedCores:     res.FailedCores,
+			HeartbeatCycles: hb,
+			Migrated:        res.Migrated,
+			MigrationShed:   res.MigrationShed,
+			MigrationCycles: res.MigrationCycles,
+		}
+		if fsum.FailedCores == nil {
+			fsum.FailedCores = []int{}
+		}
+		fsum.BaselineGoodputHz = baseRes.GoodputHz
+		if baseRes.GoodputHz > 0 {
+			fsum.GoodputRetained = res.GoodputHz / baseRes.GoodputHz
+		}
+		doc.Faults = fsum
+		fmt.Fprintf(stderr, "faults: %d injected, failed cores %v, migrated %d, shed %d, goodput retained %.1f%%\n",
+			fsum.Count, fsum.FailedCores, fsum.Migrated, fsum.MigrationShed, 100*fsum.GoodputRetained)
+	}
+
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(buildSummary(res, len(ws), *rate)); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}

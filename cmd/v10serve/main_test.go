@@ -84,6 +84,75 @@ func TestRunSummarySchema(t *testing.T) {
 	}
 }
 
+// faultArgs is the resilience fixture: three cores so the two survivors have
+// headroom to absorb the failed core's migrated victims.
+func faultArgs(extra ...string) []string {
+	return append(quickArgs("-cores", "3", "-faults", "fail@0:1500000", "-heartbeat", "100000"), extra...)
+}
+
+func TestRunFaultsEmitsGoldenSummary(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(faultArgs(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "summary.faults.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("faulted summary drifted from golden (run with -update if intended):\n%s", stdout.String())
+	}
+}
+
+func TestRunFaultsSummarySchema(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(faultArgs(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	var doc struct {
+		Faults map[string]any `json:"faults"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Faults == nil {
+		t.Fatal("faulted run emitted no faults block")
+	}
+	for _, key := range []string{
+		"spec", "count", "failed_cores", "heartbeat_cycles", "migrated",
+		"migration_shed", "migration_cycles", "baseline_goodput_hz", "goodput_retained",
+	} {
+		if _, ok := doc.Faults[key]; !ok {
+			t.Errorf("faults block is missing %q", key)
+		}
+	}
+	if got := doc.Faults["failed_cores"]; len(got.([]any)) != 1 {
+		t.Errorf("failed_cores = %v, want exactly the injected core", got)
+	}
+	if r, _ := doc.Faults["goodput_retained"].(float64); !(r > 0 && r <= 1) {
+		t.Errorf("goodput_retained = %v, want in (0,1]", doc.Faults["goodput_retained"])
+	}
+	if stderrStr := stderr.String(); !strings.Contains(stderrStr, "goodput retained") {
+		t.Error("resilience digest missing from stderr")
+	}
+}
+
+func TestRunFaultFreeSummaryOmitsFaultsBlock(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(quickArgs(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	if strings.Contains(stdout.String(), `"faults"`) {
+		t.Fatal("fault-free summary contains a faults block")
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	for name, args := range map[string][]string{
 		"unknown flag":    {"-definitely-not-a-flag"},
@@ -92,6 +161,11 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		"unknown model":   quickArgs("-models", "NoSuchModel"),
 		"zero tenants":    quickArgs("-tenants", "0"),
 		"bad rate string": quickArgs("-rate", "fast"),
+
+		"malformed fault spec":     quickArgs("-faults", "fail@"),
+		"unknown fault kind":       quickArgs("-faults", "melt@0:1000"),
+		"fault on absent core":     quickArgs("-faults", "fail@7:1000"),
+		"faults and mttf together": quickArgs("-faults", "fail@0:1000", "-mttf", "1000000"),
 	} {
 		var stdout, stderr bytes.Buffer
 		if code := run(args, &stdout, &stderr); code != 2 {

@@ -48,6 +48,7 @@ func Generators() []Generator {
 		{"ext1", "Task-level scheduling gap (PREMA)", (*Context).Ext1},
 		{"calib", "Workload-zoo calibration report", (*Context).Calib},
 		{"fleet", "Fleet placement-policy sweep", (*Context).Fleet},
+		{"faults", "Fleet resilience under injected core failures", (*Context).Faults},
 	}
 }
 

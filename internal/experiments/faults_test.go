@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultsExperiment(t *testing.T) {
+	c := testContext()
+	tb, err := c.Faults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(faultMTTFs) * len(faultConfigs); len(tb.Rows) != want {
+		t.Fatalf("rows = %d, want %d (mttfs × strategies)", len(tb.Rows), want)
+	}
+	goodput := map[string]float64{}
+	retained := map[string]float64{}
+	var failures, migrations int
+	for _, row := range tb.Rows {
+		label := row[1]
+		failures += int(parseFloatCell(t, row[2]))
+		migrations += int(parseFloatCell(t, row[3]))
+		goodput[label] += parseFloatCell(t, row[6])
+		retained[label] += parsePercent(t, row[7])
+	}
+	if failures == 0 {
+		t.Fatal("the sweep injected no core failures — mttf axis is toothless")
+	}
+	if migrations == 0 {
+		t.Fatal("no migrations landed across the sweep")
+	}
+	// The resilience acceptance criterion: recovering victims by
+	// checkpoint-driven migration must retain strictly more goodput than
+	// shedding them, on aggregate across the default sweep.
+	if goodput["advisor+migrate"] <= goodput["advisor shed-only"] {
+		t.Errorf("advisor+migrate goodput %v ≤ shed-only %v across the sweep",
+			goodput["advisor+migrate"], goodput["advisor shed-only"])
+	}
+	if retained["advisor+migrate"] <= retained["advisor shed-only"] {
+		t.Errorf("advisor+migrate retained %v ≤ shed-only %v across the sweep",
+			retained["advisor+migrate"], retained["advisor shed-only"])
+	}
+	if !strings.Contains(tb.Note, "goodput retained") {
+		t.Errorf("note missing the retained-goodput comparison: %q", tb.Note)
+	}
+}

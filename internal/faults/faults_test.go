@@ -1,0 +1,286 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []Fault
+	}{
+		{"fail@1:30e6", []Fault{{Kind: KindFail, Core: 1, At: 30e6}}},
+		{"stall@0:10e6+2e6", []Fault{{Kind: KindStall, Core: 0, At: 10e6, Dur: 2e6}}},
+		{"hbm@2:5e6+8e6x0.5", []Fault{{Kind: KindHBM, Core: 2, At: 5e6, Dur: 8e6, Factor: 0.5}}},
+		{"vmem@0:1e6+4e6x0.25", []Fault{{Kind: KindVMem, Core: 0, At: 1e6, Dur: 4e6, Factor: 0.25}}},
+		{
+			"fail@1:500000; stall@0:1000+500 , hbm@0:9000+100x0.75",
+			[]Fault{
+				{Kind: KindFail, Core: 1, At: 500000},
+				{Kind: KindStall, Core: 0, At: 1000, Dur: 500},
+				{Kind: KindHBM, Core: 0, At: 9000, Dur: 100, Factor: 0.75},
+			},
+		},
+		{"", nil},
+		{" ; , ", nil},
+	}
+	for _, tc := range cases {
+		s, err := Parse(tc.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.spec, err)
+		}
+		if !reflect.DeepEqual(s.Faults, tc.want) {
+			t.Fatalf("Parse(%q) = %+v, want %+v", tc.spec, s.Faults, tc.want)
+		}
+		// String() renders back into the grammar; reparsing must be stable.
+		back, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", tc.spec, s.String(), err)
+		}
+		if !reflect.DeepEqual(back.Faults, s.Faults) {
+			t.Fatalf("%q does not round-trip: %+v vs %+v", tc.spec, back.Faults, s.Faults)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"fail",               // no @
+		"melt@0:100",         // unknown kind
+		"fail@0",             // no :at
+		"fail@x:100",         // bad core
+		"fail@0:abc",         // bad start cycle
+		"fail@0:100+50",      // fail takes no dur
+		"fail@0:100x0.5",     // fail takes no factor
+		"stall@0:100",        // stall needs dur
+		"stall@0:100+abc",    // bad dur
+		"stall@0:100+50x0.5", // stall takes no factor
+		"hbm@0:100+50",       // hbm needs factor
+		"hbm@0:100+50xzz",    // bad factor
+		"vmem@0:100x0.5",     // vmem needs dur
+		"fail@0:-5",          // negative number
+		"stall@0:100+-50",    // negative dur
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := &Schedule{Faults: []Fault{
+		{Kind: KindFail, Core: 1, At: 100},
+		{Kind: KindStall, Core: 0, At: 10, Dur: 5},
+		{Kind: KindStall, Core: 0, At: 15, Dur: 5}, // adjacent, not overlapping
+		{Kind: KindHBM, Core: 0, At: 10, Dur: 5, Factor: 0.5},
+		{Kind: KindVMem, Core: 1, At: 10, Dur: 5, Factor: 0.9},
+	}}
+	if err := ok.Validate(2); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	var nilSched *Schedule
+	if err := nilSched.Validate(2); err != nil {
+		t.Fatalf("nil schedule rejected: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		f    []Fault
+	}{
+		{"unknown kind", []Fault{{Kind: Kind(99), Core: 0, At: 1}}},
+		{"negative kind", []Fault{{Kind: Kind(-1), Core: 0, At: 1}}},
+		{"core out of range", []Fault{{Kind: KindFail, Core: 2, At: 1}}},
+		{"negative core", []Fault{{Kind: KindFail, Core: -1, At: 1}}},
+		{"negative at", []Fault{{Kind: KindFail, Core: 0, At: -1}}},
+		{"at overflow", []Fault{{Kind: KindFail, Core: 0, At: maxAt + 1}}},
+		{"fail at zero", []Fault{{Kind: KindFail, Core: 0, At: 0}}},
+		{"fail with dur", []Fault{{Kind: KindFail, Core: 0, At: 1, Dur: 5}}},
+		{"fail with factor", []Fault{{Kind: KindFail, Core: 0, At: 1, Factor: 0.5}}},
+		{"double fail", []Fault{{Kind: KindFail, Core: 0, At: 1}, {Kind: KindFail, Core: 0, At: 2}}},
+		{"stall without dur", []Fault{{Kind: KindStall, Core: 0, At: 1}}},
+		{"stall dur overflow", []Fault{{Kind: KindStall, Core: 0, At: 1, Dur: maxAt + 1}}},
+		{"stall with factor", []Fault{{Kind: KindStall, Core: 0, At: 1, Dur: 5, Factor: 0.5}}},
+		{"hbm without factor", []Fault{{Kind: KindHBM, Core: 0, At: 1, Dur: 5}}},
+		{"hbm factor one", []Fault{{Kind: KindHBM, Core: 0, At: 1, Dur: 5, Factor: 1}}},
+		{"vmem factor over one", []Fault{{Kind: KindVMem, Core: 0, At: 1, Dur: 5, Factor: 1.5}}},
+		{"overlapping stalls", []Fault{
+			{Kind: KindStall, Core: 0, At: 10, Dur: 10},
+			{Kind: KindStall, Core: 0, At: 15, Dur: 10},
+		}},
+		{"overlapping hbm", []Fault{
+			{Kind: KindHBM, Core: 1, At: 10, Dur: 10, Factor: 0.5},
+			{Kind: KindHBM, Core: 1, At: 12, Dur: 2, Factor: 0.5},
+		}},
+	}
+	for _, tc := range bad {
+		s := &Schedule{Faults: tc.f}
+		if err := s.Validate(2); err == nil {
+			t.Errorf("%s: accepted %v", tc.name, tc.f)
+		}
+	}
+
+	// Same-kind overlap on different cores, and different kinds overlapping
+	// on one core, are both fine.
+	mixed := &Schedule{Faults: []Fault{
+		{Kind: KindStall, Core: 0, At: 10, Dur: 10},
+		{Kind: KindStall, Core: 1, At: 10, Dur: 10},
+		{Kind: KindHBM, Core: 0, At: 12, Dur: 4, Factor: 0.5},
+	}}
+	if err := mixed.Validate(2); err != nil {
+		t.Fatalf("cross-core/cross-kind overlap rejected: %v", err)
+	}
+}
+
+func TestFailCycleAndWindows(t *testing.T) {
+	s := &Schedule{Faults: []Fault{
+		{Kind: KindFail, Core: 1, At: 777},
+		{Kind: KindStall, Core: 0, At: 10, Dur: 5},
+		{Kind: KindStall, Core: 0, At: 50, Dur: 5},
+		{Kind: KindHBM, Core: 0, At: 20, Dur: 5, Factor: 0.5},
+	}}
+	if at, ok := s.FailCycle(1); !ok || at != 777 {
+		t.Fatalf("FailCycle(1) = %d, %v", at, ok)
+	}
+	if _, ok := s.FailCycle(0); ok {
+		t.Fatal("FailCycle(0) reported a fail on a healthy core")
+	}
+	if ws := s.Windows(0, KindStall); len(ws) != 2 || ws[0].At != 10 || ws[1].At != 50 {
+		t.Fatalf("Windows(0, stall) = %+v", ws)
+	}
+	if ws := s.Windows(0, KindVMem); ws != nil {
+		t.Fatalf("Windows(0, vmem) = %+v, want nil", ws)
+	}
+
+	var nilSched *Schedule
+	if _, ok := nilSched.FailCycle(0); ok {
+		t.Fatal("nil schedule reported a fail cycle")
+	}
+	if ws := nilSched.Windows(0, KindStall); ws != nil {
+		t.Fatalf("nil schedule returned windows %+v", ws)
+	}
+	if !nilSched.Empty() {
+		t.Fatal("nil schedule is not Empty")
+	}
+	if nilSched.String() != "" {
+		t.Fatalf("nil schedule renders %q", nilSched.String())
+	}
+	if s.Empty() {
+		t.Fatal("populated schedule reports Empty")
+	}
+}
+
+func TestKindJSON(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		j, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Kind
+		if err := json.Unmarshal(j, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", j, err)
+		}
+		if back != k {
+			t.Fatalf("kind %v round-tripped to %v", k, back)
+		}
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`"melt"`), &k); err == nil {
+		t.Fatal("unknown kind name accepted")
+	}
+	if err := json.Unmarshal([]byte(`42`), &k); err == nil {
+		t.Fatal("non-string kind accepted")
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("out-of-range kind renders %q", got)
+	}
+
+	// A full Fault round-trips through JSON with the spec-name kind.
+	f := Fault{Kind: KindHBM, Core: 3, At: 5, Dur: 9, Factor: 0.5}
+	j, _ := json.Marshal(f)
+	if !strings.Contains(string(j), `"hbm"`) {
+		t.Fatalf("fault JSON %s does not name its kind", j)
+	}
+	var back Fault
+	if err := json.Unmarshal(j, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != f {
+		t.Fatalf("fault round-tripped to %+v", back)
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	const cores, horizon = 4, int64(1_000_000)
+	for _, mttf := range []int64{horizon / 4, horizon, horizon * 16} {
+		a := Generate(cores, horizon, mttf, 42)
+		b := Generate(cores, horizon, mttf, 42)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("mttf %d: generation is not deterministic", mttf)
+		}
+		if err := a.Validate(cores); err != nil {
+			t.Fatalf("mttf %d: generated schedule invalid: %v", mttf, err)
+		}
+		for _, f := range a.Faults {
+			if f.At < 1 || f.At >= horizon {
+				t.Fatalf("mttf %d: fault %s outside (0, horizon)", mttf, f)
+			}
+			if f.Kind != KindFail {
+				if f.Dur < 1 || f.At+f.Dur > horizon {
+					t.Fatalf("mttf %d: window %s extends past the horizon", mttf, f)
+				}
+			}
+			// Transient windows land before their core's fail-stop.
+			if at, ok := a.FailCycle(f.Core); ok && f.Kind != KindFail && f.At+f.Dur > at {
+				t.Fatalf("mttf %d: window %s outlives core %d's fail at %d", mttf, f, f.Core, at)
+			}
+		}
+	}
+	if !reflect.DeepEqual(Generate(4, horizon, horizon, 1), Generate(4, horizon, horizon, 1)) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if reflect.DeepEqual(Generate(4, horizon, horizon/4, 1).Faults, Generate(4, horizon, horizon/4, 2).Faults) {
+		t.Fatal("different seeds produced identical aggressive schedules")
+	}
+}
+
+func TestGenerateRates(t *testing.T) {
+	const cores, horizon = 8, int64(1_000_000)
+	// Aggressive MTTF (= horizon/4): nearly every core should fail; lazy
+	// MTTF (= 64×horizon): failures should be rare. Count over many seeds.
+	var aggressive, lazy int
+	for seed := uint64(0); seed < 50; seed++ {
+		for _, f := range Generate(cores, horizon, horizon/4, seed).Faults {
+			if f.Kind == KindFail {
+				aggressive++
+			}
+		}
+		for _, f := range Generate(cores, horizon, horizon*64, seed).Faults {
+			if f.Kind == KindFail {
+				lazy++
+			}
+		}
+	}
+	total := 50 * cores
+	if aggressive < total/2 {
+		t.Fatalf("mttf=horizon/4 failed only %d of %d cores", aggressive, total)
+	}
+	if lazy > total/10 {
+		t.Fatalf("mttf=64×horizon failed %d of %d cores", lazy, total)
+	}
+}
+
+func TestGenerateDegenerate(t *testing.T) {
+	for _, s := range []*Schedule{
+		Generate(0, 1000, 1000, 1),
+		Generate(4, 1, 1000, 1),
+		Generate(4, 1000, 0, 1),
+	} {
+		if !s.Empty() {
+			t.Fatalf("degenerate inputs generated %+v", s.Faults)
+		}
+	}
+}

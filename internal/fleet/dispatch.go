@@ -1,10 +1,14 @@
 package fleet
 
 import (
+	"container/heap"
 	"math"
 	"sort"
 
+	"v10/internal/collocate"
 	"v10/internal/mathx"
+	"v10/internal/obs"
+	"v10/internal/trace"
 )
 
 // arrival is one tenant request hitting the front end.
@@ -49,31 +53,67 @@ func genArrivals(tenants int, o Options) []arrival {
 }
 
 // dispatchOutcome is the admission-control phase's verdict over the whole
-// arrival sequence.
+// arrival sequence, extended with the failure-recovery bookkeeping.
 type dispatchOutcome struct {
 	// admitted[c][t] lists the arrival cycles of tenant t's requests admitted
-	// to core c (global tenant index; nil when none).
+	// to core c (global tenant index; nil when none). For a failed core the
+	// schedule is truncated at detection time to the requests it actually
+	// served — the unserved suffix became migrations.
 	admitted [][][]int64
+	// debts[c][t] aligns with admitted[c][t]: the latency debt in cycles each
+	// request carried into this core (0 for front-door admissions; landing
+	// cycle minus original arrival for migrated requests).
+	debts [][][]int64
 	// spilled[t] counts tenant t's requests admitted on a non-home core.
 	spilled []int
-	// shed[t] counts tenant t's rejected requests.
+	// shed[t] counts tenant t's requests rejected at the front door.
 	shed []int
 	// offered[t] counts tenant t's total arrivals.
 	offered []int
+	// migrated[t] counts migration landings (a request re-victimized by a
+	// cascading failure counts once per landing).
+	migrated []int
+	// migShed[t] counts victims dropped after exhausting the retry budget
+	// (or immediately under NoMigration).
+	migShed []int
+	// migCycles[t] sums detection-to-landing cycles over tenant t's
+	// migrations.
+	migCycles []int64
+	// ckptCycles[t] sums the §3.3 checkpoint costs charged for tenant t's
+	// in-flight operators on dying cores (exactly one charge per in-flight
+	// operator).
+	ckptCycles []int64
+	// failed lists the cores declared dead, in detection order.
+	failed []int
+	// deadOuts/deadJobs hold the failed cores' simulations, run synchronously
+	// at detection time to learn ground truth about served requests; runCores
+	// reuses them instead of re-running.
+	deadOuts map[int]*coreOut
+	deadJobs map[int]coreJob
+	// log carries the fleet-level fault/heartbeat/migration events for the
+	// "fleet" trace section.
+	log *obs.Log
+}
+
+// queueEntry is one request booked in a core's virtual dispatcher queue.
+type queueEntry struct {
+	done   int64 // estimated completion cycle
+	tenant int
 }
 
 // coreQueue is one core's virtual dispatcher state: estimated completion
 // times of everything admitted and not yet (estimated) finished. The depth of
 // this queue — request in service included — is what QueueLimit bounds.
 type coreQueue struct {
-	pending []int64 // estimated completion cycles, ascending
-	busyTil int64   // estimated cycle the core drains its current backlog
+	pending []queueEntry // ascending by done
+	busyTil int64        // estimated cycle the core drains its current backlog
+	dead    bool         // declared dead; admits nothing
 }
 
 // drain drops queue entries whose estimated completion is ≤ now.
 func (q *coreQueue) drain(now int64) {
 	i := 0
-	for i < len(q.pending) && q.pending[i] <= now {
+	for i < len(q.pending) && q.pending[i].done <= now {
 		i++
 	}
 	if i > 0 {
@@ -82,7 +122,7 @@ func (q *coreQueue) drain(now int64) {
 }
 
 // admit books one request with the given service estimate.
-func (q *coreQueue) admit(now int64, estCycles float64) {
+func (q *coreQueue) admit(now int64, estCycles float64, tenant int) {
 	start := q.busyTil
 	if now > start {
 		start = now
@@ -92,79 +132,380 @@ func (q *coreQueue) admit(now int64, estCycles float64) {
 		done = now + 1
 	}
 	q.busyTil = done
-	q.pending = append(q.pending, done)
+	q.pending = append(q.pending, queueEntry{done: done, tenant: tenant})
 }
 
-// dispatch runs admission control over the merged arrival sequence. homes is
-// the placement; residents[c] (== homes[c]) gates the advisor policy's spill
-// compatibility check.
-func dispatch(arrivals []arrival, homes [][]int, profs []tenantProfile, o Options) *dispatchOutcome {
+// residents returns who is on core c right now: the placed home tenants plus
+// every distinct tenant with requests in the live queue. Compatibility gates
+// evaluate against this snapshot — gating against the static placement alone
+// ignored earlier spills and mis-spilled incompatible tenants together.
+func (q *coreQueue) residents(home []int) []int {
+	group := append([]int(nil), home...)
+	seen := make(map[int]bool, len(home))
+	for _, t := range home {
+		seen[t] = true
+	}
+	for _, e := range q.pending {
+		if !seen[e.tenant] {
+			seen[e.tenant] = true
+			group = append(group, e.tenant)
+		}
+	}
+	return group
+}
+
+// migration is one victim request of a core failure being re-dispatched.
+type migration struct {
+	tenant    int
+	arrivedAt int64 // original front-door arrival (latency debt baseline)
+	detectAt  int64 // when its core was declared dead (migration-cycles baseline)
+	attempts  int   // failed placement attempts so far
+}
+
+// Event priorities at equal cycles: failure detection preempts pending
+// migrations, which land before new front-door arrivals.
+const (
+	prioDetect = iota
+	prioMigration
+	prioArrival
+)
+
+// dispatchEvent is one entry of the dispatcher's event heap.
+type dispatchEvent struct {
+	at   int64
+	prio int
+	seq  int
+	core int // prioDetect: which core to declare dead
+	mig  *migration
+	arr  arrival
+}
+
+type eventHeap []*dispatchEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*dispatchEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// dispatcher is the front end's working state while consuming the event heap.
+type dispatcher struct {
+	tenants []*trace.Workload
+	homes   [][]int
+	profs   []tenantProfile
+	o       Options
+	out     *dispatchOutcome
+	queues  []coreQueue
+	home    []int // tenant → home core
+	feats   []collocate.Features
+	events  eventHeap
+	seq     int
+}
+
+// dispatch runs admission control and failure recovery over the merged
+// arrival sequence as a single chronological event simulation. homes is the
+// placement; tenants is only consulted when a core dies (its simulation runs
+// synchronously at detection time to learn which requests it served). With an
+// empty fault schedule the event stream reduces to the plain arrival
+// sequence, so fault-free outcomes are bit-identical to a run without the
+// fault machinery.
+func dispatch(tenants []*trace.Workload, arrivals []arrival, homes [][]int, profs []tenantProfile, o Options) *dispatchOutcome {
 	nT := len(profs)
 	out := &dispatchOutcome{
-		admitted: make([][][]int64, o.Cores),
-		spilled:  make([]int, nT),
-		shed:     make([]int, nT),
-		offered:  make([]int, nT),
+		admitted:   make([][][]int64, o.Cores),
+		debts:      make([][][]int64, o.Cores),
+		spilled:    make([]int, nT),
+		shed:       make([]int, nT),
+		offered:    make([]int, nT),
+		migrated:   make([]int, nT),
+		migShed:    make([]int, nT),
+		migCycles:  make([]int64, nT),
+		ckptCycles: make([]int64, nT),
+		deadOuts:   map[int]*coreOut{},
+		deadJobs:   map[int]coreJob{},
+		log:        &obs.Log{},
 	}
 	for c := range out.admitted {
 		out.admitted[c] = make([][]int64, nT)
+		out.debts[c] = make([][]int64, nT)
 	}
-	home := make([]int, nT)
+	d := &dispatcher{
+		tenants: tenants,
+		homes:   homes,
+		profs:   profs,
+		o:       o,
+		out:     out,
+		queues:  make([]coreQueue, o.Cores),
+		home:    make([]int, nT),
+		feats:   features(profs),
+	}
 	for c, group := range homes {
 		for _, t := range group {
-			home[t] = c
-		}
-	}
-	feats := features(profs)
-	queues := make([]coreQueue, o.Cores)
-
-	admit := func(c int, a arrival) {
-		queues[c].admit(a.at, profs[a.tenant].estCycles)
-		out.admitted[c][a.tenant] = append(out.admitted[c][a.tenant], a.at)
-		if c != home[a.tenant] {
-			out.spilled[a.tenant]++
+			d.home[t] = c
 		}
 	}
 
+	// Seed the heap: every front-door arrival plus one detection event per
+	// fail-stopped core. Arrivals are pushed in their (already sorted) order
+	// so equal-cycle arrivals keep their tenant-index tie-break via seq.
+	for c := 0; c < o.Cores; c++ {
+		if fail, ok := o.Faults.FailCycle(c); ok {
+			d.push(&dispatchEvent{at: detectCycle(fail, o), prio: prioDetect, core: c})
+		}
+	}
 	for _, a := range arrivals {
-		out.offered[a.tenant]++
-		for c := range queues {
-			queues[c].drain(a.at)
+		d.push(&dispatchEvent{at: a.at, prio: prioArrival, arr: a})
+	}
+
+	for d.events.Len() > 0 {
+		e := heap.Pop(&d.events).(*dispatchEvent)
+		switch e.prio {
+		case prioDetect:
+			d.detect(e.at, e.core)
+		case prioMigration:
+			d.migrate(e.at, e.mig)
+		case prioArrival:
+			d.arrive(e.arr)
 		}
-		h := home[a.tenant]
-		if len(queues[h].pending) < o.QueueLimit {
-			admit(h, a)
-			continue
-		}
-		if o.NoSpill {
-			out.shed[a.tenant]++
-			continue
-		}
-		// Spill: probe the other cores for room, preferring the shallowest
-		// queue (ties by smaller estimated backlog, then index). The advisor
-		// policy only spills onto cores whose residents the tenant is
-		// predicted compatible with; empty cores are trivially compatible.
-		best := -1
-		for c := range queues {
-			if c == h || len(queues[c].pending) >= o.QueueLimit {
-				continue
-			}
-			if o.Policy == PolicyAdvisor && len(homes[c]) > 0 &&
-				o.Model.GroupFit(feats, homes[c], a.tenant) <= 0 {
-				continue
-			}
-			if best < 0 ||
-				len(queues[c].pending) < len(queues[best].pending) ||
-				(len(queues[c].pending) == len(queues[best].pending) &&
-					queues[c].busyTil < queues[best].busyTil) {
-				best = c
-			}
-		}
-		if best < 0 {
-			out.shed[a.tenant]++
-			continue
-		}
-		admit(best, a)
 	}
 	return out
+}
+
+func (d *dispatcher) push(e *dispatchEvent) {
+	e.seq = d.seq
+	d.seq++
+	heap.Push(&d.events, e)
+}
+
+// detectCycle is when the dispatcher declares a core that failed at cycle
+// fail dead: the first heartbeat at or after the failure is missed (a beat
+// tied with the failure is missed — the halt wins the tie), and death is
+// declared on the MissedBeats-th consecutive miss.
+func detectCycle(fail int64, o Options) int64 {
+	hb := o.HeartbeatCycles
+	first := ((fail + hb - 1) / hb) * hb
+	if first == 0 {
+		first = hb
+	}
+	return first + int64(o.MissedBeats-1)*hb
+}
+
+// detect declares core c dead: runs its cycle-accurate simulation (halted at
+// the failure cycle) to learn ground truth about served requests, truncates
+// its admitted schedule, charges the §3.3 checkpoint cost for in-flight
+// operators, and turns the unserved suffix into migrations (or sheds, under
+// NoMigration).
+func (d *dispatcher) detect(now int64, c int) {
+	fail, _ := d.o.Faults.FailCycle(c)
+	q := &d.queues[c]
+	q.dead = true
+	q.pending = nil
+	q.busyTil = 0
+	d.out.failed = append(d.out.failed, c)
+
+	hb := d.o.HeartbeatCycles
+	firstMiss := now - int64(d.o.MissedBeats-1)*hb
+	for k := 0; k < d.o.MissedBeats; k++ {
+		d.out.log.Emit(obs.Event{
+			Time: firstMiss + int64(k)*hb, Type: obs.EvHeartbeatMiss,
+			WIdx: -1, FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+			Arg0: float64(c), Arg1: float64(k + 1),
+		})
+	}
+	d.out.log.Emit(obs.Event{
+		Time: now, Type: obs.EvCoreDead,
+		WIdx: -1, FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+		Arg0: float64(c), Arg1: float64(fail),
+	})
+
+	job := buildJob(d.tenants, d.homes[c], d.out.admitted[c])
+	d.out.deadJobs[c] = job
+	if len(job.roster) == 0 {
+		return
+	}
+	out := runCore(c, job, d.o, perturbFor(d.o.Faults, c))
+	d.out.deadOuts[c] = out
+
+	for k, t := range job.roster {
+		served := 0
+		var inFlight int
+		if out.res != nil {
+			served = out.res.Workloads[k].Requests
+			inFlight = out.res.Workloads[k].InFlightOpKind
+		}
+		schedule := d.out.admitted[c][t]
+		debts := d.out.debts[c][t]
+		if served > len(schedule) {
+			served = len(schedule) // defensive; V10 cores cannot overshoot
+		}
+		victims := schedule[served:]
+		vdebts := debts[served:]
+		d.out.admitted[c][t] = schedule[:served]
+		d.out.debts[c][t] = debts[:served]
+
+		// The workload's one in-flight operator (at most one: a workload runs
+		// a single serial operator stream) is context-saved exactly once; the
+		// §3.3 cost delays its request's — the first victim's — re-dispatch.
+		var ckpt int64
+		if inFlight != 0 && len(victims) > 0 {
+			ckpt = checkpointCycles(d.o, inFlight)
+			d.out.ckptCycles[t] += ckpt
+		}
+		for vi, at := range victims {
+			m := &migration{tenant: t, arrivedAt: at - vdebts[vi], detectAt: now}
+			if d.o.NoMigration {
+				d.shedMigration(now, m)
+				continue
+			}
+			ready := now
+			if vi == 0 {
+				ready += ckpt
+			}
+			d.push(&dispatchEvent{at: ready, prio: prioMigration, mig: m})
+		}
+	}
+}
+
+// checkpointCycles is the exposed cost of context-saving one in-flight
+// operator on a dying core and shipping the context out over HBM: the §3.3
+// preemption drain (384 cycles for a 128×128 SA) plus the context transfer
+// (96 KB for the SA; the VU register file otherwise) at full HBM bandwidth.
+func checkpointCycles(o Options, inFlightKind int) int64 {
+	bpc := o.Config.HBMBytesPerCycle()
+	if inFlightKind == 1 { // SA
+		xfer := int64(math.Ceil(float64(o.Config.SAContextBytes()) / bpc))
+		return o.Config.SAPreemptCycles() + xfer
+	}
+	ctx := int64(o.Config.VURegFileBits) * int64(o.Config.VULanes) / 8
+	xfer := int64(math.Ceil(float64(ctx) / bpc))
+	return o.Config.VUPreemptCycles() + xfer
+}
+
+// migrate attempts to land one victim request on a surviving core.
+func (d *dispatcher) migrate(now int64, m *migration) {
+	for c := range d.queues {
+		d.queues[c].drain(now)
+	}
+	best := d.bestTarget(m.tenant, -1)
+	if best >= 0 {
+		d.admit(best, arrival{at: now, tenant: m.tenant}, now-m.arrivedAt)
+		d.out.migrated[m.tenant]++
+		d.out.migCycles[m.tenant] += now - m.detectAt
+		d.out.log.Emit(obs.Event{
+			Time: now, Type: obs.EvMigrate,
+			Workload: d.tenantName(m.tenant), WIdx: m.tenant,
+			FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+			Arg0: float64(best), Arg1: float64(now - m.arrivedAt),
+		})
+		return
+	}
+	m.attempts++
+	if m.attempts >= d.o.MigrationRetries {
+		d.shedMigration(now, m)
+		return
+	}
+	shift := m.attempts - 1
+	if shift > 30 {
+		shift = 30
+	}
+	d.push(&dispatchEvent{at: now + d.o.MigrationBackoffCycles<<shift, prio: prioMigration, mig: m})
+}
+
+// shedMigration gives up on a victim request (retry budget exhausted, or
+// NoMigration).
+func (d *dispatcher) shedMigration(now int64, m *migration) {
+	d.out.migShed[m.tenant]++
+	d.out.log.Emit(obs.Event{
+		Time: now, Type: obs.EvMigrateShed,
+		Workload: d.tenantName(m.tenant), WIdx: m.tenant,
+		FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+		Arg0: float64(m.attempts),
+	})
+}
+
+func (d *dispatcher) tenantName(t int) string {
+	if t < len(d.tenants) {
+		return d.tenants[t].Name
+	}
+	return ""
+}
+
+// arrive runs front-door admission control for one arrival. This is the
+// fault-free hot path and decides identically to the pre-fault dispatcher
+// when no core has died, modulo the live-residents compatibility snapshot.
+func (d *dispatcher) arrive(a arrival) {
+	d.out.offered[a.tenant]++
+	for c := range d.queues {
+		d.queues[c].drain(a.at)
+	}
+	h := d.home[a.tenant]
+	if !d.queues[h].dead && len(d.queues[h].pending) < d.o.QueueLimit {
+		d.admit(h, a, 0)
+		return
+	}
+	if d.o.NoSpill {
+		d.out.shed[a.tenant]++
+		return
+	}
+	// Spill: probe the other cores for room, preferring the shallowest queue
+	// (ties by smaller estimated backlog, then index). The advisor policy
+	// only spills onto cores whose *live* residents — placed tenants plus
+	// anyone currently queued there — the tenant is predicted compatible
+	// with; empty cores are trivially compatible.
+	best := d.bestTarget(a.tenant, h)
+	if best < 0 {
+		d.out.shed[a.tenant]++
+		return
+	}
+	d.admit(best, a, 0)
+}
+
+// bestTarget picks the most lightly loaded live core with queue room that
+// passes the advisor compatibility gate, excluding core `exclude` (-1: none).
+func (d *dispatcher) bestTarget(tenant, exclude int) int {
+	best := -1
+	for c := range d.queues {
+		q := &d.queues[c]
+		if c == exclude || q.dead || len(q.pending) >= d.o.QueueLimit {
+			continue
+		}
+		if d.o.Policy == PolicyAdvisor {
+			group := q.residents(d.homes[c])
+			if len(group) > 0 && d.o.compat(d.feats, group, tenant) <= 0 {
+				continue
+			}
+		}
+		if best < 0 ||
+			len(q.pending) < len(d.queues[best].pending) ||
+			(len(q.pending) == len(d.queues[best].pending) &&
+				q.busyTil < d.queues[best].busyTil) {
+			best = c
+		}
+	}
+	return best
+}
+
+// admit books one request on core c with the given latency debt.
+func (d *dispatcher) admit(c int, a arrival, debt int64) {
+	d.queues[c].admit(a.at, d.profs[a.tenant].estCycles, a.tenant)
+	d.out.admitted[c][a.tenant] = append(d.out.admitted[c][a.tenant], a.at)
+	d.out.debts[c][a.tenant] = append(d.out.debts[c][a.tenant], debt)
+	if c != d.home[a.tenant] {
+		d.out.spilled[a.tenant]++
+	}
 }

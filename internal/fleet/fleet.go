@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"v10/internal/collocate"
+	"v10/internal/faults"
 	"v10/internal/mathx"
 	"v10/internal/npu"
 	"v10/internal/obs"
@@ -125,6 +126,42 @@ type Options struct {
 	// tenant indices, spill targets included). The simcheck property tests
 	// ride fleet runs through this hook.
 	CoreTracer func(core int, tenants []int) obs.Tracer
+
+	// Faults is the injected fault schedule (nil or empty: none). Fail-stop
+	// faults kill cores mid-run and trigger checkpoint-driven migration of
+	// the victims' unserved requests; transient faults perturb the per-core
+	// simulations. Requires a V10 scheme — the PMT baseline has no
+	// checkpoint/halt support.
+	Faults *faults.Schedule
+
+	// HeartbeatCycles is the core-liveness heartbeat period the dispatcher
+	// watches (default 1e6 cycles ≈ 1.4 ms at 700 MHz).
+	HeartbeatCycles int64
+
+	// MissedBeats is how many consecutive missed heartbeats declare a core
+	// dead (default 3). Detection therefore lags the failure by up to
+	// HeartbeatCycles*(MissedBeats+1) cycles.
+	MissedBeats int
+
+	// MigrationRetries is each victim request's total migration-attempt
+	// budget; a victim still unplaced after this many attempts is shed
+	// (default 4).
+	MigrationRetries int
+
+	// MigrationBackoffCycles is the base of the exponential backoff between
+	// failed migration attempts (default 250e3 cycles; attempt k retries
+	// after base<<(k-1)).
+	MigrationBackoffCycles int64
+
+	// NoMigration sheds every victim of a core failure immediately instead
+	// of migrating — the graceful-degradation baseline the faults experiment
+	// compares against.
+	NoMigration bool
+
+	// compat overrides the advisor compatibility oracle used by placement
+	// and the spill/migration gates (tests inject stubs); withDefaults wires
+	// it to Model.GroupFit when a model is present.
+	compat func(feats []collocate.Features, group []int, cand int) float64
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -154,7 +191,10 @@ func (o Options) withDefaults() (Options, error) {
 	if _, err := ParsePolicy(string(o.Policy)); err != nil {
 		return o, err
 	}
-	if o.Policy == PolicyAdvisor && o.Model == nil {
+	if o.compat == nil && o.Model != nil {
+		o.compat = o.Model.GroupFit
+	}
+	if o.Policy == PolicyAdvisor && o.compat == nil {
 		return o, fmt.Errorf("fleet: PolicyAdvisor requires a trained collocation model")
 	}
 	if o.ProfileRequests <= 0 {
@@ -183,6 +223,36 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.SLOFactor < 0 {
 		return o, fmt.Errorf("fleet: negative SLOFactor %v", o.SLOFactor)
+	}
+	if o.HeartbeatCycles == 0 {
+		o.HeartbeatCycles = 1_000_000
+	}
+	if o.HeartbeatCycles < 0 {
+		return o, fmt.Errorf("fleet: negative HeartbeatCycles %d", o.HeartbeatCycles)
+	}
+	if o.MissedBeats == 0 {
+		o.MissedBeats = 3
+	}
+	if o.MissedBeats < 0 {
+		return o, fmt.Errorf("fleet: negative MissedBeats %d", o.MissedBeats)
+	}
+	if o.MigrationRetries == 0 {
+		o.MigrationRetries = 4
+	}
+	if o.MigrationRetries < 0 {
+		return o, fmt.Errorf("fleet: negative MigrationRetries %d", o.MigrationRetries)
+	}
+	if o.MigrationBackoffCycles == 0 {
+		o.MigrationBackoffCycles = 250_000
+	}
+	if o.MigrationBackoffCycles < 0 {
+		return o, fmt.Errorf("fleet: negative MigrationBackoffCycles %d", o.MigrationBackoffCycles)
+	}
+	if err := o.Faults.Validate(o.Cores); err != nil {
+		return o, err
+	}
+	if !o.Faults.Empty() && o.Scheme == "PMT" {
+		return o, fmt.Errorf("fleet: fault injection requires a V10 scheme; PMT has no checkpoint/halt support")
 	}
 	return o, nil
 }
@@ -260,7 +330,7 @@ func place(profs []tenantProfile, o Options, rng *mathx.RNG) [][]int {
 				if len(homes[c]) >= capacity {
 					continue
 				}
-				if fit := o.Model.GroupFit(feats, homes[c], t); fit > bestFit {
+				if fit := o.compat(feats, homes[c], t); fit > bestFit {
 					best, bestFit = c, fit
 				}
 			}

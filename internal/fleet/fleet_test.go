@@ -183,19 +183,20 @@ func TestPlaceAdvisorPairsCompatibleTenants(t *testing.T) {
 
 func TestCoreQueueAdmitAndDrain(t *testing.T) {
 	var q coreQueue
-	q.admit(0, 100)
-	q.admit(0, 100)
-	if q.busyTil != 200 || !reflect.DeepEqual(q.pending, []int64{100, 200}) {
+	q.admit(0, 100, 0)
+	q.admit(0, 100, 1)
+	want := []queueEntry{{done: 100, tenant: 0}, {done: 200, tenant: 1}}
+	if q.busyTil != 200 || !reflect.DeepEqual(q.pending, want) {
 		t.Fatalf("after two admits: busyTil %d pending %v", q.busyTil, q.pending)
 	}
 	q.drain(150)
-	if !reflect.DeepEqual(q.pending, []int64{200}) {
+	if !reflect.DeepEqual(q.pending, want[1:]) {
 		t.Fatalf("after drain(150): pending %v", q.pending)
 	}
 	// A zero-cost admit still occupies at least one cycle.
 	q.drain(1000)
-	q.admit(1000, 0)
-	if len(q.pending) != 1 || q.pending[0] != 1001 {
+	q.admit(1000, 0, 0)
+	if len(q.pending) != 1 || q.pending[0].done != 1001 {
 		t.Fatalf("zero-cost admit: pending %v", q.pending)
 	}
 }
@@ -214,7 +215,7 @@ func TestDispatchEnforcesQueueBound(t *testing.T) {
 	// back-to-back arrivals exactly 3 are admitted and 3 shed.
 	o := Options{Cores: 1, QueueLimit: 3, Policy: PolicyLeastLoaded}
 	profs := []tenantProfile{{estCycles: 1e12}}
-	disp := dispatch(floodArrivals(6), [][]int{{0}}, profs, o)
+	disp := dispatch(nil, floodArrivals(6), [][]int{{0}}, profs, o)
 	if got := len(disp.admitted[0][0]); got != 3 {
 		t.Fatalf("admitted %d, want 3", got)
 	}
@@ -230,7 +231,7 @@ func TestDispatchSpillsThenSheds(t *testing.T) {
 	o := Options{Cores: 2, QueueLimit: 1, Policy: PolicyLeastLoaded}
 	profs := []tenantProfile{{estCycles: 1e12}, {estCycles: 1e12}}
 	homes := [][]int{{0}, {1}}
-	disp := dispatch(floodArrivals(3), homes, profs, o)
+	disp := dispatch(nil, floodArrivals(3), homes, profs, o)
 	if !reflect.DeepEqual(disp.admitted[0][0], []int64{1}) ||
 		!reflect.DeepEqual(disp.admitted[1][0], []int64{2}) {
 		t.Fatalf("admitted = %v", disp.admitted)
@@ -240,7 +241,7 @@ func TestDispatchSpillsThenSheds(t *testing.T) {
 	}
 
 	o.NoSpill = true
-	disp = dispatch(floodArrivals(3), homes, profs, o)
+	disp = dispatch(nil, floodArrivals(3), homes, profs, o)
 	if disp.spilled[0] != 0 || disp.shed[0] != 2 {
 		t.Fatalf("NoSpill: spilled %d shed %d, want 0/2", disp.spilled[0], disp.shed[0])
 	}
@@ -252,7 +253,7 @@ func TestDispatchDrainsFinishedWork(t *testing.T) {
 	o := Options{Cores: 1, QueueLimit: 1, Policy: PolicyLeastLoaded}
 	profs := []tenantProfile{{estCycles: 10}}
 	arrivals := []arrival{{at: 0, tenant: 0}, {at: 100, tenant: 0}, {at: 200, tenant: 0}}
-	disp := dispatch(arrivals, [][]int{{0}}, profs, o)
+	disp := dispatch(nil, arrivals, [][]int{{0}}, profs, o)
 	if disp.shed[0] != 0 || len(disp.admitted[0][0]) != 3 {
 		t.Fatalf("shed %d admitted %d, want 0/3", disp.shed[0], len(disp.admitted[0][0]))
 	}

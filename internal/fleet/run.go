@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"v10/internal/baseline"
+	"v10/internal/faults"
 	"v10/internal/mathx"
 	"v10/internal/metrics"
 	"v10/internal/obs"
@@ -26,6 +27,17 @@ type TenantStats struct {
 	Shed      int `json:"shed"`      // rejected by admission control
 	Completed int `json:"completed"` // served by a core simulation
 	Good      int `json:"good"`      // completed within the SLO
+
+	// Recovery metrics (fault injection; zero — and omitted from JSON —
+	// without failures). Migrated counts migration landings, MigrationShed
+	// the victims dropped after exhausting their retry budget (already
+	// included in Shed), MigrationCycles the summed detection-to-landing
+	// delay, and CheckpointCycles the summed §3.3 context-save costs charged
+	// for this tenant's in-flight operators on dying cores.
+	Migrated         int   `json:"migrated,omitempty"`
+	MigrationShed    int   `json:"migration_shed,omitempty"`
+	MigrationCycles  int64 `json:"migration_cycles,omitempty"`
+	CheckpointCycles int64 `json:"checkpoint_cycles,omitempty"`
 
 	SLOCycles        float64 `json:"slo_cycles"`
 	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
@@ -63,6 +75,12 @@ type Result struct {
 	Good      int     `json:"good"`
 	GoodputHz float64 `json:"goodput_hz"`
 	ShedRate  float64 `json:"shed_rate"`
+
+	// Fault-injection outcome (omitted from JSON on fault-free runs).
+	FailedCores     []int `json:"failed_cores,omitempty"` // detection order
+	Migrated        int   `json:"migrated,omitempty"`
+	MigrationShed   int   `json:"migration_shed,omitempty"`
+	MigrationCycles int64 `json:"migration_cycles,omitempty"`
 }
 
 // coreJob is one core's prepared simulation input.
@@ -103,18 +121,19 @@ func Run(tenants []*trace.Workload, o Options) (*Result, error) {
 	profs := profileTenants(tenants, o)
 	homes := place(profs, o, mathx.NewRNG(o.Seed+0x9f1e))
 	arrivals := genArrivals(len(tenants), o)
-	disp := dispatch(arrivals, homes, profs, o)
+	disp := dispatch(tenants, arrivals, homes, profs, o)
 	jobs := buildJobs(tenants, homes, disp, o)
 
-	outs, runErr := runCores(tenants, jobs, o)
+	outs, runErr := runCores(jobs, disp, o)
 
 	res := &Result{
 		Scheme:         o.Scheme,
 		Policy:         o.Policy,
 		Placement:      homes,
 		DurationCycles: o.DurationCycles,
+		FailedCores:    disp.failed,
 	}
-	replayObservability(outs, o)
+	replayObservability(disp, outs, o)
 	for c, job := range jobs {
 		cr := CoreResult{Core: c, Tenants: job.roster, Admitted: job.admitted}
 		if outs[c] != nil {
@@ -133,6 +152,9 @@ func Run(tenants []*trace.Workload, o Options) (*Result, error) {
 		res.Completed += ts.Completed
 		res.Good += ts.Good
 		res.GoodputHz += ts.GoodputHz
+		res.Migrated += ts.Migrated
+		res.MigrationShed += ts.MigrationShed
+		res.MigrationCycles += ts.MigrationCycles
 	}
 	res.ShedRate = mathx.Ratio(float64(res.Shed), float64(res.Offered), 0)
 	return res, runErr
@@ -145,86 +167,145 @@ func Run(tenants []*trace.Workload, o Options) (*Result, error) {
 func buildJobs(tenants []*trace.Workload, homes [][]int, disp *dispatchOutcome, o Options) []coreJob {
 	jobs := make([]coreJob, o.Cores)
 	for c := range jobs {
-		job := &jobs[c]
-		resident := make([]bool, len(tenants))
-		for _, t := range homes[c] {
-			resident[t] = true
-			job.roster = append(job.roster, t)
+		if job, ok := disp.deadJobs[c]; ok {
+			// A failed core's job was built — and simulated — at detection
+			// time, against the pre-truncation schedule it actually ran.
+			jobs[c] = job
+			continue
 		}
-		for t := range tenants {
-			if !resident[t] && len(disp.admitted[c][t]) > 0 {
-				job.roster = append(job.roster, t)
-			}
-		}
-		for _, t := range job.roster {
-			sc := disp.admitted[c][t]
-			if sc == nil {
-				sc = []int64{}
-			}
-			job.ws = append(job.ws, tenants[t])
-			job.schedules = append(job.schedules, sc)
-			job.targets = append(job.targets, len(sc))
-			job.admitted += len(sc)
-		}
+		jobs[c] = buildJob(tenants, homes[c], disp.admitted[c])
 	}
 	return jobs
 }
 
-// runCores executes every core's simulation on the worker pool, each with its
-// own engine, event log, and counter log. Per-core errors (cycle caps) are
-// joined, labeled with the core; partial results are kept.
-func runCores(tenants []*trace.Workload, jobs []coreJob, o Options) ([]*coreOut, error) {
-	outs, _ := parallel.Map(context.Background(), len(jobs), o.Parallel, func(c int) (*coreOut, error) {
-		job := jobs[c]
-		if len(job.roster) == 0 {
-			return nil, nil
+// buildJob assembles one core's simulation input from its home residents and
+// the per-tenant admitted schedules.
+func buildJob(tenants []*trace.Workload, home []int, admitted [][]int64) coreJob {
+	var job coreJob
+	resident := make([]bool, len(tenants))
+	for _, t := range home {
+		resident[t] = true
+		job.roster = append(job.roster, t)
+	}
+	for t := range tenants {
+		if !resident[t] && len(admitted[t]) > 0 {
+			job.roster = append(job.roster, t)
 		}
-		out := &coreOut{}
-		var sinks []obs.Tracer
-		if o.Tracer != nil {
-			out.log = &obs.Log{}
-			sinks = append(sinks, out.log)
+	}
+	for _, t := range job.roster {
+		sc := admitted[t]
+		if sc == nil {
+			sc = []int64{}
 		}
-		if o.CoreTracer != nil {
-			sinks = append(sinks, o.CoreTracer(c, job.roster))
-		}
-		tr := obs.Multi(sinks...)
+		job.ws = append(job.ws, tenants[t])
+		job.schedules = append(job.schedules, sc)
+		job.targets = append(job.targets, len(sc))
+		job.admitted += len(sc)
+	}
+	return job
+}
 
-		if o.Scheme == "PMT" {
-			out.res, out.err = baseline.RunPMT(job.ws, baseline.PMTOptions{
-				Config:           o.Config,
-				Policy:           baseline.PMTRoundRobin,
-				RequestTargets:   job.targets,
-				MaxCycles:        o.MaxCycles,
-				Seed:             o.Seed + 0xc0e + uint64(c),
-				WeightByPriority: true,
-				Tracer:           tr,
-			})
+// perturb is one core's slice of the fault schedule, mapped to the
+// scheduler's knobs.
+type perturb struct {
+	halt  int64
+	stall []sched.Window
+	hbm   []sched.Window
+	vmem  []sched.Window
+}
+
+// perturbFor extracts core's perturbations from the schedule (zero value
+// when the schedule is empty).
+func perturbFor(s *faults.Schedule, core int) perturb {
+	var p perturb
+	if at, ok := s.FailCycle(core); ok {
+		p.halt = at
+	}
+	p.stall = windowsOf(s, core, faults.KindStall)
+	p.hbm = windowsOf(s, core, faults.KindHBM)
+	p.vmem = windowsOf(s, core, faults.KindVMem)
+	return p
+}
+
+func windowsOf(s *faults.Schedule, core int, kind faults.Kind) []sched.Window {
+	var out []sched.Window
+	for _, f := range s.Windows(core, kind) {
+		out = append(out, sched.Window{At: f.At, Dur: f.Dur, Factor: f.Factor})
+	}
+	return out
+}
+
+// runCore executes one core's cycle-accurate simulation under its fault
+// perturbations, with its own engine, event log, and counter log.
+func runCore(c int, job coreJob, o Options, p perturb) *coreOut {
+	out := &coreOut{}
+	var sinks []obs.Tracer
+	if o.Tracer != nil {
+		out.log = &obs.Log{}
+		sinks = append(sinks, out.log)
+	}
+	if o.CoreTracer != nil {
+		sinks = append(sinks, o.CoreTracer(c, job.roster))
+	}
+	tr := obs.Multi(sinks...)
+
+	if o.Scheme == "PMT" {
+		out.res, out.err = baseline.RunPMT(job.ws, baseline.PMTOptions{
+			Config:           o.Config,
+			Policy:           baseline.PMTRoundRobin,
+			RequestTargets:   job.targets,
+			MaxCycles:        o.MaxCycles,
+			Seed:             o.Seed + 0xc0e + uint64(c),
+			WeightByPriority: true,
+			Tracer:           tr,
+		})
+		return out
+	}
+	so := sched.Options{
+		Config:        o.Config,
+		ArrivalCycles: job.schedules,
+		MaxCycles:     o.MaxCycles,
+		Seed:          o.Seed + 0xc0e + uint64(c),
+		Scheme:        o.Scheme,
+		Tracer:        tr,
+		HaltAtCycle:   p.halt,
+		StallWindows:  p.stall,
+		HBMWindows:    p.hbm,
+		VMemWindows:   p.vmem,
+	}
+	switch o.Scheme {
+	case "V10-Base":
+		so.Policy = sched.RoundRobin
+	case "V10-Fair":
+		so.Policy = sched.Priority
+	default: // V10-Full
+		so.Policy = sched.Priority
+		so.Preemption = true
+	}
+	if o.Counters != nil {
+		out.counters = obs.NewCounterLog()
+		so.Counters = out.counters
+	}
+	out.res, out.err = sched.Run(job.ws, so)
+	return out
+}
+
+// runCores executes every surviving core's simulation on the worker pool;
+// failed cores reuse the simulation already run at detection time. Per-core
+// errors (cycle caps) are joined, labeled with the core; partial results are
+// kept.
+func runCores(jobs []coreJob, disp *dispatchOutcome, o Options) ([]*coreOut, error) {
+	outs, _ := parallel.Map(context.Background(), len(jobs), o.Parallel, func(c int) (*coreOut, error) {
+		if out, ok := disp.deadOuts[c]; ok {
 			return out, nil
 		}
-		so := sched.Options{
-			Config:        o.Config,
-			ArrivalCycles: job.schedules,
-			MaxCycles:     o.MaxCycles,
-			Seed:          o.Seed + 0xc0e + uint64(c),
-			Scheme:        o.Scheme,
-			Tracer:        tr,
+		if _, dead := disp.deadJobs[c]; dead {
+			return nil, nil // failed core with an empty roster: nothing ran
 		}
-		switch o.Scheme {
-		case "V10-Base":
-			so.Policy = sched.RoundRobin
-		case "V10-Fair":
-			so.Policy = sched.Priority
-		default: // V10-Full
-			so.Policy = sched.Priority
-			so.Preemption = true
+		if len(jobs[c].roster) == 0 {
+			return nil, nil
 		}
-		if o.Counters != nil {
-			out.counters = obs.NewCounterLog()
-			so.Counters = out.counters
-		}
-		out.res, out.err = sched.Run(job.ws, so)
-		return out, nil
+		return runCore(c, jobs[c], o, perturbFor(o.Faults, c)), nil
 	})
 	var errs []error
 	for c, out := range outs {
@@ -235,10 +316,17 @@ func runCores(tenants []*trace.Workload, jobs []coreJob, o Options) ([]*coreOut,
 	return outs, errors.Join(errs...)
 }
 
-// replayObservability re-emits every core's captured events and counter rows
-// into the shared sinks, in core order, under "core N" sections — one
-// deterministic Perfetto timeline (and counter log) for the whole fleet.
-func replayObservability(outs []*coreOut, o Options) {
+// replayObservability re-emits the fleet-level fault/migration events and
+// then every core's captured events and counter rows into the shared sinks,
+// in core order, under "fleet" / "core N" sections — one deterministic
+// Perfetto timeline (and counter log) for the whole fleet.
+func replayObservability(disp *dispatchOutcome, outs []*coreOut, o Options) {
+	if o.Tracer != nil && len(disp.log.Events) > 0 {
+		if sec, ok := o.Tracer.(sectioner); ok {
+			sec.BeginSection("fleet")
+		}
+		disp.log.Replay(o.Tracer)
+	}
 	for c, out := range outs {
 		if out == nil {
 			continue
@@ -256,6 +344,22 @@ func replayObservability(outs []*coreOut, o Options) {
 			}
 		}
 	}
+}
+
+// intAt / int64At index the dispatch outcome's optional recovery slices,
+// treating nil (hand-built fault-free outcomes) as all-zero.
+func intAt(s []int, i int) int {
+	if i < len(s) {
+		return s[i]
+	}
+	return 0
+}
+
+func int64At(s []int64, i int) int64 {
+	if i < len(s) {
+		return s[i]
+	}
+	return 0
 }
 
 // tenantStats folds the per-core workload measurements back into per-tenant
@@ -279,7 +383,15 @@ func tenantStats(tenants []*trace.Workload, profs []tenantProfile, homes [][]int
 		ts.Offered = disp.offered[t]
 		ts.Admitted = disp.offered[t] - disp.shed[t]
 		ts.Spilled = disp.spilled[t]
-		ts.Shed = disp.shed[t]
+		// Shed counts both front-door rejections and victims dropped after
+		// migration-retry exhaustion, keeping offered == completed + shed (+
+		// in-flight-at-cap) under failures. The recovery slices are nil in
+		// hand-built fault-free outcomes.
+		ts.Shed = disp.shed[t] + intAt(disp.migShed, t)
+		ts.Migrated = intAt(disp.migrated, t)
+		ts.MigrationShed = intAt(disp.migShed, t)
+		ts.MigrationCycles = int64At(disp.migCycles, t)
+		ts.CheckpointCycles = int64At(disp.ckptCycles, t)
 		ts.SLOCycles = o.SLOFactor * profs[t].estCycles
 
 		var lats []float64
@@ -295,7 +407,19 @@ func tenantStats(tenants []*trace.Workload, profs []tenantProfile, homes [][]int
 				if len(got) > job.targets[k] {
 					got = got[:job.targets[k]] // PMT closed-loop overshoot
 				}
-				lats = append(lats, got...)
+				// A migrated request's latency counts from its original
+				// front-door arrival: the core measured from the migration
+				// landing, the debt bridges the difference.
+				var dbt []int64
+				if c < len(disp.debts) && disp.debts[c] != nil {
+					dbt = disp.debts[c][rt]
+				}
+				for i, l := range got {
+					if i < len(dbt) {
+						l += float64(dbt[i])
+					}
+					lats = append(lats, l)
+				}
 			}
 		}
 		ts.Completed = len(lats)

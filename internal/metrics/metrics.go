@@ -122,6 +122,10 @@ type WorkloadStats struct {
 	ProgressOpCycles float64   // compute cycles completed (progress measure)
 	FirstCompleteAt  int64
 	LastCompleteAt   int64
+	// InFlightOpKind records the operator this workload had executing on a
+	// functional unit when a fault halted the run: 0 none, 1 SA, 2 VU. The
+	// fleet's migration path charges the §3.3 checkpoint cost for it.
+	InFlightOpKind int
 }
 
 // AvgLatency returns the mean request latency in cycles.
@@ -136,6 +140,10 @@ func (w *WorkloadStats) TailLatency(p float64) float64 {
 type RunResult struct {
 	Scheme      string // "PMT", "V10-Base", "V10-Fair", "V10-Full", "Single"
 	TotalCycles int64
+	// HaltedAt is the cycle an injected fail-stop cleanly ended the run at
+	// (0 = ran to completion). Halted runs keep their partial measurements
+	// without an ErrMaxCycles wrap.
+	HaltedAt    int64
 	NumSA       int
 	NumVU       int
 	HBMCapacity float64 // bytes per cycle

@@ -17,6 +17,7 @@ const (
 	tidVU       = 101 // VU j → tidVU + j
 	tidWorkload = 201 // workload w → tidWorkload + w
 	tidDMA      = 401
+	tidFaults   = 421 // fault-injection and resilience events
 )
 
 // ChromeWriter is a Tracer that renders the event stream as Chrome
@@ -100,6 +101,9 @@ func (e sectionedEvent) tid() (tid int, name string) {
 		return tidDMA, "DMA"
 	case EvHBMRebalance:
 		return 0, ""
+	case EvCoreFail, EvCoreStall, EvHBMDegrade, EvVMemPressure,
+		EvHeartbeatMiss, EvCoreDead, EvMigrate, EvMigrateShed:
+		return tidFaults, "faults"
 	}
 	switch e.FUKind {
 	case FUSA:
@@ -152,6 +156,23 @@ func (w *ChromeWriter) render(e sectionedEvent) chromeEvent {
 	case EvDMA:
 		args["bytes"] = e.Arg0
 		args["queue_wait_cycles"] = e.Arg1
+	case EvCoreFail, EvHeartbeatMiss:
+		if e.Arg0 >= 0 {
+			args["core"] = e.Arg0
+		}
+		if e.Type == EvHeartbeatMiss {
+			args["missed"] = e.Arg1
+		}
+	case EvCoreDead:
+		args["core"] = e.Arg0
+		args["failed_at_cycle"] = e.Arg1
+	case EvHBMDegrade, EvVMemPressure:
+		args["factor"] = e.Arg0
+	case EvMigrate:
+		args["target_core"] = e.Arg0
+		args["latency_debt_cycles"] = e.Arg1
+	case EvMigrateShed:
+		args["attempts"] = e.Arg0
 	}
 
 	if e.Dur > 0 {

@@ -59,6 +59,38 @@ const (
 	// transfer size in bytes, Arg1 the cycles it waited behind earlier
 	// transfers in the FIFO.
 	EvDMA
+	// EvCoreFail marks a fail-stop: the core halts at this cycle and serves
+	// nothing afterwards (instant). Arg0 is the core index when the emitter
+	// knows it (fleet level); -1 from inside a core's own run.
+	EvCoreFail
+	// EvCoreStall spans a transient straggler window during which the core's
+	// functional units made no compute progress (Dur cycles; emitted at the
+	// window end like every span).
+	EvCoreStall
+	// EvHBMDegrade spans a window of degraded HBM bandwidth (Dur cycles).
+	// Arg0 is the capacity factor in (0,1] that was applied.
+	EvHBMDegrade
+	// EvVMemPressure spans a window of vector-memory pressure (Dur cycles).
+	// Arg0 is the partition factor in (0,1] applied to requests that started
+	// inside the window.
+	EvVMemPressure
+	// EvHeartbeatMiss marks the fleet dispatcher observing a missed heartbeat
+	// from a core (instant). Arg0 is the core index, Arg1 the consecutive
+	// miss count.
+	EvHeartbeatMiss
+	// EvCoreDead marks the dispatcher declaring a core dead after enough
+	// consecutive missed heartbeats (instant). Arg0 is the core index, Arg1
+	// the cycle the core actually failed.
+	EvCoreDead
+	// EvMigrate marks one victim request re-dispatched onto a surviving core
+	// after a failure (instant, workload-attributed). Arg0 is the target
+	// core, Arg1 the latency debt in cycles between the request's original
+	// arrival and the migration landing.
+	EvMigrate
+	// EvMigrateShed marks a victim request dropped after exhausting its
+	// migration retry budget (instant, workload-attributed). Arg0 is the
+	// attempts spent.
+	EvMigrateShed
 
 	numEventTypes // keep last
 )
@@ -86,6 +118,22 @@ func (t EventType) String() string {
 		return "hbm-rebalance"
 	case EvDMA:
 		return "dma"
+	case EvCoreFail:
+		return "core-fail"
+	case EvCoreStall:
+		return "core-stall"
+	case EvHBMDegrade:
+		return "hbm-degrade"
+	case EvVMemPressure:
+		return "vmem-pressure"
+	case EvHeartbeatMiss:
+		return "heartbeat-miss"
+	case EvCoreDead:
+		return "core-dead"
+	case EvMigrate:
+		return "migrate"
+	case EvMigrateShed:
+		return "migrate-shed"
 	}
 	return fmt.Sprintf("EventType(%d)", uint8(t))
 }

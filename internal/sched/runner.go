@@ -92,6 +92,10 @@ type runner struct {
 	dispatch uint64
 	ctxCap   int64 // per-workload cap on held preemption context
 	vmemPart int64 // per-workload vector-memory partition
+
+	halted  bool    // fail-stop sentinel fired; run ends at this cycle
+	frozen  bool    // inside a straggler window: compute clock-gated
+	hbmBase float64 // nominal pool capacity restored after HBM windows
 }
 
 // event builds a workload/FU-attributed trace event. Call sites guard on
@@ -149,7 +153,11 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 		vmemPart: cfg.VMemBytes / int64(len(workloads)),
 	}
 	r.ctxCap = r.vmemPart / 4
+	r.hbmBase = capacity
 	r.pool.Tracer = opts.Tracer
+	// Fault hooks are scheduled before the workloads so a halt tied with an
+	// arrival (or any other same-cycle event) fires first and wins the tie.
+	r.scheduleFaults()
 	for i := 0; i < cfg.NumSA; i++ {
 		r.fus[0] = append(r.fus[0], &fuState{kind: 0, idx: i})
 	}
@@ -189,6 +197,9 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 	}
 
 	done := func() bool {
+		if r.halted {
+			return true
+		}
 		for i, wl := range r.wls {
 			if wl.stats.Requests < opts.target(i) {
 				return false
@@ -211,8 +222,16 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 		HBMCapacity: cfg.HBMBytesPerCycle(),
 		Busy:        r.busy,
 	}
+	if r.halted {
+		result.HaltedAt = now
+	}
 	for _, wl := range r.wls {
 		wl.stats.ActiveCycles = wl.activeAt(now)
+		if r.halted && wl.phase == phaseRunning {
+			// The operator the workload had on an FU when the core died — the
+			// fleet migration path charges its §3.3 checkpoint cost.
+			wl.stats.InFlightOpKind = kindOf(wl.currentOp().Kind) + 1
+		}
 		result.Workloads = append(result.Workloads, wl.stats)
 	}
 	if !finished {
@@ -230,6 +249,106 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 			ErrMaxCycles, now, strings.Join(lag, ", "))
 	}
 	return result, nil
+}
+
+// scheduleFaults plants the run's fault-injection hooks: the fail-stop halt
+// sentinel, straggler stall windows (freeze/thaw), HBM degradation windows,
+// and the vmem pressure window-end trace spans. Window-end events are
+// scheduled even with tracing off so event sequencing — and therefore every
+// tie-break — is identical between traced and untraced runs.
+func (r *runner) scheduleFaults() {
+	if h := r.opts.HaltAtCycle; h > 0 {
+		r.engine.Schedule(h, func(t int64) {
+			r.halted = true
+			if r.tr != nil {
+				e := r.event(obs.EvCoreFail, t, 0, nil, nil)
+				e.Arg0 = -1 // the core does not know its fleet index
+				r.tr.Emit(e)
+			}
+		})
+	}
+	for _, w := range r.opts.StallWindows {
+		win := w
+		r.engine.Schedule(win.At, func(t int64) { r.freeze(t) })
+		r.engine.Schedule(win.At+win.Dur, func(t int64) { r.thaw(t, win) })
+	}
+	for _, w := range r.opts.HBMWindows {
+		win := w
+		r.engine.Schedule(win.At, func(int64) {
+			r.pool.SetCapacity(r.hbmBase * win.Factor)
+		})
+		r.engine.Schedule(win.At+win.Dur, func(t int64) {
+			r.pool.SetCapacity(r.hbmBase)
+			if r.tr != nil {
+				e := r.event(obs.EvHBMDegrade, t, win.Dur, nil, nil)
+				e.Arg0 = win.Factor
+				r.tr.Emit(e)
+			}
+		})
+	}
+	for _, w := range r.opts.VMemWindows {
+		win := w
+		r.engine.Schedule(win.At+win.Dur, func(t int64) {
+			if r.tr != nil {
+				e := r.event(obs.EvVMemPressure, t, win.Dur, nil, nil)
+				e.Arg0 = win.Factor
+				r.tr.Emit(e)
+			}
+		})
+	}
+}
+
+// freeze clock-gates the core for a straggler window: every running task is
+// preempted in place — progress integrated, traffic flushed into its stats —
+// but keeps its FU, so occupancy (and the Fig. 17 busy attribution) keeps
+// accumulating while no compute progresses. DMA stalls and arrivals proceed.
+func (r *runner) freeze(int64) {
+	r.frozen = true
+	for _, wl := range r.wls {
+		if wl.task == nil {
+			continue
+		}
+		wl.stats.HBMBytes += wl.task.BytesMoved()
+		wl.remaining = r.pool.Preempt(wl.task)
+		wl.task = nil
+	}
+}
+
+// thaw ends a straggler window: frozen operators resume from their remaining
+// work, and dispatches that landed mid-window (deferred by startTask) start
+// executing.
+func (r *runner) thaw(now int64, win Window) {
+	r.frozen = false
+	if r.tr != nil {
+		r.tr.Emit(r.event(obs.EvCoreStall, now, win.Dur, nil, nil))
+	}
+	for _, wl := range r.wls {
+		if wl.phase == phaseRunning && wl.task == nil && wl.fu != nil {
+			r.resumeTask(wl)
+		}
+	}
+}
+
+// resumeTask restarts wl's frozen-in-place operator on the FU it kept.
+func (r *runner) resumeTask(wl *wlState) {
+	op := wl.currentOp()
+	fu := wl.fu
+	demand := 0.0
+	if op.Compute > 0 {
+		demand = op.HBMBytes / float64(op.Compute)
+	}
+	wl.task = r.pool.Start(wl.remaining, demand, func(t int64) { r.opComplete(fu, wl, t) })
+}
+
+// vmemFactorAt returns the vector-memory partition factor in effect at now
+// (1 outside every pressure window).
+func (r *runner) vmemFactorAt(now int64) float64 {
+	for _, w := range r.opts.VMemWindows {
+		if now >= w.At && now < w.At+w.Dur {
+			return w.Factor
+		}
+	}
+	return 1
 }
 
 // scheduleCounterTimer arms the periodic counter-snapshot sampler.
@@ -268,7 +387,14 @@ func (r *runner) sampleCounters(now int64) {
 // closed loop; earlier under open-loop queueing).
 func (r *runner) startRequest(wl *wlState, now, arrivedAt int64) {
 	g := wl.w.Request(wl.requestNo)
-	g = trace.TileForVMem(g, r.vmemPart, r.opts.VMemReloadFactor)
+	part := r.vmemPart
+	if f := r.vmemFactorAt(now); f < 1 {
+		part = int64(float64(part) * f)
+		if part < 1 {
+			part = 1
+		}
+	}
+	g = trace.TileForVMem(g, part, r.opts.VMemReloadFactor)
 	wl.ops = g.Linearize()
 	if len(wl.ops) == 0 {
 		panic(fmt.Sprintf("sched: workload %s produced an empty request", wl.w.Name))
@@ -417,6 +543,11 @@ func (r *runner) startTask(fu *fuState, wl *wlState, now int64) {
 	wl.segStart = now
 	wl.segWork = wl.remaining
 	r.setBusy(now, fu.kind, +1)
+	if r.frozen {
+		// Straggler window: occupy the FU but defer execution; thaw starts
+		// the fluid task from wl.remaining.
+		return
+	}
 
 	demand := 0.0
 	if op.Compute > 0 {
@@ -537,6 +668,9 @@ func (r *runner) scheduleSliceTimer() {
 // sliceCheck preempts running operators whose workloads have out-run their
 // fair share when a starved workload is waiting for the same FU type.
 func (r *runner) sliceCheck(now int64) {
+	if r.frozen {
+		return // clock-gated: nothing is making progress worth rebalancing
+	}
 	for kind := 0; kind <= 1; kind++ {
 		for _, fu := range r.fus[kind] {
 			running := fu.running

@@ -13,6 +13,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"v10/internal/npu"
 	"v10/internal/obs"
@@ -37,6 +38,17 @@ func (p Policy) String() string {
 		return "RR"
 	}
 	return "Priority"
+}
+
+// Window is one timed perturbation of a run: a straggler stall, an
+// HBM-bandwidth degradation, or a vector-memory pressure spike. At is the
+// start cycle and Dur the length; Factor is the capacity/partition factor in
+// (0,1] for the window kinds that take one (ignored for stalls). Windows of
+// the same kind must not overlap.
+type Window struct {
+	At     int64
+	Dur    int64
+	Factor float64
 }
 
 // Options configure a V10 simulation run.
@@ -102,6 +114,29 @@ type Options struct {
 	// are made centrally, then each core replays its admitted schedule
 	// cycle-accurately. Mutually exclusive with ArrivalRateHz.
 	ArrivalCycles [][]int64
+
+	// HaltAtCycle, when positive, fail-stops the run cleanly at that cycle:
+	// the simulation ends with its partial measurements and
+	// RunResult.HaltedAt set, without an ErrMaxCycles wrap. A halt tied with
+	// other events at the same cycle wins — nothing else observable happens
+	// at or after the halt. This is the fault injector's whole-core failure
+	// hook.
+	HaltAtCycle int64
+
+	// StallWindows are transient straggler windows during which the core's
+	// functional units are clock-gated: running operators freeze in place
+	// (still occupying their FUs) and resume when the window ends. DMA stall
+	// phases and arrivals still proceed. Factor is ignored.
+	StallWindows []Window
+
+	// HBMWindows scale the HBM bandwidth capacity by Factor for each
+	// window's duration (fault injection's bandwidth degradation).
+	HBMWindows []Window
+
+	// VMemWindows scale the per-workload vector-memory partition by Factor
+	// for requests that *start* inside a window (pressure spikes force finer
+	// tiling and extra reload traffic, §3.6).
+	VMemWindows []Window
 
 	// Scheme overrides the result label; empty derives it from the options.
 	Scheme string
@@ -195,7 +230,37 @@ func (o Options) withDefaults() (Options, error) {
 	if o.CounterInterval == 0 {
 		o.CounterInterval = 32 * o.Config.TimeSlice
 	}
+	if o.HaltAtCycle < 0 {
+		return o, errors.New("sched: negative HaltAtCycle")
+	}
+	if err := validateWindows("stall", o.StallWindows, false); err != nil {
+		return o, err
+	}
+	if err := validateWindows("HBM", o.HBMWindows, true); err != nil {
+		return o, err
+	}
+	if err := validateWindows("vmem", o.VMemWindows, true); err != nil {
+		return o, err
+	}
 	return o, nil
+}
+
+// validateWindows checks bounds, factors, and same-kind overlap.
+func validateWindows(name string, ws []Window, needFactor bool) error {
+	sorted := append([]Window(nil), ws...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	for i, w := range sorted {
+		if w.At < 0 || w.Dur <= 0 {
+			return fmt.Errorf("sched: %s window [%d,+%d) needs At >= 0 and Dur > 0", name, w.At, w.Dur)
+		}
+		if needFactor && !(w.Factor > 0 && w.Factor <= 1) {
+			return fmt.Errorf("sched: %s window at cycle %d needs a factor in (0,1], got %v", name, w.At, w.Factor)
+		}
+		if i > 0 && sorted[i-1].At+sorted[i-1].Dur > w.At {
+			return fmt.Errorf("sched: %s windows overlap around cycle %d", name, w.At)
+		}
+	}
+	return nil
 }
 
 // openLoop reports whether requests arrive over time (Poisson draws or an

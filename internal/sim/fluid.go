@@ -58,6 +58,20 @@ func NewFluidPool(engine *Engine, capacityBytesPerCycle float64) *FluidPool {
 // including traffic of still-running tasks up to the last recompute.
 func (p *FluidPool) TotalBytes() float64 { return p.totalBytes }
 
+// Capacity returns the pool's current bytes/cycle bandwidth capacity.
+func (p *FluidPool) Capacity() float64 { return p.capacity }
+
+// SetCapacity changes the shared bandwidth capacity mid-run (fault
+// injection's HBM-degradation windows) and re-solves the allocation at the
+// current cycle. Progress up to now is integrated at the old rates first.
+func (p *FluidPool) SetCapacity(bytesPerCycle float64) {
+	if bytesPerCycle == p.capacity {
+		return
+	}
+	p.capacity = bytesPerCycle
+	p.recompute()
+}
+
 // Active returns the number of tasks currently progressing.
 func (p *FluidPool) Active() int { return len(p.tasks) }
 

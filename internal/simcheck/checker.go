@@ -248,6 +248,12 @@ func (c *Checker) Emit(e obs.Event) {
 		return
 	case obs.EvDMA:
 		return
+	case obs.EvCoreFail, obs.EvCoreStall, obs.EvHBMDegrade, obs.EvVMemPressure,
+		obs.EvHeartbeatMiss, obs.EvCoreDead, obs.EvMigrate, obs.EvMigrateShed:
+		// Fault-injection and fleet-resilience events: not workload-state
+		// transitions (WIdx may be -1 or a fleet-global tenant index), so
+		// they pass through the per-workload oracle untouched.
+		return
 	case obs.EvCtxSave:
 		if c.pmt {
 			c.pmtCtxSave(e)

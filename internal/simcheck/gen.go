@@ -275,6 +275,6 @@ func budget(s *Scenario) int64 {
 	return b
 }
 
-func pickInt(rng *mathx.RNG, xs ...int) int     { return xs[rng.Intn(len(xs))] }
-func pick64(rng *mathx.RNG, xs ...int64) int64  { return xs[rng.Intn(len(xs))] }
+func pickInt(rng *mathx.RNG, xs ...int) int       { return xs[rng.Intn(len(xs))] }
+func pick64(rng *mathx.RNG, xs ...int64) int64    { return xs[rng.Intn(len(xs))] }
 func pickF(rng *mathx.RNG, xs ...float64) float64 { return xs[rng.Intn(len(xs))] }

@@ -3,6 +3,7 @@ package v10
 import (
 	"fmt"
 
+	"v10/internal/faults"
 	"v10/internal/fleet"
 )
 
@@ -28,6 +29,25 @@ const (
 // ParseFleetPolicy maps a CLI spelling ("advisor", "least-loaded", "random")
 // to a FleetPolicy.
 func ParseFleetPolicy(s string) (FleetPolicy, error) { return fleet.ParsePolicy(s) }
+
+// FaultSchedule is an injected set of core faults for a fleet run: fail-stop
+// halts, transient straggler stalls, HBM-bandwidth degradation, and
+// vector-memory pressure windows (see internal/faults).
+type FaultSchedule = faults.Schedule
+
+// ParseFaults parses a fault-schedule spec string like
+// "fail@0:30e6;stall@1:10e6+2e6;hbm@2:5e6+1e6x0.5". Faults are separated by
+// ';' or ',', each written kind@core:at with +dur and xfactor as the kind
+// requires.
+func ParseFaults(spec string) (*FaultSchedule, error) { return faults.Parse(spec) }
+
+// GenerateFaults draws a random fault schedule for a fleet: each core
+// fail-stops within the horizon with probability 1-e^(-horizon/mttf), with
+// transient degradation windows sprinkled in proportion. Deterministic in the
+// seed.
+func GenerateFaults(cores int, horizonCycles, mttfCycles int64, seed uint64) *FaultSchedule {
+	return faults.Generate(cores, horizonCycles, mttfCycles, seed)
+}
 
 // FleetResult is a whole fleet run's outcome: per-core simulation results,
 // per-tenant SLO statistics, and aggregate goodput/shed accounting.
@@ -85,6 +105,28 @@ type FleetOptions struct {
 	// GOMAXPROCS). Results are bit-identical at any width.
 	Parallel int
 
+	// Faults is the injected fault schedule (nil or empty: none). Fail-stop
+	// faults kill cores mid-run; the dispatcher detects the death by missed
+	// heartbeats and migrates queued and checkpointed in-flight work to
+	// surviving compatible cores. See ParseFaults and GenerateFaults.
+	Faults *FaultSchedule
+
+	// HeartbeatCycles is the dispatcher's core-liveness heartbeat period
+	// (default 1e6 cycles ≈ 1.4 ms); MissedBeats consecutive misses declare
+	// a core dead (default 3).
+	HeartbeatCycles int64
+	MissedBeats     int
+
+	// MigrationRetries caps each victim request's migration attempts
+	// (default 4); retries back off exponentially from
+	// MigrationBackoffCycles (default 250e3). Exhausted victims are shed.
+	MigrationRetries       int
+	MigrationBackoffCycles int64
+
+	// NoMigration sheds every victim of a core failure immediately instead
+	// of migrating — the shed-only resilience baseline.
+	NoMigration bool
+
 	// Tracer, when non-nil, receives every core's timeline after the run —
 	// a ChromeTrace sink gets one "core N" section per core, so the whole
 	// fleet lands in one Perfetto file.
@@ -125,6 +167,13 @@ func ServeFleet(tenants []*Workload, scheme Scheme, opt FleetOptions) (*FleetRes
 		Parallel:       opt.Parallel,
 		Tracer:         opt.Tracer,
 		Counters:       opt.Counters,
+
+		Faults:                 opt.Faults,
+		HeartbeatCycles:        opt.HeartbeatCycles,
+		MissedBeats:            opt.MissedBeats,
+		MigrationRetries:       opt.MigrationRetries,
+		MigrationBackoffCycles: opt.MigrationBackoffCycles,
+		NoMigration:            opt.NoMigration,
 	}
 	if opt.Advisor != nil {
 		fo.Model = opt.Advisor.model
