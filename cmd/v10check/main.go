@@ -14,12 +14,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"v10/internal/obs"
+	"v10/internal/parallel"
 	"v10/internal/simcheck"
 )
 
@@ -31,11 +33,12 @@ func main() {
 	replay := flag.String("replay", "", "re-check a saved repro instead of random trials")
 	chaos := flag.Int("chaos", 0, "run this many fleet chaos trials (fault injection) instead of scheme trials")
 	minimizeBudget := flag.Int("minimize", 200, "max re-checks spent minimizing a failure (0 disables)")
+	par := flag.Int("parallel", 0, "trial worker count (0 = GOMAXPROCS, 1 = serial)")
 	verbose := flag.Bool("v", false, "log every trial")
 	flag.Parse()
 
 	if *chaos > 0 {
-		runChaos(*chaos, *seed, *out, *verbose)
+		runChaos(*chaos, *seed, *out, *par, *verbose)
 		return
 	}
 
@@ -52,18 +55,41 @@ func main() {
 		return
 	}
 
-	for i := 0; i < *trials; i++ {
-		s := *seed + uint64(i)
-		if *verbose {
-			fmt.Printf("trial %d/%d seed %d\n", i+1, *trials, s)
-		}
-		if v := simcheck.RunTrial(s); v != nil {
-			fmt.Fprintf(os.Stderr, "seed %d violated %d invariant(s)\n", s, len(v.Problems))
-			report(v.Scenario, v, *out, *tracePath, *minimizeBudget)
-			os.Exit(1)
-		}
+	if v := sweep(*trials, *seed, *par, *verbose, "trial", simcheck.RunTrial); v != nil {
+		fmt.Fprintf(os.Stderr, "seed %d violated %d invariant(s)\n", v.Scenario.Seed, len(v.Problems))
+		report(v.Scenario, v, *out, *tracePath, *minimizeBudget)
+		os.Exit(1)
 	}
 	fmt.Printf("v10check: %d trials from seed %d, zero violations\n", *trials, *seed)
+}
+
+// sweep runs trial seeds seed..seed+trials-1 through run on a worker pool,
+// batch by batch, and returns the violation with the smallest seed (nil when
+// clean). Batching keeps the first-failure semantics deterministic — every
+// worker finishes its batch before violations are scanned in seed order — so
+// a parallel sweep reports the same repro as a serial one.
+func sweep[V any](trials int, seed uint64, par int, verbose bool, kind string,
+	run func(uint64) *V) *V {
+	batch := 8 * parallel.Workers(par)
+	for lo := 0; lo < trials; lo += batch {
+		hi := lo + batch
+		if hi > trials {
+			hi = trials
+		}
+		vs, _ := parallel.Map(context.Background(), hi-lo, par, func(i int) (*V, error) {
+			s := seed + uint64(lo+i)
+			if verbose {
+				fmt.Printf("%s %d/%d seed %d\n", kind, lo+i+1, trials, s)
+			}
+			return run(s), nil
+		})
+		for _, v := range vs {
+			if v != nil {
+				return v
+			}
+		}
+	}
+	return nil
 }
 
 // runChaos is the fleet-level resilience gate: every seeded random chaos
@@ -71,17 +97,10 @@ func main() {
 // fleet — must conserve requests, replay bit-identically, and keep its typed
 // fault events consistent with its recovery metrics. The first violation
 // writes the full scenario as a JSON repro and exits 1.
-func runChaos(trials int, seed uint64, out string, verbose bool) {
-	for i := 0; i < trials; i++ {
-		s := seed + uint64(i)
-		if verbose {
-			fmt.Printf("chaos trial %d/%d seed %d\n", i+1, trials, s)
-		}
-		v := simcheck.RunChaosTrial(s)
-		if v == nil {
-			continue
-		}
-		fmt.Fprintf(os.Stderr, "chaos seed %d violated %d invariant(s)\n", s, len(v.Problems))
+func runChaos(trials int, seed uint64, out string, par int, verbose bool) {
+	v := sweep(trials, seed, par, verbose, "chaos trial", simcheck.RunChaosTrial)
+	if v != nil {
+		fmt.Fprintf(os.Stderr, "chaos seed %d violated %d invariant(s)\n", v.Scenario.Seed, len(v.Problems))
 		for _, p := range v.Problems {
 			fmt.Fprintf(os.Stderr, "  - %s\n", p)
 		}

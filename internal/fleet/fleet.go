@@ -273,11 +273,17 @@ func profileTenants(tenants []*trace.Workload, o Options) []tenantProfile {
 	// Estimate against a half-core vector-memory partition: the typical
 	// residency the placement aims for is two tenants per core.
 	part := o.Config.VMemBytes / 2
+	var scratch *trace.Graph // reused across tenants: profiling is sequential
 	for i, w := range tenants {
 		var total float64
 		for rq := 0; rq < o.ProfileRequests; rq++ {
-			g := trace.TileForVMem(w.Request(rq), part, 0.5)
-			for _, op := range g.Linearize() {
+			g, owned := w.RequestInto(rq, scratch)
+			if owned {
+				scratch = g
+			}
+			// Both generated and tiled graphs are in execution (ID) order, so
+			// summing Ops directly visits operators exactly as Linearize would.
+			for _, op := range trace.TileForVMem(g, part, 0.5).Ops {
 				total += float64(op.Stall + op.Compute)
 			}
 		}

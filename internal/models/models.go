@@ -188,6 +188,12 @@ type derived struct {
 	burstProb      float64 // fraction of memory-heavy operators
 	burstHigh      float64 // their HBM-demand multiplier
 	burstLow       float64 // everyone else's multiplier (conserves total)
+
+	// jitterMu/jitterSigma are the lognormal(mean=1, cv=CV) parameters,
+	// precomputed once so the per-op jitter draw on the generator hot path
+	// skips the Log/Sqrt parameter derivation. Bit-identical to
+	// LogNormalMean(1, cv): Log(1) is exactly 0, so mu = -Log(1+cv²)/2.
+	jitterMu, jitterSigma float64 // valid when CV > 0
 }
 
 const cyclesPerUS = 700.0
@@ -272,7 +278,22 @@ func (s Spec) derive(batch int, cfg npu.CoreConfig) derived {
 
 	d.saVMem = int64(float64(s.VMemPerOpRef) * math.Max(bf, 0.25))
 	d.vuVMem = d.saVMem / 4
+
+	if s.CV > 0 {
+		sigma2 := math.Log(1 + s.CV*s.CV)
+		d.jitterMu = -sigma2 / 2
+		d.jitterSigma = math.Sqrt(sigma2)
+	}
 	return d
+}
+
+// jitterDraw samples the per-op lognormal jitter, matching
+// rng.LogNormalMean(1, s.CV) draw for draw (cv <= 0 consumes no randomness).
+func (d derived) jitterDraw(rng *mathx.RNG, cv float64) float64 {
+	if cv <= 0 {
+		return 1
+	}
+	return rng.LogNormal(d.jitterMu, d.jitterSigma)
 }
 
 // Workload builds the trace.Workload for this model at the given batch size.
@@ -287,26 +308,49 @@ func (s Spec) Workload(batch int, seed uint64, cfg npu.CoreConfig) *trace.Worklo
 	d := s.derive(batch, cfg)
 	spec := s
 	name := fmt.Sprintf("%s-b%d", s.Abbrev, batch)
-	gen := func(request int) *trace.Graph {
-		return buildGraph(spec, d, seed, request)
+	genInto := func(request int, g *trace.Graph) *trace.Graph {
+		return buildGraphInto(g, spec, d, seed, request)
 	}
-	return trace.NewWorkload(name, s.Name, batch, gen)
+	return trace.NewWorkloadReusable(name, s.Name, batch, genInto)
 }
 
-// buildGraph emits the operator DAG for one request: SA operators each
+// buildGraph emits the operator DAG for one request into a fresh graph.
+func buildGraph(s Spec, d derived, seed uint64, request int) *trace.Graph {
+	return buildGraphInto(nil, s, d, seed, request)
+}
+
+// buildGraphInto emits the operator DAG for one request: SA operators each
 // followed by their share of VU operators, chained sequentially, with
 // occasional parallel branches (BranchProb) that give the small Fig. 6
-// critical-path slack.
-func buildGraph(s Spec, d derived, seed uint64, request int) *trace.Graph {
+// critical-path slack. A non-nil g has its Ops and DepsBuf storage reused,
+// making the per-request rebuild on the simulator's hot path allocation-free
+// after the first request.
+func buildGraphInto(g *trace.Graph, s Spec, d derived, seed uint64, request int) *trace.Graph {
 	rng := mathx.NewRNG(seed ^ (uint64(request)+1)*0x9e3779b97f4a7c15)
-	g := &trace.Graph{}
+	total := d.numSA + d.numVU
+	if g == nil {
+		g = &trace.Graph{}
+	}
+	if cap(g.Ops) < total {
+		g.Ops = make([]trace.Op, 0, total)
+	} else {
+		g.Ops = g.Ops[:0]
+	}
+	// One backing array serves every op's single-entry Deps slice: a per-op
+	// []int was the dominant allocation here.
+	if cap(g.DepsBuf) < total {
+		g.DepsBuf = make([]int, 0, total)
+	} else {
+		g.DepsBuf = g.DepsBuf[:0]
+	}
+	depsBuf := g.DepsBuf
 
 	vuQuota := 0.0
 	vuPerSA := float64(d.numVU) / float64(d.numSA)
 	emitted := 0
 
 	addOp := func(kind trace.Kind, compute, stall float64, flops, bytes float64, vmem int64) {
-		jitter := rng.LogNormalMean(1, s.CV)
+		jitter := d.jitterDraw(rng, s.CV)
 		jitter = mathx.Clamp(jitter, 0.3, 3.0)
 		eff := s.IntraEffSA
 		if kind == trace.KindVU {
@@ -317,26 +361,30 @@ func buildGraph(s Spec, d derived, seed uint64, request int) *trace.Graph {
 			burst = d.burstHigh
 		}
 		bytes *= burst
-		op := trace.Op{
-			ID:         len(g.Ops),
-			Kind:       kind,
-			Compute:    mathx.MaxInt64(1, int64(compute*jitter)),
-			Stall:      int64(stall * mathx.Clamp(rng.LogNormalMean(1, s.CV), 0.3, 3.0)),
-			Efficiency: eff,
-			FLOPs:      flops * jitter,
-			HBMBytes:   bytes * jitter,
-			VMemBytes:  vmem,
-		}
-		if len(g.Ops) > 0 {
-			dep := len(g.Ops) - 1
+		// Emit in place: the slot is pre-sized (cap >= total), and writing
+		// fields directly skips a full Op struct copy per operator.
+		n := len(g.Ops)
+		g.Ops = g.Ops[:n+1]
+		op := &g.Ops[n]
+		op.ID = n
+		op.Kind = kind
+		op.Compute = mathx.MaxInt64(1, int64(compute*jitter))
+		op.Stall = int64(stall * mathx.Clamp(d.jitterDraw(rng, s.CV), 0.3, 3.0))
+		op.Efficiency = eff
+		op.FLOPs = flops * jitter
+		op.HBMBytes = bytes * jitter
+		op.VMemBytes = vmem
+		op.Deps = nil
+		if n > 0 {
+			dep := n - 1
 			// A branch op attaches one step earlier, making it parallel to
 			// its predecessor.
 			if kind == trace.KindVU && dep >= 1 && rng.Float64() < s.BranchProb {
 				dep--
 			}
-			op.Deps = []int{dep}
+			depsBuf = append(depsBuf, dep)
+			op.Deps = depsBuf[len(depsBuf)-1:]
 		}
-		g.Ops = append(g.Ops, op)
 	}
 
 	for i := 0; i < d.numSA; i++ {
@@ -349,9 +397,10 @@ func buildGraph(s Spec, d derived, seed uint64, request int) *trace.Graph {
 		}
 	}
 	// Emit any VU remainder so counts match the calibration.
-	for total := d.numSA + d.numVU; len(g.Ops) < total; {
+	for len(g.Ops) < total {
 		addOp(trace.KindVU, d.vuLen, d.vuStall, d.vuFLOPs, d.vuBytes, d.vuVMem)
 	}
+	g.DepsBuf = depsBuf
 	return g
 }
 

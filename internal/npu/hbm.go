@@ -13,34 +13,65 @@ package npu
 // oversubscribe the interface (the §5.6 DLRM+RsNt effect).
 func WaterFill(demands []float64, capacity float64) []float64 {
 	alloc := make([]float64, len(demands))
+	WaterFillInto(alloc, demands, capacity)
+	return alloc
+}
+
+// WaterFillInto is WaterFill writing into a caller-provided slice (len(alloc)
+// must equal len(demands)), so hot paths re-solve allocations without
+// allocating. The arithmetic — rounds, per-round visit order, and the order
+// capacity is reclaimed in — is identical to WaterFill, so the two produce
+// bit-identical allocations.
+func WaterFillInto(alloc, demands []float64, capacity float64) {
+	for i := range alloc {
+		alloc[i] = 0
+	}
 	if capacity <= 0 {
-		return alloc
+		return
 	}
 	remainingCap := capacity
-	active := make([]int, 0, len(demands))
-	for i, d := range demands {
+	active := 0
+	total := 0.0
+	for _, d := range demands {
 		if d > 0 {
-			active = append(active, i)
+			active++
+			total += d
 		}
 	}
-	for len(active) > 0 {
-		share := remainingCap / float64(len(active))
-		progressed := false
-		next := active[:0]
-		for _, i := range active {
-			if demands[i]-alloc[i] <= share {
-				// Flow fully satisfied at this level.
-				remainingCap -= demands[i] - alloc[i]
-				alloc[i] = demands[i]
-				progressed = true
-			} else {
-				next = append(next, i)
+	// No contention: every flow ends with exactly its demand (the round loop
+	// below provably converges there), so skip the rounds.
+	if total <= capacity {
+		for i, d := range demands {
+			if d > 0 {
+				alloc[i] = d
 			}
 		}
-		active = next
+		return
+	}
+	// A flow leaves the active set exactly when alloc[i] == demands[i]: full
+	// satisfaction assigns the demand verbatim, and the even-split fallback
+	// below always leaves alloc strictly under demand before breaking.
+	for active > 0 {
+		share := remainingCap / float64(active)
+		progressed := false
+		for i, d := range demands {
+			if d <= 0 || alloc[i] == d {
+				continue
+			}
+			if d-alloc[i] <= share {
+				// Flow fully satisfied at this level.
+				remainingCap -= d - alloc[i]
+				alloc[i] = d
+				progressed = true
+				active--
+			}
+		}
 		if !progressed {
 			// Every remaining flow wants more than the share: split evenly.
-			for _, i := range active {
+			for i, d := range demands {
+				if d <= 0 || alloc[i] == d {
+					continue
+				}
 				alloc[i] += share
 			}
 			break
@@ -49,5 +80,4 @@ func WaterFill(demands []float64, capacity float64) []float64 {
 			break
 		}
 	}
-	return alloc
 }

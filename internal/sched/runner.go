@@ -24,12 +24,14 @@ const (
 
 // wlState is one row of the workload context table plus runner bookkeeping.
 type wlState struct {
+	r        *runner // back-pointer for payload-style event callbacks
 	idx      int
 	w        *trace.Workload
 	stats    *metrics.WorkloadStats
 	priority float64
 
 	requestNo    int
+	gscratch     *trace.Graph // reusable request-graph buffer (RequestInto)
 	ops          []trace.Op
 	opIdx        int
 	phase        phase
@@ -74,10 +76,12 @@ func (w *wlState) arpAt(now int64) float64 {
 
 // fuState is one functional unit (SA or VU).
 type fuState struct {
-	kind      int // 0 = SA, 1 = VU
+	r         *runner // back-pointer for payload-style event callbacks
+	kind      int     // 0 = SA, 1 = VU
 	idx       int
 	running   *wlState
 	switching bool
+	saving    *wlState // workload whose context this FU is checkpointing
 }
 
 // runner executes one multi-tenant simulation.
@@ -93,9 +97,19 @@ type runner struct {
 	ctxCap   int64 // per-workload cap on held preemption context
 	vmemPart int64 // per-workload vector-memory partition
 
+	// sliceTimer is the §3.2 preemption timer as a parkable grid timer: armed
+	// only while some workload sits ready without an FU, so contention-free
+	// and idle stretches skip ahead with no per-slice events at all.
+	sliceTimer *sim.Timer
+
 	halted  bool    // fail-stop sentinel fired; run ends at this cycle
 	frozen  bool    // inside a straggler window: compute clock-gated
 	hbmBase float64 // nominal pool capacity restored after HBM windows
+
+	// unmet counts workloads still short of their request target, so the
+	// done-predicate RunUntil evaluates per event is O(1) instead of a scan
+	// over every workload.
+	unmet int
 }
 
 // event builds a workload/FU-attributed trace event. Call sites guard on
@@ -159,17 +173,21 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 	// arrival (or any other same-cycle event) fires first and wins the tie.
 	r.scheduleFaults()
 	for i := 0; i < cfg.NumSA; i++ {
-		r.fus[0] = append(r.fus[0], &fuState{kind: 0, idx: i})
+		r.fus[0] = append(r.fus[0], &fuState{r: r, kind: 0, idx: i})
 	}
 	for i := 0; i < cfg.NumVU; i++ {
-		r.fus[1] = append(r.fus[1], &fuState{kind: 1, idx: i})
+		r.fus[1] = append(r.fus[1], &fuState{r: r, kind: 1, idx: i})
 	}
 	if opts.ArrivalCycles != nil && len(opts.ArrivalCycles) != len(workloads) {
 		return nil, fmt.Errorf("sched: ArrivalCycles has %d schedules for %d workloads",
 			len(opts.ArrivalCycles), len(workloads))
 	}
+	if opts.Preemption {
+		r.sliceTimer = engine.NewTimer(cfg.TimeSlice, r.sliceTick)
+	}
 	for i, w := range workloads {
 		wl := &wlState{
+			r:        r,
 			idx:      i,
 			w:        w,
 			priority: w.Priority,
@@ -189,24 +207,16 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 			r.startRequest(wl, 0, 0)
 		}
 	}
-	if opts.Preemption {
-		r.scheduleSliceTimer()
-	}
 	if opts.Counters != nil {
 		r.scheduleCounterTimer()
 	}
 
-	done := func() bool {
-		if r.halted {
-			return true
+	for i, wl := range r.wls {
+		if wl.stats.Requests < opts.target(i) {
+			r.unmet++
 		}
-		for i, wl := range r.wls {
-			if wl.stats.Requests < opts.target(i) {
-				return false
-			}
-		}
-		return true
 	}
+	done := func() bool { return r.halted || r.unmet == 0 }
 	finished := engine.RunUntil(done, opts.MaxCycles)
 	now := engine.Now()
 	r.busy.Finish(now)
@@ -332,12 +342,20 @@ func (r *runner) thaw(now int64, win Window) {
 // resumeTask restarts wl's frozen-in-place operator on the FU it kept.
 func (r *runner) resumeTask(wl *wlState) {
 	op := wl.currentOp()
-	fu := wl.fu
 	demand := 0.0
 	if op.Compute > 0 {
 		demand = op.HBMBytes / float64(op.Compute)
 	}
-	wl.task = r.pool.Start(wl.remaining, demand, func(t int64) { r.opComplete(fu, wl, t) })
+	wl.task = r.pool.StartTask(wl.remaining, demand, opDoneCB, wl)
+}
+
+// opDoneCB is the shared fluid-task completion callback: the workload is the
+// owner and its bound FU is read back at fire time (wl.fu is stable from
+// dispatch until opComplete/preempt clears it, and preemption cancels the
+// task before clearing).
+func opDoneCB(owner any, _ *sim.FluidTask, now int64) {
+	wl := owner.(*wlState)
+	wl.r.opComplete(wl.fu, wl, now)
 }
 
 // vmemFactorAt returns the vector-memory partition factor in effect at now
@@ -386,7 +404,10 @@ func (r *runner) sampleCounters(now int64) {
 // arrivedAt is when the request entered the system (equals now in the
 // closed loop; earlier under open-loop queueing).
 func (r *runner) startRequest(wl *wlState, now, arrivedAt int64) {
-	g := wl.w.Request(wl.requestNo)
+	g, owned := wl.w.RequestInto(wl.requestNo, wl.gscratch)
+	if owned {
+		wl.gscratch = g
+	}
 	part := r.vmemPart
 	if f := r.vmemFactorAt(now); f < 1 {
 		part = int64(float64(part) * f)
@@ -394,8 +415,15 @@ func (r *runner) startRequest(wl *wlState, now, arrivedAt int64) {
 			part = 1
 		}
 	}
-	g = trace.TileForVMem(g, part, r.opts.VMemReloadFactor)
-	wl.ops = g.Linearize()
+	tiled := trace.TileForVMem(g, part, r.opts.VMemReloadFactor)
+	if owned || tiled != g {
+		// The graph's storage is private to this workload (reused scratch or a
+		// freshly tiled copy) and already in ID order, so the operator stream
+		// is the Ops slice itself — no copy, no sort.
+		wl.ops = tiled.Ops
+	} else {
+		wl.ops = tiled.LinearizeInto(wl.ops[:0])
+	}
 	if len(wl.ops) == 0 {
 		panic(fmt.Sprintf("sched: workload %s produced an empty request", wl.w.Name))
 	}
@@ -409,13 +437,17 @@ func (r *runner) startRequest(wl *wlState, now, arrivedAt int64) {
 // handler mirrors the Poisson path: queue behind the in-flight request or
 // start serving immediately.
 func (r *runner) scheduleArrivalAt(wl *wlState, at int64) {
-	r.engine.Schedule(at, func(t int64) {
-		if wl.inFlight {
-			wl.queue = append(wl.queue, t)
-		} else {
-			r.startRequest(wl, t, t)
-		}
-	})
+	r.engine.ScheduleCall(at, arrivalCB, wl)
+}
+
+// arrivalCB handles one explicit arrival.
+func arrivalCB(payload any, now int64) {
+	wl := payload.(*wlState)
+	if wl.inFlight {
+		wl.queue = append(wl.queue, now)
+	} else {
+		wl.r.startRequest(wl, now, now)
+	}
 }
 
 // scheduleArrival arms the next Poisson arrival for wl (open-loop mode).
@@ -425,14 +457,18 @@ func (r *runner) scheduleArrival(wl *wlState, now int64) {
 	if gap < 1 {
 		gap = 1
 	}
-	r.engine.Schedule(now+gap, func(t int64) {
-		if wl.inFlight {
-			wl.queue = append(wl.queue, t)
-		} else {
-			r.startRequest(wl, t, t)
-		}
-		r.scheduleArrival(wl, t)
-	})
+	r.engine.ScheduleCall(now+gap, poissonArrivalCB, wl)
+}
+
+// poissonArrivalCB handles one Poisson arrival and draws the next.
+func poissonArrivalCB(payload any, now int64) {
+	wl := payload.(*wlState)
+	if wl.inFlight {
+		wl.queue = append(wl.queue, now)
+	} else {
+		wl.r.startRequest(wl, now, now)
+	}
+	wl.r.scheduleArrival(wl, now)
 }
 
 // logUniform returns ln(U) for U ∈ (0,1), the exponential-sample kernel.
@@ -444,13 +480,20 @@ func logUniform(rng *mathx.RNG) float64 {
 	return math.Log(u)
 }
 
-// beginOp starts the stall (DMA/instruction fetch) phase of the current op.
+// beginOp starts the stall (DMA/infeed fetch) phase of the current op. The
+// ready event carries the workload as its payload — no per-operator closure.
 func (r *runner) beginOp(wl *wlState, now int64) {
 	op := wl.currentOp()
 	wl.remaining = float64(op.Compute)
 	wl.preempted = false
 	wl.phase = phaseStalling
-	r.engine.Schedule(now+op.Stall, func(t int64) { r.opReady(wl, t) })
+	r.engine.ScheduleCall(now+op.Stall, opReadyCB, wl)
+}
+
+// opReadyCB is beginOp's pooled-event trampoline.
+func opReadyCB(payload any, now int64) {
+	wl := payload.(*wlState)
+	wl.r.opReady(wl, now)
 }
 
 // opReady fires when the operator's DMA completes (the Ready bit is set).
@@ -467,6 +510,11 @@ func (r *runner) opReady(wl *wlState, now int64) {
 	kind := kindOf(wl.currentOp().Kind)
 	if fu := r.idleFU(kind); fu != nil {
 		r.dispatchTo(fu, wl, now)
+		return
+	}
+	// No free FU: the workload waits, so the preemption timer must be live.
+	if r.sliceTimer != nil {
+		r.sliceTimer.Arm()
 	}
 }
 
@@ -521,17 +569,25 @@ func (r *runner) finishDispatch(fu *fuState, wl *wlState, now int64) {
 		fu.switching = true
 		r.setSwitching(now, fu.kind, +1)
 		wl.stats.SwitchCycles += restore
-		r.engine.Schedule(now+restore, func(t int64) {
-			fu.switching = false
-			r.setSwitching(t, fu.kind, -1)
-			r.releaseCtx(wl, fu.kind)
-			wl.preempted = false
-			if r.tr != nil {
-				r.tr.Emit(r.event(obs.EvCtxRestore, t, restore, wl, fu))
-			}
-			r.startTask(fu, wl, t)
-		})
+		r.engine.ScheduleCall(now+restore, ctxRestoreCB, wl)
 		return
+	}
+	r.startTask(fu, wl, now)
+}
+
+// ctxRestoreCB completes a context restore. The workload is still bound to
+// its FU (wl.fu set in dispatchTo) and the restore cost is a pure function
+// of the FU kind, so the pooled event needs only the workload payload.
+func ctxRestoreCB(payload any, now int64) {
+	wl := payload.(*wlState)
+	r := wl.r
+	fu := wl.fu
+	fu.switching = false
+	r.setSwitching(now, fu.kind, -1)
+	r.releaseCtx(wl, fu.kind)
+	wl.preempted = false
+	if r.tr != nil {
+		r.tr.Emit(r.event(obs.EvCtxRestore, now, r.restoreCycles(fu.kind), wl, fu))
 	}
 	r.startTask(fu, wl, now)
 }
@@ -555,7 +611,7 @@ func (r *runner) startTask(fu *fuState, wl *wlState, now int64) {
 	}
 	// Scale demand by the fraction of the op still to run so total traffic
 	// stays proportional after preemption.
-	wl.task = r.pool.Start(wl.remaining, demand, func(t int64) { r.opComplete(fu, wl, t) })
+	wl.task = r.pool.StartTask(wl.remaining, demand, opDoneCB, wl)
 }
 
 // opComplete handles an operator finishing on fu.
@@ -589,6 +645,9 @@ func (r *runner) opComplete(fu *fuState, wl *wlState, now int64) {
 			r.tr.Emit(e)
 		}
 		wl.stats.Requests++
+		if wl.stats.Requests == r.opts.target(wl.idx) {
+			r.unmet--
+		}
 		if wl.stats.Requests == 1 {
 			wl.stats.FirstCompleteAt = now
 		}
@@ -653,16 +712,20 @@ func (r *runner) pickNext(kind int, now int64) *wlState {
 	return best
 }
 
-// scheduleSliceTimer arms the periodic preemption timer (§3.2: "Periodically,
-// a preemption timer will trigger the scheduling policy to examine whether an
-// operator should be preempted").
-func (r *runner) scheduleSliceTimer() {
-	var tick func(now int64)
-	tick = func(now int64) {
-		r.sliceCheck(now)
-		r.engine.Schedule(now+r.opts.Config.TimeSlice, tick)
+// sliceTick is the preemption timer's grid callback (§3.2: "Periodically, a
+// preemption timer will trigger the scheduling policy to examine whether an
+// operator should be preempted"). The timer is parkable: it stays armed only
+// while some workload is ready without an FU — every tick on which no
+// workload waits would be a no-op anyway (sliceCheck preempts only for a
+// waiting candidate), so the parked stretches are behavior-free skips.
+func (r *runner) sliceTick(now int64) {
+	r.sliceCheck(now)
+	for _, wl := range r.wls {
+		if wl.phase == phaseReady && wl.fu == nil {
+			r.sliceTimer.Arm()
+			return
+		}
 	}
-	r.engine.Schedule(r.opts.Config.TimeSlice, tick)
 }
 
 // sliceCheck preempts running operators whose workloads have out-run their
@@ -707,6 +770,9 @@ func (r *runner) preempt(fu *fuState, wl *wlState, now int64) {
 	wl.phase = phaseReady
 	wl.preempted = true
 	fu.running = nil
+	if r.sliceTimer != nil {
+		r.sliceTimer.Arm() // the victim now waits for an FU
+	}
 	if r.tr != nil {
 		r.tr.Emit(r.event(obs.EvRunSegment, now, seg, wl, fu))
 		e := r.event(obs.EvPreempt, now, 0, wl, fu)
@@ -717,15 +783,24 @@ func (r *runner) preempt(fu *fuState, wl *wlState, now int64) {
 	save := r.saveCycles(fu.kind)
 	wl.stats.SwitchCycles += save
 	fu.switching = true
+	fu.saving = wl
 	r.setSwitching(now, fu.kind, +1)
-	r.engine.Schedule(now+save, func(t int64) {
-		fu.switching = false
-		r.setSwitching(t, fu.kind, -1)
-		if r.tr != nil {
-			r.tr.Emit(r.event(obs.EvCtxSave, t, save, wl, fu))
-		}
-		r.fillFU(fu, t)
-	})
+	r.engine.ScheduleCall(now+save, ctxSaveCB, fu)
+}
+
+// ctxSaveCB completes a context save: the FU is the payload because the
+// preempted workload may already be dispatched elsewhere by the time the
+// save finishes (fu.saving keeps it for trace attribution).
+func ctxSaveCB(payload any, now int64) {
+	fu := payload.(*fuState)
+	r := fu.r
+	fu.switching = false
+	r.setSwitching(now, fu.kind, -1)
+	if r.tr != nil {
+		r.tr.Emit(r.event(obs.EvCtxSave, now, r.saveCycles(fu.kind), fu.saving, fu))
+	}
+	fu.saving = nil
+	r.fillFU(fu, now)
 }
 
 // saveCycles is the exposed cost of checkpointing the preempted operator:

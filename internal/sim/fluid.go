@@ -14,8 +14,16 @@ type FluidTask struct {
 	DemandBW   float64 // bytes per cycle the task streams at full rate
 	OnComplete func(now Cycle)
 
+	// done/owner form the allocation-free completion path: when done is
+	// non-nil it is called instead of OnComplete, receiving the owner the
+	// task was started with (StartTask).
+	done  func(owner any, t *FluidTask, now Cycle)
+	owner any
+
+	pool       *FluidPool
+	pos        int  // index in pool.tasks, valid while active
+	active     bool // member of the pool's task set
 	rate       float64
-	lastUpdate Cycle
 	doneEvent  *Event
 	bytesMoved float64 // traffic actually transferred so far
 }
@@ -28,14 +36,30 @@ func (t *FluidTask) Remaining() float64 { return t.Work }
 
 // FluidPool advances a set of FluidTasks under a shared bandwidth capacity
 // using max-min (water-filling) allocation. Each change to the task set
-// re-solves the allocation and reschedules completion events.
+// re-solves the allocation; only tasks whose rate actually changed get their
+// completion event rescheduled, so contention-free pools reschedule nothing.
 type FluidPool struct {
 	engine   *Engine
-	capacity float64 // bytes per cycle
-	tasks    map[int]*FluidTask
+	capacity float64      // bytes per cycle
+	tasks    []*FluidTask // active tasks in ascending ID order
+	free     []*FluidTask // recycled completed tasks
 	nextID   int
 
+	integrated Cycle // tasks' progress is integrated up to this cycle
+
+	demands []float64 // tasks' DemandBW, maintained in task order
+	alloc   []float64 // recompute scratch
+
+	// throttled counts active tasks whose rate is not exactly 1. When the
+	// pool is uncontended (total demand fits under capacity) and throttled is
+	// zero, a recompute has nothing to do: every rate stays 1 and every
+	// completion event already lands on the right cycle.
+	throttled int
+
 	totalBytes float64 // all traffic ever moved through the pool
+
+	recomputes  uint64 // allocation re-solves
+	reschedules uint64 // completion events (re)scheduled
 
 	// Tracer, when non-nil, receives an EvHBMRebalance event at every
 	// re-solve of the bandwidth allocation (each task start, completion, and
@@ -50,7 +74,6 @@ func NewFluidPool(engine *Engine, capacityBytesPerCycle float64) *FluidPool {
 	return &FluidPool{
 		engine:   engine,
 		capacity: capacityBytesPerCycle,
-		tasks:    make(map[int]*FluidTask),
 	}
 }
 
@@ -60,6 +83,14 @@ func (p *FluidPool) TotalBytes() float64 { return p.totalBytes }
 
 // Capacity returns the pool's current bytes/cycle bandwidth capacity.
 func (p *FluidPool) Capacity() float64 { return p.capacity }
+
+// ChurnStats reports how many allocation re-solves the pool has done and how
+// many completion events those re-solves actually (re)scheduled. The gap
+// between reschedules and recomputes × tasks is the churn the rate-change
+// filter avoided.
+func (p *FluidPool) ChurnStats() (recomputes, reschedules uint64) {
+	return p.recomputes, p.reschedules
+}
 
 // SetCapacity changes the shared bandwidth capacity mid-run (fault
 // injection's HBM-degradation windows) and re-solves the allocation at the
@@ -79,141 +110,272 @@ func (p *FluidPool) Active() int { return len(p.tasks) }
 // the task's natural streaming rate in bytes/cycle. onComplete fires when the
 // work is done. It returns the task handle (used to preempt).
 func (p *FluidPool) Start(work float64, demandBW float64, onComplete func(now Cycle)) *FluidTask {
-	if work <= 0 {
-		work = 1e-9 // degenerate op: complete on the next recompute
-	}
-	p.nextID++
-	t := &FluidTask{
-		ID:         p.nextID,
-		Work:       work,
-		DemandBW:   demandBW,
-		OnComplete: onComplete,
-		lastUpdate: p.engine.Now(),
-	}
-	p.tasks[t.ID] = t
+	t := p.start(work, demandBW)
+	t.OnComplete = onComplete
 	p.recompute()
 	return t
 }
 
+// StartTask is the allocation-free variant of Start: done is a shared
+// callback (typically a package-level function) receiving owner, so callers
+// pass long-lived state instead of capturing it in a fresh closure per
+// operator.
+func (p *FluidPool) StartTask(work, demandBW float64, done func(owner any, t *FluidTask, now Cycle), owner any) *FluidTask {
+	t := p.start(work, demandBW)
+	t.done = done
+	t.owner = owner
+	p.recompute()
+	return t
+}
+
+// start allocates (or recycles) the task and appends it to the active set.
+func (p *FluidPool) start(work, demandBW float64) *FluidTask {
+	if work <= 0 {
+		work = 1e-9 // degenerate op: complete on the next recompute
+	}
+	p.nextID++
+	var t *FluidTask
+	if n := len(p.free); n > 0 {
+		t = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		// Recycled handles had their callbacks and doneEvent cleared when they
+		// left the pool; only the progress fields are still stale.
+		t.rate = 0
+		t.bytesMoved = 0
+	} else {
+		t = &FluidTask{}
+	}
+	t.ID = p.nextID
+	t.Work = work
+	t.DemandBW = demandBW
+	t.pool = p
+	t.active = true
+	p.throttled++ // rate starts at 0 until the first recompute
+	// IDs are monotonic, so appending keeps p.tasks sorted by ID — the
+	// deterministic order recompute iterates in.
+	t.pos = len(p.tasks)
+	p.tasks = append(p.tasks, t)
+	p.demands = append(p.demands, demandBW)
+	return t
+}
+
+// remove splices t out of the active set, preserving ID order. The demands
+// mirror is spliced identically so it always matches the task order.
+func (p *FluidPool) remove(t *FluidTask) {
+	copy(p.tasks[t.pos:], p.tasks[t.pos+1:])
+	copy(p.demands[t.pos:], p.demands[t.pos+1:])
+	p.demands = p.demands[:len(p.demands)-1]
+	p.tasks[len(p.tasks)-1] = nil
+	p.tasks = p.tasks[:len(p.tasks)-1]
+	for i := t.pos; i < len(p.tasks); i++ {
+		p.tasks[i].pos = i
+	}
+	t.active = false
+	if t.rate != 1 {
+		p.throttled--
+	}
+}
+
 // Preempt removes a task before completion, returning its remaining compute
-// cycles. The task's completion callback will not fire.
+// cycles. The task's completion callback will not fire. Preempting a task
+// that already completed or was already preempted returns 0 without touching
+// the pool (the membership check runs before any integration work).
+//
+// The handle is recycled: remaining work comes from the return value, and
+// BytesMoved must be read before the pool's next Start.
 func (p *FluidPool) Preempt(t *FluidTask) float64 {
-	p.integrate(p.engine.Now())
-	if _, ok := p.tasks[t.ID]; !ok {
+	if !t.active || t.pool != p {
 		return 0
 	}
+	p.integrate(p.engine.Now())
 	t.doneEvent.Cancel()
-	delete(p.tasks, t.ID)
+	t.doneEvent = nil
+	p.remove(t)
 	p.recompute()
-	return t.Work
+	work := t.Work
+	t.OnComplete = nil
+	t.done = nil
+	t.owner = nil
+	p.free = append(p.free, t)
+	return work
 }
 
 // integrate advances every task's progress up to now at its current rate.
+// A second call at the same cycle is free: progress is tracked as integrated
+// up to p.integrated. Every structural change to the task set integrates
+// first, so all member tasks are integrated to exactly p.integrated — the
+// elapsed interval is shared, not per-task.
 func (p *FluidPool) integrate(now Cycle) {
-	for _, t := range p.tasks {
-		dt := float64(now - t.lastUpdate)
-		if dt > 0 {
-			progress := t.rate * dt
-			if progress > t.Work {
-				progress = t.Work
-			}
-			t.Work -= progress
-			moved := progress * t.DemandBW
-			t.bytesMoved += moved
-			p.totalBytes += moved
-		}
-		t.lastUpdate = now
+	dt := float64(now - p.integrated)
+	if dt <= 0 {
+		return
 	}
+	for _, t := range p.tasks {
+		progress := t.rate * dt
+		if progress > t.Work {
+			progress = t.Work
+		}
+		t.Work -= progress
+		moved := progress * t.DemandBW
+		t.bytesMoved += moved
+		p.totalBytes += moved
+	}
+	p.integrated = now
 }
 
-// recompute re-solves the bandwidth allocation and reschedules completions.
-// Callers must have integrated progress to the current cycle first (Start and
-// Preempt do).
+// maxFluidCycles saturates completion times whose work/rate ratio overflows
+// the cycle range (a near-zero allocation on a huge operator): the event
+// lands effectively at infinity and is rescheduled when the rate recovers.
+const maxFluidCycles = float64(int64(1) << 62)
+
+// recompute re-solves the bandwidth allocation and reschedules the
+// completion events of tasks whose rate changed. Tasks whose rate is
+// untouched by the re-solve keep their already-scheduled completion event —
+// same rate, same landing cycle — which is the common case for uncontended
+// tasks when a neighbor starts or finishes.
 func (p *FluidPool) recompute() {
 	now := p.engine.Now()
+	p.recomputes++
 	p.integrate(now)
 
-	ids := make([]int, 0, len(p.tasks))
-	demands := make([]float64, 0, len(p.tasks))
-	for id, t := range p.tasks {
-		ids = append(ids, id)
-		demands = append(demands, t.DemandBW)
+	n := len(p.tasks)
+	demands := p.demands
+	total := 0.0
+	for _, d := range demands {
+		total += d
 	}
-	// Map iteration order is random; sort for determinism.
-	sortInts(ids)
-	demands = demands[:0]
-	for _, id := range ids {
-		demands = append(demands, p.tasks[id].DemandBW)
+
+	if total <= p.capacity {
+		// Uncontended: the water-fill hands every flow exactly its demand, so
+		// every rate is 1 (bit-identical to the general path — allocation
+		// equals demand, and summing the zero demands changes no bits). The
+		// per-task loop only needs to touch tasks not already at rate 1.
+		if p.Tracer != nil {
+			p.emitRebalance(now, n, total)
+		}
+		if p.throttled == 0 {
+			return
+		}
+		for _, t := range p.tasks {
+			if t.rate == 1 {
+				continue // invariant: rate 1 implies a pending completion event
+			}
+			t.rate = 1
+			p.throttled--
+			t.doneEvent.Cancel()
+			t.doneEvent = nil
+			remaining := ceilDiv(t.Work, 1)
+			at := now + Cycle(remaining)
+			if remaining >= maxFluidCycles || at < now {
+				at = Cycle(maxFluidCycles)
+			}
+			t.doneEvent = p.engine.ScheduleCall(at, fluidComplete, t)
+			p.reschedules++
+		}
+		return
 	}
-	alloc := npu.WaterFill(demands, p.capacity)
+
+	if cap(p.alloc) < n {
+		p.alloc = make([]float64, n, 2*n+8)
+	}
+	alloc := p.alloc[:n]
+	npu.WaterFillInto(alloc, demands, p.capacity)
 	if p.Tracer != nil {
 		used := 0.0
 		for _, a := range alloc {
 			used += a
 		}
-		p.Tracer.Emit(obs.Event{
-			Time: now, Type: obs.EvHBMRebalance,
-			WIdx: -1, FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
-			Arg0: float64(len(p.tasks)), Arg1: used,
-		})
+		p.emitRebalance(now, n, used)
 	}
 
-	for i, id := range ids {
-		t := p.tasks[id]
+	for i, t := range p.tasks {
 		rate := 1.0
 		if t.DemandBW > 0 && alloc[i] < t.DemandBW {
 			rate = alloc[i] / t.DemandBW
+		}
+		if rate == t.rate && (t.doneEvent != nil || rate == 0) {
+			continue // same rate: the pending completion still lands right
+		}
+		if (t.rate == 1) != (rate == 1) {
+			if rate == 1 {
+				p.throttled--
+			} else {
+				p.throttled++
+			}
 		}
 		t.rate = rate
 		t.doneEvent.Cancel()
 		t.doneEvent = nil
 		if rate > 0 {
-			remaining := Cycle(ceilDiv(t.Work, rate))
-			if remaining < 0 {
-				remaining = 0
+			remaining := ceilDiv(t.Work, rate)
+			at := now + Cycle(remaining)
+			if remaining >= maxFluidCycles || at < now {
+				at = Cycle(maxFluidCycles)
 			}
-			task := t
-			t.doneEvent = p.engine.Schedule(now+remaining, func(fireNow Cycle) {
-				p.complete(task, fireNow)
-			})
+			t.doneEvent = p.engine.ScheduleCall(at, fluidComplete, t)
+			p.reschedules++
 		}
 	}
 }
 
+// emitRebalance reports one allocation re-solve to the tracer.
+func (p *FluidPool) emitRebalance(now Cycle, n int, used float64) {
+	p.Tracer.Emit(obs.Event{
+		Time: now, Type: obs.EvHBMRebalance,
+		WIdx: -1, FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+		Arg0: float64(n), Arg1: used,
+	})
+}
+
+// fluidComplete is the shared completion callback: ScheduleCall events are
+// recycled on firing, so the handle is cleared before any pool work.
+func fluidComplete(payload any, now Cycle) {
+	t := payload.(*FluidTask)
+	t.doneEvent = nil
+	t.pool.complete(t, now)
+}
+
 func (p *FluidPool) complete(t *FluidTask, now Cycle) {
-	if _, ok := p.tasks[t.ID]; !ok {
+	if !t.active {
 		return
 	}
 	p.integrate(now)
 	// Guard against floating-point residue: the event time was rounded up, so
 	// the work must be (numerically) done by now.
 	t.Work = 0
-	delete(p.tasks, t.ID)
+	p.remove(t)
 	p.recompute()
-	if t.OnComplete != nil {
+	if t.done != nil {
+		t.done(t.owner, t, now)
+	} else if t.OnComplete != nil {
 		t.OnComplete(now)
 	}
+	// Recycle after the callbacks: completed handles are dead — pool callers
+	// clear their task pointers inside the completion callback, and Preempt's
+	// membership check keeps any straggler handle harmless until reuse.
+	t.OnComplete = nil
+	t.done = nil
+	t.owner = nil
+	p.free = append(p.free, t)
 }
 
 // ceilDiv rounds work/rate up to a whole cycle, absorbing float residue so a
 // numerically-finished task (work ≈ 0) completes now rather than next cycle.
+// Ratios beyond the cycle range (including +Inf and NaN from degenerate
+// rates) saturate to maxFluidCycles instead of overflowing the int64
+// conversion.
 func ceilDiv(work, rate float64) float64 {
 	c := work/rate - 1e-9
 	if c <= 0 {
 		return 0
+	}
+	if !(c < maxFluidCycles) {
+		return maxFluidCycles // overflow, +Inf, or NaN: saturate
 	}
 	ic := float64(int64(c))
 	if c > ic {
 		return ic + 1
 	}
 	return ic
-}
-
-func sortInts(xs []int) {
-	// Insertion sort: task sets are tiny (≤ #FUs).
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

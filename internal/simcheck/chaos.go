@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"reflect"
+	"sync"
 
 	"v10/internal/faults"
 	"v10/internal/fleet"
@@ -159,7 +160,11 @@ func (cs *ChaosScenario) options(schedule *faults.Schedule) fleet.Options {
 		NoMigration:            cs.NoMigration,
 		Faults:                 schedule,
 		Seed:                   cs.Seed,
-		Parallel:               1, // serial: the per-core checkers share state
+		// Serial inside one trial: v10check parallelizes across trials, and
+		// nesting worker pools just thrashes the same cores. CoreTracer
+		// checker registration is mutex-guarded, so a parallel inner run is
+		// safe if a caller ever wants one.
+		Parallel: 1,
 	}
 }
 
@@ -182,6 +187,7 @@ func CheckChaosScenario(cs *ChaosScenario) (problems []string) {
 		faulty[f.Core] = true
 	}
 	checkers := map[int]*Checker{}
+	var checkersMu sync.Mutex
 	fleetLog := &obs.Log{}
 	o := cs.options(schedule)
 	o.Tracer = fleetLog
@@ -193,8 +199,14 @@ func CheckChaosScenario(cs *ChaosScenario) (problems []string) {
 		for _, t := range roster {
 			sc.Workloads = append(sc.Workloads, cs.Workloads[t])
 		}
-		checkers[core] = NewChecker(sc, cs.Scheme, false)
-		return checkers[core]
+		ck := NewChecker(sc, cs.Scheme, false)
+		// The callback fires on fleet worker goroutines when the inner run is
+		// parallel; only the map itself is shared (each checker then sees one
+		// core's serial event stream).
+		checkersMu.Lock()
+		checkers[core] = ck
+		checkersMu.Unlock()
+		return ck
 	}
 	res, err := fleet.Run(cs.buildWorkloads(), o)
 	if err != nil {

@@ -8,14 +8,49 @@ import (
 	"v10/internal/trace"
 )
 
+// maxTrialEvents caps the estimated event count of one generated trial. The
+// PREMA worst-case budget can legitimately reach 1e12+ cycles, and with a
+// 5000-cycle quantum a closed loop that actually wanders there generates
+// billions of rebalance events — a single trial then runs for hours and its
+// observation log alone exceeds memory (seed 126 hit 34 GB). Scenarios whose
+// cost estimate exceeds the cap are rejected and deterministically resampled;
+// the probe over 3000 seeds rejects ~1.5% at this threshold.
+const maxTrialEvents = 2e7
+
+// genAttempts bounds the resample loop. At a ~1.5% rejection rate the chance
+// of exhausting it is (0.015)^32 ≈ 1e-58; if that ever happens we fall back
+// to the cheapest scenario seen, which is still deterministic.
+const genAttempts = 32
+
 // GenScenario derives a complete random trial from one seed: hardware shape,
 // scheduler knobs, and an arbitrary SA/VU operator mix including degenerate
 // shapes (zero-compute ops, zero stalls, out-of-range efficiencies), extreme
 // priority skews, HBM-bandwidth starvation, and vector-memory pressure that
 // forces tiling and context-capacity rejections. The same seed always yields
 // the same scenario.
+//
+// Scenarios whose estimated simulation cost exceeds maxTrialEvents are
+// rejected and regenerated from a deterministically mixed stream. Attempt 0
+// draws from exactly NewRNG(seed), so every seed whose scenario was already
+// affordable is bit-identical to what it produced before resampling existed;
+// resampled scenarios keep Seed = seed so repro-by-seed still works.
 func GenScenario(seed uint64) *Scenario {
-	rng := mathx.NewRNG(seed)
+	var best *Scenario
+	bestCost := 0.0
+	for attempt := uint64(0); attempt < genAttempts; attempt++ {
+		s := genScenario(seed, mathx.NewRNG(seed+attempt*0x9e3779b97f4a7c15))
+		c := trialCost(s)
+		if c <= maxTrialEvents {
+			return s
+		}
+		if best == nil || c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	return best
+}
+
+func genScenario(seed uint64, rng *mathx.RNG) *Scenario {
 	cfg := npu.DefaultConfig()
 	cfg.SADim = pickInt(rng, 8, 32, 128)
 	cfg.NumSA = 1 + rng.Intn(3)
@@ -273,6 +308,48 @@ func budget(s *Scenario) int64 {
 		b += int64(40 * float64(s.Requests) * gap)
 	}
 	return b
+}
+
+// trialCost estimates the event count of simulating one scenario across all
+// of its schemes, in the same worst-case terms budget uses for MaxCycles. The
+// V10 schemes cost the op dispatch/complete churn plus one slice tick per
+// TimeSlice across the priority-skewed makespan; PMT is dominated by quantum
+// rotation, so its cost is the cycle budget divided by the smallest slice.
+// This is a rejection proxy for GenScenario, not a runtime prediction: most
+// trials finish far below their budget, and over-rejecting merely resamples.
+func trialCost(s *Scenario) float64 {
+	var totalServe, prioSum float64
+	minPrio := s.Workloads[0].Priority
+	totalOps := 0
+	for i, w := range s.Workloads {
+		totalServe += serveCycles(s, i) * float64(s.Requests)
+		prioSum += w.Priority
+		if w.Priority < minPrio {
+			minPrio = w.Priority
+		}
+		totalOps += len(w.Ops)
+	}
+	v10Span := totalServe * prioSum / minPrio
+	cost := 0.0
+	for _, scheme := range s.Schemes {
+		if scheme == SchemePMT {
+			quantum := s.PMTQuantum
+			if quantum <= 0 {
+				quantum = 1_400_000
+			}
+			qMin := float64(quantum)
+			if s.PMTWeighted {
+				qMin *= minPrio / prioSum * float64(len(s.Workloads))
+			}
+			if qMin < 1 {
+				qMin = 1
+			}
+			cost += float64(s.MaxCycles) / qMin
+		} else {
+			cost += float64(totalOps*s.Requests)*4 + v10Span/float64(s.Config.TimeSlice)
+		}
+	}
+	return cost
 }
 
 func pickInt(rng *mathx.RNG, xs ...int) int       { return xs[rng.Intn(len(xs))] }

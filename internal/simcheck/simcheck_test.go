@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"strconv"
 	"testing"
+
+	"v10/internal/mathx"
 )
 
 func TestGenScenarioDeterministic(t *testing.T) {
@@ -16,6 +18,35 @@ func TestGenScenarioDeterministic(t *testing.T) {
 		}
 		if err := a.Validate(); err != nil {
 			t.Fatalf("seed %d: generated invalid scenario: %v", seed, err)
+		}
+	}
+}
+
+// Regression: seed 126's first draw lands in the PREMA worst case — a 1.6e12
+// cycle budget with a 5000-cycle PMT quantum, i.e. billions of events — and
+// the trial used to run for hours while its observation log exhausted memory.
+// The generator must reject such draws and resample deterministically.
+func TestGenScenarioRejectsUnaffordableDraws(t *testing.T) {
+	pathological := []uint64{126, 1480} // worst offenders from a 3000-seed probe
+	for _, seed := range pathological {
+		s := GenScenario(seed)
+		if c := trialCost(s); c > maxTrialEvents {
+			t.Errorf("seed %d: kept a scenario with estimated cost %.3g > cap %.3g",
+				seed, c, float64(maxTrialEvents))
+		}
+		if s.Seed != seed {
+			t.Errorf("seed %d: resampled scenario reports Seed %d; repro-by-seed breaks", seed, s.Seed)
+		}
+	}
+	// Affordable seeds must be bit-identical to the pre-resampling generator:
+	// attempt 0 draws from exactly NewRNG(seed).
+	for seed := uint64(0); seed < 50; seed++ {
+		first := genScenario(seed, mathx.NewRNG(seed))
+		if trialCost(first) > maxTrialEvents {
+			continue
+		}
+		if !reflect.DeepEqual(first, GenScenario(seed)) {
+			t.Errorf("seed %d: affordable scenario changed under the resample loop", seed)
 		}
 	}
 }

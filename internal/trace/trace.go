@@ -62,6 +62,12 @@ func (o Op) Duration() int64 { return o.Stall + o.Compute }
 // Graph is the operator DAG for one inference request.
 type Graph struct {
 	Ops []Op
+
+	// DepsBuf is scratch backing for the Ops' Deps slices, owned by
+	// buffer-reusing generators (NewWorkloadReusable): pooling every
+	// single-entry Deps slice in one array lets a generator rebuild the graph
+	// per request without per-op allocations. Ordinary consumers ignore it.
+	DepsBuf []int
 }
 
 // Validate checks that IDs are dense, dependencies are in range, and the
@@ -219,8 +225,24 @@ func (g *Graph) ComputeStats() Stats {
 // compiled sequential stream. Operators are emitted in topological order; for
 // generator-produced graphs this is simply ID order, which Validate enforces.
 func (g *Graph) Linearize() []Op {
-	out := make([]Op, len(g.Ops))
-	copy(out, g.Ops)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return g.LinearizeInto(nil)
+}
+
+// LinearizeInto is Linearize appending into buf (reused across requests by
+// the scheduler's hot path; pass buf[:0] to recycle a previous stream).
+// Generated and tiled graphs already carry dense ascending IDs, so the
+// common case is a straight copy with no sort.
+func (g *Graph) LinearizeInto(buf []Op) []Op {
+	out := append(buf, g.Ops...)
+	sorted := true
+	for i := 1; i < len(out); i++ {
+		if out[i].ID < out[i-1].ID {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	}
 	return out
 }

@@ -16,7 +16,8 @@ type Workload struct {
 	Batch    int     // inference batch size
 	Priority float64 // relative scheduling priority (> 0); 1 is default
 
-	gen func(request int) *Graph
+	gen     func(request int) *Graph
+	genInto func(request int, g *Graph) *Graph
 }
 
 // NewWorkload builds a workload around a request-graph generator. gen must be
@@ -38,9 +39,40 @@ func (w *Workload) WithPriority(p float64) *Workload {
 	return &c
 }
 
+// NewWorkloadReusable builds a workload around a buffer-reusing generator:
+// genInto must produce the i-th request graph into g (reusing g.Ops and
+// g.DepsBuf when non-nil; allocating a fresh graph when g is nil) and return
+// it. genInto must be deterministic in its request argument and stateless
+// apart from the passed-in buffer, so concurrent callers with distinct
+// scratch graphs are safe (the fleet runs cores in parallel against shared
+// Workload values).
+func NewWorkloadReusable(name, model string, batch int, genInto func(request int, g *Graph) *Graph) *Workload {
+	if genInto == nil {
+		panic("trace: nil workload generator")
+	}
+	return &Workload{
+		Name: name, Model: model, Batch: batch, Priority: 1,
+		gen:     func(i int) *Graph { return genInto(i, nil) },
+		genInto: genInto,
+	}
+}
+
 // Request returns the operator graph for the i-th request (0-based).
 func (w *Workload) Request(i int) *Graph {
 	return w.gen(i)
+}
+
+// RequestInto returns the i-th request graph, reusing the caller-owned
+// scratch graph g when the workload's generator supports it. The boolean
+// reports whether the caller owns the returned graph's storage: true means
+// it is private to the caller (safe to alias its Ops and to pass back as
+// scratch for the next request), false means the graph came from a plain
+// generator and may be shared — copy before mutating or retaining.
+func (w *Workload) RequestInto(i int, g *Graph) (*Graph, bool) {
+	if w.genInto != nil {
+		return w.genInto(i, g), true
+	}
+	return w.gen(i), false
 }
 
 // TileForVMem rewrites g so that no operator's vector-memory footprint
