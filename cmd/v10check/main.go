@@ -10,6 +10,7 @@
 //	v10check -out repro.json -trace fail.json # artifacts on first violation
 //	v10check -replay repro.json               # re-run a saved repro
 //	v10check -chaos 200                       # fleet chaos trials under fault injection
+//	v10check -workload 200                    # workload-engine arrival-schedule trials
 //	v10check -v                               # per-trial progress
 package main
 
@@ -32,6 +33,7 @@ func main() {
 	tracePath := flag.String("trace", "", "Chrome trace of the first failing run (open in Perfetto)")
 	replay := flag.String("replay", "", "re-check a saved repro instead of random trials")
 	chaos := flag.Int("chaos", 0, "run this many fleet chaos trials (fault injection) instead of scheme trials")
+	workloadTrials := flag.Int("workload", 0, "run this many workload-engine trials (explicit arrival schedules) instead of scheme trials")
 	minimizeBudget := flag.Int("minimize", 200, "max re-checks spent minimizing a failure (0 disables)")
 	par := flag.Int("parallel", 0, "trial worker count (0 = GOMAXPROCS, 1 = serial)")
 	verbose := flag.Bool("v", false, "log every trial")
@@ -39,6 +41,16 @@ func main() {
 
 	if *chaos > 0 {
 		runChaos(*chaos, *seed, *out, *par, *verbose)
+		return
+	}
+
+	if *workloadTrials > 0 {
+		if v := sweep(*workloadTrials, *seed, *par, *verbose, "workload trial", simcheck.RunWorkloadTrial); v != nil {
+			fmt.Fprintf(os.Stderr, "workload seed %d violated %d invariant(s)\n", v.Scenario.Seed, len(v.Problems))
+			report(v.Scenario, v, *out, *tracePath, *minimizeBudget)
+			os.Exit(1)
+		}
+		fmt.Printf("v10check: %d workload trials from seed %d, zero violations\n", *workloadTrials, *seed)
 		return
 	}
 

@@ -9,6 +9,9 @@
 //	v10serve -cores 2 -tenants 6 -policy least-loaded -rate 250
 //	v10serve -cores 4 -tenants 8 -scheme PMT -policy random
 //	v10serve -cores 4 -tenants 8 -trace fleet.json -counters fleet.csv
+//	v10serve -cores 4 -tenants 8 -workload mmpp -rate 120
+//	v10serve -cores 4 -tenants 8 -trace-file prod.trace
+//	v10serve -cores 4 -mix prefill-decode -tenants 8
 package main
 
 import (
@@ -44,9 +47,20 @@ type summary struct {
 	GoodputHz      float64                `json:"goodput_hz"`
 	ShedRate       float64                `json:"shed_rate"`
 	Placement      [][]int                `json:"placement"`
+	Workload       *workloadSummary       `json:"workload,omitempty"`
 	Faults         *faultSummary          `json:"faults,omitempty"`
 	CoreResults    []coreSummary          `json:"core_results"`
 	Tenants        []v10.FleetTenantStats `json:"tenants"`
+}
+
+// workloadSummary is the traffic block of the stdout JSON, present only when
+// the workload engine (not the legacy Poisson dispatcher draw) schedules
+// arrivals.
+type workloadSummary struct {
+	Process           string `json:"process"`
+	Mix               string `json:"mix"`
+	TraceFile         string `json:"trace_file,omitempty"`
+	ScheduledArrivals int    `json:"scheduled_arrivals"`
 }
 
 // faultSummary is the resilience block of the stdout JSON, present only when
@@ -84,6 +98,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"comma-separated model mix tenants cycle through")
 	batch := fs.Int("batch", 8, "inference batch size for every tenant")
 	rate := fs.Float64("rate", 60, "per-tenant open-loop arrival rate in Hz")
+	workloadFlag := fs.String("workload", "poisson",
+		"arrival process: poisson (legacy dispatcher draw), uniform, diurnal, mmpp, or trace")
+	traceFile := fs.String("trace-file", "",
+		"inter-arrival-gap trace to replay, rate-normalized to -rate (implies -workload trace)")
+	mixFlag := fs.String("mix", "models",
+		`tenant mix: "models" (cycle -models) or "prefill-decode" (LLM prefill/decode classes with anti-phased diurnal traffic)`)
 	policy := fs.String("policy", "advisor", "tenant placement: advisor, least-loaded, or random")
 	schemeFlag := fs.String("scheme", "V10-Full", "per-core scheduler: PMT, V10-Base, V10-Fair, V10-Full")
 	duration := fs.Int64("duration-cycles", 50_000_000, "arrival window in cycles")
@@ -114,10 +134,69 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg := v10.DefaultConfig()
-	ws, err := buildTenants(*modelsFlag, *tenants, *batch, cfg)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
+	proc := strings.ToLower(strings.TrimSpace(*workloadFlag))
+	if *traceFile != "" && proc == "poisson" {
+		proc = string(v10.TrafficReplay)
+	}
+
+	// The tenant mix fixes the workload set and, for prefill-decode, the
+	// traffic specs; a nil specs slice means the legacy Poisson dispatcher
+	// draw (no workload engine involved, bit-compatible with older runs).
+	var ws []*v10.Workload
+	var specs []v10.TrafficSpec
+	switch *mixFlag {
+	case "models":
+		ws, err = buildTenants(*modelsFlag, *tenants, *batch, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		switch proc {
+		case "poisson":
+			// Legacy path: the fleet dispatcher draws its own Poisson stream.
+		case string(v10.TrafficReplay):
+			if *traceFile == "" {
+				fmt.Fprintln(stderr, "-workload trace requires -trace-file")
+				return 2
+			}
+			tr, err := v10.ReadTraceFile(*traceFile)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			specs = tr.Specs(len(ws), *rate)
+		default:
+			p, err := v10.ParseTrafficProcess(proc)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			specs = make([]v10.TrafficSpec, len(ws))
+			for i := range specs {
+				specs[i] = v10.TrafficSpec{Process: p, RateHz: *rate}
+			}
+		}
+	case "prefill-decode":
+		if proc != "poisson" || *traceFile != "" {
+			fmt.Fprintln(stderr, "-mix prefill-decode brings its own anti-phased diurnal traffic; drop -workload / -trace-file")
+			return 2
+		}
+		mix := v10.PrefillDecodeMix(*tenants, *rate, cfg, *seed)
+		ws, specs = mix.Workloads, mix.Specs
+		proc = "prefill-decode"
+	default:
+		fmt.Fprintf(stderr, "unknown mix %q (want models or prefill-decode)\n", *mixFlag)
 		return 2
+	}
+
+	var arrivals [][]int64
+	if specs != nil {
+		eng := v10.TrafficEngine{Config: cfg, HorizonCycles: *duration, Seed: *seed}
+		arrivals, err = eng.Schedules(specs)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 	}
 
 	var schedule *v10.FaultSchedule
@@ -159,6 +238,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		HeartbeatCycles: *heartbeat,
 		NoMigration:     *noMigration,
 	}
+	if arrivals != nil {
+		opt.RateHz = 0 // mutually exclusive with explicit schedules
+		opt.Arrivals = arrivals
+	}
 	if pol == v10.PlaceAdvisor {
 		fmt.Fprintf(stderr, "training collocation advisor on %d tenants...\n", len(ws))
 		adv, err := v10.TrainAdvisor(ws, v10.AdvisorOptions{
@@ -190,6 +273,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "reporting partial measurements up to the cycle cap:")
 	}
 
+	if arrivals != nil {
+		total := 0
+		for _, a := range arrivals {
+			total += len(a)
+		}
+		fmt.Fprintf(stderr, "workload: %s (%s mix), %d arrivals scheduled over %d cycles\n",
+			proc, *mixFlag, total, *duration)
+	}
 	printDigest(stderr, res)
 	if tracer != nil {
 		if err := tracer.WriteFile(*traceOut); err != nil {
@@ -208,6 +299,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	doc := buildSummary(res, len(ws), *rate)
+	if arrivals != nil {
+		wsum := &workloadSummary{Process: proc, Mix: *mixFlag, TraceFile: *traceFile}
+		for _, a := range arrivals {
+			wsum.ScheduledArrivals += len(a)
+		}
+		doc.Workload = wsum
+	}
 	if schedule != nil && !schedule.Empty() {
 		// A fault-free re-run of the same configuration anchors the resilience
 		// block: goodput_retained says how much serving capacity the recovery

@@ -166,6 +166,13 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		"unknown fault kind":       quickArgs("-faults", "melt@0:1000"),
 		"fault on absent core":     quickArgs("-faults", "fail@7:1000"),
 		"faults and mttf together": quickArgs("-faults", "fail@0:1000", "-mttf", "1000000"),
+
+		"unknown workload":         quickArgs("-workload", "fractal"),
+		"trace without file":       quickArgs("-workload", "trace"),
+		"missing trace file":       quickArgs("-trace-file", filepath.Join("testdata", "no-such.trace")),
+		"unknown mix":              quickArgs("-mix", "everything"),
+		"mix with workload":        quickArgs("-mix", "prefill-decode", "-workload", "mmpp"),
+		"mix with trace file":      quickArgs("-mix", "prefill-decode", "-trace-file", filepath.Join("testdata", "sample.trace")),
 	} {
 		var stdout, stderr bytes.Buffer
 		if code := run(args, &stdout, &stderr); code != 2 {
@@ -220,6 +227,140 @@ func TestRunWritesTraceAndCounters(t *testing.T) {
 	}
 	if !strings.Contains(string(counters), "core 0") {
 		t.Fatalf("counters lack per-core sections:\n%.200s", counters)
+	}
+}
+
+// workloadArgs is the workload-engine fixture: the quick fleet driven by an
+// MMPP flash-crowd stream instead of the legacy dispatcher Poisson draw.
+func workloadArgs(extra ...string) []string {
+	return append(quickArgs("-workload", "mmpp"), extra...)
+}
+
+func TestRunWorkloadEmitsGoldenSummary(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(workloadArgs(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "summary.workload.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("workload summary drifted from golden (run with -update if intended):\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "workload: mmpp (models mix)") {
+		t.Error("workload digest missing from stderr")
+	}
+}
+
+func TestRunWorkloadSummarySchema(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(workloadArgs(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	var doc struct {
+		Workload map[string]any `json:"workload"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Workload == nil {
+		t.Fatal("workload run emitted no workload block")
+	}
+	for _, key := range []string{"process", "mix", "scheduled_arrivals"} {
+		if _, ok := doc.Workload[key]; !ok {
+			t.Errorf("workload block is missing %q", key)
+		}
+	}
+	if n, _ := doc.Workload["scheduled_arrivals"].(float64); n <= 0 {
+		t.Errorf("scheduled_arrivals = %v, want > 0", doc.Workload["scheduled_arrivals"])
+	}
+}
+
+func TestRunLegacyPoissonOmitsWorkloadBlock(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(quickArgs(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	if strings.Contains(stdout.String(), `"workload"`) {
+		t.Fatal("legacy Poisson summary contains a workload block")
+	}
+}
+
+func TestRunTraceFileReplay(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := quickArgs("-trace-file", filepath.Join("testdata", "sample.trace"))
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	var doc struct {
+		Workload *workloadSummary `json:"workload"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Workload == nil || doc.Workload.Process != "trace" {
+		t.Fatalf("workload block = %+v, want trace replay", doc.Workload)
+	}
+	if doc.Workload.TraceFile == "" || doc.Workload.ScheduledArrivals <= 0 {
+		t.Fatalf("workload block = %+v", doc.Workload)
+	}
+}
+
+func TestRunPrefillDecodeMix(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-cores", "2", "-tenants", "4", "-batch", "2",
+		"-rate", "800", "-duration-cycles", "6000000",
+		"-policy", "least-loaded", "-seed", "3", "-mix", "prefill-decode",
+	}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	var doc struct {
+		Workload *workloadSummary       `json:"workload"`
+		Tenants  []v10.FleetTenantStats `json:"tenants"`
+		Good     int                    `json:"good"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Workload == nil || doc.Workload.Process != "prefill-decode" {
+		t.Fatalf("workload block = %+v", doc.Workload)
+	}
+	var prefill, decode int
+	for _, ts := range doc.Tenants {
+		switch {
+		case strings.HasPrefix(ts.Name, "prefill-"):
+			prefill++
+		case strings.HasPrefix(ts.Name, "decode-"):
+			decode++
+		}
+	}
+	if prefill != 2 || decode != 2 {
+		t.Fatalf("tenant classes: %d prefill, %d decode (want 2/2)", prefill, decode)
+	}
+	if doc.Good == 0 {
+		t.Fatal("prefill/decode fleet served nothing")
+	}
+}
+
+func TestRunWorkloadDeterministic(t *testing.T) {
+	var a, b, stderr bytes.Buffer
+	if code := run(workloadArgs(), &a, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	if code := run(workloadArgs(), &b, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different workload-mode summaries")
 	}
 }
 

@@ -54,8 +54,8 @@ func TestRunFleetSuite(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantCycles := map[string]int64{
-		"fleet-8c16t":       394_010_661,
-		"fleet-serial-4c8t": 131_795_706,
+		"fleet-8c16t":       394_010_664,
+		"fleet-serial-4c8t": 131_795_707,
 	}
 	for _, r := range s.Scenarios {
 		if want := wantCycles[r.Name]; r.Cycles != want {

@@ -49,6 +49,7 @@ func Generators() []Generator {
 		{"calib", "Workload-zoo calibration report", (*Context).Calib},
 		{"fleet", "Fleet placement-policy sweep", (*Context).Fleet},
 		{"faults", "Fleet resilience under injected core failures", (*Context).Faults},
+		{"workload", "Workload-engine traffic sweep (bursty + prefill/decode)", (*Context).WorkloadSweep},
 	}
 }
 

@@ -17,30 +17,38 @@ type arrival struct {
 	tenant int
 }
 
-// genArrivals draws every tenant's open-loop Poisson stream over
-// [0, DurationCycles) and merges them into one time-ordered sequence (ties by
-// tenant index). Seeding is per tenant, so a tenant's stream is independent of
-// the fleet size and of the other tenants.
+// genArrivals produces the fleet's merged, time-ordered arrival sequence
+// (ties by tenant index): either the explicit per-tenant schedules from
+// o.Arrivals (the workload engine's interface) or every tenant's open-loop
+// Poisson stream over [0, DurationCycles). Poisson seeding is per tenant, so
+// a tenant's stream is independent of the fleet size and of the other
+// tenants. Arrival times accumulate in float64 and are floored only on
+// emission: truncating each gap to int64 with a gap<1 clamp would inflate
+// the realized rate above the nominal RateHz (badly so at high rates).
 func genArrivals(tenants int, o Options) []arrival {
-	meanGap := o.Config.FrequencyHz / o.RateHz
 	var all []arrival
-	for t := 0; t < tenants; t++ {
-		rng := mathx.NewRNG(o.Seed + 0xf1ee7 + uint64(t)*7919)
-		at := int64(0)
-		for {
-			u := rng.Float64()
-			for u == 0 {
-				u = rng.Float64()
+	if o.Arrivals != nil {
+		for t, schedule := range o.Arrivals {
+			for _, at := range schedule {
+				all = append(all, arrival{at: at, tenant: t})
 			}
-			gap := int64(-meanGap * math.Log(u))
-			if gap < 1 {
-				gap = 1
+		}
+	} else {
+		meanGap := o.Config.FrequencyHz / o.RateHz
+		for t := 0; t < tenants; t++ {
+			rng := mathx.NewRNG(o.Seed + 0xf1ee7 + uint64(t)*7919)
+			at := 0.0
+			for {
+				u := rng.Float64()
+				for u == 0 {
+					u = rng.Float64()
+				}
+				at -= meanGap * math.Log(u)
+				if at >= float64(o.DurationCycles) {
+					break
+				}
+				all = append(all, arrival{at: int64(at), tenant: t})
 			}
-			at += gap
-			if at >= o.DurationCycles {
-				break
-			}
-			all = append(all, arrival{at: at, tenant: t})
 		}
 	}
 	sort.SliceStable(all, func(i, j int) bool {

@@ -22,6 +22,7 @@ import (
 	"v10/internal/mathx"
 	"v10/internal/npu"
 	"v10/internal/obs"
+	"v10/internal/sched"
 	"v10/internal/trace"
 )
 
@@ -79,8 +80,16 @@ type Options struct {
 
 	// RateHz is each tenant's open-loop Poisson arrival rate (default 60,
 	// which puts a mixed-model fleet near saturation at two tenants per
-	// core).
+	// core). Mutually exclusive with Arrivals.
 	RateHz float64
+
+	// Arrivals, when non-nil, replaces the Poisson draw entirely:
+	// Arrivals[t] lists tenant t's absolute arrival cycles (nondecreasing,
+	// ≥ 0), one schedule per tenant — the workload engine's interface
+	// (workload.Engine.Schedules). Mutually exclusive with RateHz; the
+	// schedules should stay within [0, DurationCycles) (the workload engine
+	// clips to its horizon).
+	Arrivals [][]int64
 
 	// DurationCycles is the arrival window: requests arrive in
 	// [0, DurationCycles); cores then drain their admitted queues
@@ -200,7 +209,26 @@ func (o Options) withDefaults() (Options, error) {
 	if o.ProfileRequests <= 0 {
 		o.ProfileRequests = 3
 	}
-	if o.RateHz == 0 {
+	if o.Arrivals != nil {
+		if o.RateHz != 0 {
+			return o, &sched.ArrivalError{Workload: -1, Index: -1,
+				Reason: "fleet Arrivals and RateHz are mutually exclusive"}
+		}
+		for t, schedule := range o.Arrivals {
+			prev := int64(0)
+			for k, at := range schedule {
+				if at < prev {
+					reason := "decreases"
+					if at < 0 {
+						reason = "is negative"
+					}
+					return o, &sched.ArrivalError{Workload: t, Index: k, Value: at, Reason: reason}
+				}
+				prev = at
+			}
+		}
+	}
+	if o.RateHz == 0 && o.Arrivals == nil {
 		o.RateHz = 60
 	}
 	if o.RateHz < 0 || math.IsInf(o.RateHz, 0) || math.IsNaN(o.RateHz) {

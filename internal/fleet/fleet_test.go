@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"math"
 	"reflect"
 	"testing"
@@ -10,7 +11,9 @@ import (
 	"v10/internal/mathx"
 	"v10/internal/metrics"
 	"v10/internal/npu"
+	"v10/internal/sched"
 	"v10/internal/trace"
+	"v10/internal/workload"
 )
 
 var cfg = npu.DefaultConfig()
@@ -433,3 +436,126 @@ func TestRunPMTScheme(t *testing.T) {
 // newPlacementRNG mirrors Run's placement RNG derivation for direct place()
 // tests.
 func newPlacementRNG(o Options) *mathx.RNG { return mathx.NewRNG(o.Seed + 0x9f1e) }
+
+// TestGenArrivalsRealizedRate is the satellite-1 regression: the old
+// truncate-and-clamp gap draw inflated the realized rate above RateHz
+// (≈ +11% at a 3-cycle mean gap). Float64 accumulation must track nominal.
+func TestGenArrivalsRealizedRate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		rateHz  float64
+		tenants int
+		tol     float64
+	}{
+		{"serving regime", 5000, 16, 0.03},
+		// Mean gap 700e6/233e6 ≈ 3 cycles: deep in the old clamp's bias
+		// regime, where truncation alone added ~10%.
+		{"cycle-scale gaps", 233e6, 2, 0.01},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := Options{Config: cfg, RateHz: tc.rateHz, DurationCycles: 2_000_000, Seed: 3}.withDefaults()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := float64(len(genArrivals(tc.tenants, o)))
+			want := tc.rateHz / cfg.FrequencyHz * float64(o.DurationCycles) * float64(tc.tenants)
+			if rel := (got - want) / want; rel < -tc.tol || rel > tc.tol {
+				t.Errorf("realized %v arrivals, want %v ±%v%% (rel err %+.4f)",
+					got, want, 100*tc.tol, rel)
+			}
+		})
+	}
+}
+
+func TestArrivalsOptionValidation(t *testing.T) {
+	base := quickOptions()
+	base.RateHz = 0
+
+	o := base
+	o.Arrivals = [][]int64{{0, 100}, {50}, {}, {200}}
+	o.RateHz = 60
+	var ae *sched.ArrivalError
+	if _, err := Run(mixedTenants(), o); !errors.As(err, &ae) || ae.Workload != -1 {
+		t.Fatalf("Arrivals+RateHz: err = %v, want option-level *sched.ArrivalError", err)
+	}
+
+	o = base
+	o.Arrivals = [][]int64{{0, 100}, {50, 20}, {}, {200}}
+	if _, err := Run(mixedTenants(), o); !errors.As(err, &ae) || ae.Workload != 1 || ae.Index != 1 {
+		t.Fatalf("decreasing schedule: err = %v, want *sched.ArrivalError{1, 1}", err)
+	}
+
+	o = base
+	o.Arrivals = [][]int64{{-5}, {}, {}, {}}
+	if _, err := Run(mixedTenants(), o); !errors.As(err, &ae) || ae.Value != -5 {
+		t.Fatalf("negative arrival: err = %v, want *sched.ArrivalError{Value: -5}", err)
+	}
+
+	o = base
+	o.Arrivals = [][]int64{{0}}
+	if _, err := Run(mixedTenants(), o); !errors.As(err, &ae) || ae.Workload != -1 {
+		t.Fatalf("length mismatch: err = %v, want option-level *sched.ArrivalError", err)
+	}
+}
+
+// TestArrivalsDriveFleet runs explicit schedules end-to-end: offered counts
+// match the schedules exactly (no Poisson draw anywhere), an empty schedule
+// is a legal idle tenant, and the run is deterministic.
+func TestArrivalsDriveFleet(t *testing.T) {
+	o := quickOptions()
+	o.RateHz = 0
+	o.Arrivals = [][]int64{
+		{0, 400_000, 800_000, 1_200_000},
+		{100_000, 500_000},
+		{},
+		{250_000, 250_000, 900_000},
+	}
+	res, err := Run(mixedTenants(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tn, want := range []int{4, 2, 0, 3} {
+		if got := res.Tenants[tn].Offered; got != want {
+			t.Errorf("tenant %d offered %d requests, want %d", tn, got, want)
+		}
+	}
+	if res.Completed == 0 || res.Completed != res.Admitted {
+		t.Errorf("completed %d of %d admitted — schedules should drain fully", res.Completed, res.Admitted)
+	}
+	res2, err := Run(mixedTenants(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles != res2.TotalCycles || !reflect.DeepEqual(res.Tenants, res2.Tenants) {
+		t.Fatal("explicit-arrivals fleet run is nondeterministic")
+	}
+}
+
+// TestWorkloadEngineFeedsFleet wires workload.Engine schedules into the
+// fleet — the tentpole's integration seam.
+func TestWorkloadEngineFeedsFleet(t *testing.T) {
+	o := quickOptions()
+	o.RateHz = 0
+	eng := workload.Engine{Config: cfg, HorizonCycles: o.DurationCycles, Seed: o.Seed}
+	specs := []workload.Spec{
+		{Process: workload.Poisson, RateHz: 2000},
+		{Process: workload.MMPP, RateHz: 2000},
+		{Process: workload.Diurnal, RateHz: 2000},
+		{Process: workload.Uniform, RateHz: 2000, StartCycle: 1_000_000},
+	}
+	arr, err := eng.Schedules(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Arrivals = arr
+	res, err := Run(mixedTenants(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tn := range specs {
+		if res.Tenants[tn].Offered != len(arr[tn]) {
+			t.Errorf("tenant %d offered %d, want schedule length %d",
+				tn, res.Tenants[tn].Offered, len(arr[tn]))
+		}
+	}
+}

@@ -117,6 +117,11 @@ func Run(tenants []*trace.Workload, o Options) (*Result, error) {
 	if len(tenants) == 0 {
 		return nil, errors.New("fleet: no tenants")
 	}
+	if o.Arrivals != nil && len(o.Arrivals) != len(tenants) {
+		return nil, &sched.ArrivalError{Workload: -1, Index: -1,
+			Reason: fmt.Sprintf("fleet Arrivals has %d schedules for %d tenants",
+				len(o.Arrivals), len(tenants))}
+	}
 
 	profs := profileTenants(tenants, o)
 	homes := place(profs, o, mathx.NewRNG(o.Seed+0x9f1e))

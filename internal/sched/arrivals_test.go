@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"v10/internal/trace"
@@ -82,5 +84,69 @@ func TestArrivalCyclesValidation(t *testing.T) {
 	opts := Options{ArrivalCycles: [][]int64{{0}}}
 	if _, err := Run([]*trace.Workload{w, synthetic("T", 10, 10, 1)}, opts); err == nil {
 		t.Error("schedule/workload length mismatch accepted")
+	}
+}
+
+func TestArrivalErrorTyped(t *testing.T) {
+	w := synthetic("S", 1000, 500, 1)
+	check := func(name string, opts Options, wantWL, wantIdx int) {
+		t.Helper()
+		_, err := Run([]*trace.Workload{w}, opts)
+		var ae *ArrivalError
+		if !errors.As(err, &ae) {
+			t.Fatalf("%s: err = %v (%T), want *ArrivalError", name, err, err)
+		}
+		if ae.Workload != wantWL || ae.Index != wantIdx {
+			t.Errorf("%s: ArrivalError{Workload: %d, Index: %d}, want {%d, %d}: %v",
+				name, ae.Workload, ae.Index, wantWL, wantIdx, ae)
+		}
+		if ae.Error() == "" || !strings.Contains(ae.Error(), "sched:") {
+			t.Errorf("%s: unhelpful message %q", name, ae.Error())
+		}
+	}
+	check("decreasing", Options{ArrivalCycles: [][]int64{{0, 100, 50}}}, 0, 2)
+	check("negative", Options{ArrivalCycles: [][]int64{{-7}}}, 0, 0)
+	check("exclusive", Options{ArrivalCycles: [][]int64{{0}}, ArrivalRateHz: 10}, -1, -1)
+
+	// Length mismatch surfaces from Run (the schedule count is only known
+	// against the workload list).
+	_, err := Run([]*trace.Workload{w, synthetic("T", 10, 10, 1)},
+		Options{ArrivalCycles: [][]int64{{0}}})
+	var ae *ArrivalError
+	if !errors.As(err, &ae) || ae.Workload != -1 {
+		t.Fatalf("length mismatch: err = %v, want option-level *ArrivalError", err)
+	}
+
+	// A valid schedule still runs.
+	if _, err := Run([]*trace.Workload{w}, Options{ArrivalCycles: [][]int64{{0, 10, 10}}}); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+// TestOpenLoopRealizedRate pins the runner-side fix: drawing int64-truncated
+// gaps clamped to >= 1 cycle inflated the realized Poisson rate (about +10%
+// at a 3-cycle mean gap). With float64 absolute-time accumulation the time
+// of the Nth arrival must match N×meanGap statistically.
+func TestOpenLoopRealizedRate(t *testing.T) {
+	const (
+		requests = 20_000
+		meanGap  = 3.0 // cycles — deep in the old clamp's bias regime
+	)
+	w := synthetic("S", 1, 0, 1) // 1-cycle service: queues never build up
+	opts := BaseOptions()
+	opts.RequestsPerWorkload = requests
+	opts.ArrivalRateHz = 700e6 / meanGap
+	res, err := Run([]*trace.Workload{w}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workloads[0].Requests != requests {
+		t.Fatalf("served %d requests, want %d", res.Workloads[0].Requests, requests)
+	}
+	want := meanGap * requests // expected cycle of the last arrival
+	got := float64(res.TotalCycles)
+	if rel := (got - want) / want; rel < -0.03 || rel > 0.03 {
+		t.Errorf("open-loop run spanned %v cycles for %d arrivals, want %v ±3%% (rel err %+.4f)",
+			got, requests, want, rel)
 	}
 }

@@ -46,6 +46,7 @@ type wlState struct {
 	inFlight     bool    // a request is currently being served
 	queue        []int64 // open-loop: arrival times of requests waiting to start
 	arrivals     *mathx.RNG
+	nextArrivalF float64 // open-loop Poisson: absolute next-arrival time, pre-floor
 	lastDispatch uint64
 	ctxBytes     int64 // preemption context currently held in vmem
 
@@ -179,8 +180,9 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 		r.fus[1] = append(r.fus[1], &fuState{r: r, kind: 1, idx: i})
 	}
 	if opts.ArrivalCycles != nil && len(opts.ArrivalCycles) != len(workloads) {
-		return nil, fmt.Errorf("sched: ArrivalCycles has %d schedules for %d workloads",
-			len(opts.ArrivalCycles), len(workloads))
+		return nil, &ArrivalError{Workload: -1, Index: -1,
+			Reason: fmt.Sprintf("ArrivalCycles has %d schedules for %d workloads",
+				len(opts.ArrivalCycles), len(workloads))}
 	}
 	if opts.Preemption {
 		r.sliceTimer = engine.NewTimer(cfg.TimeSlice, r.sliceTick)
@@ -450,14 +452,16 @@ func arrivalCB(payload any, now int64) {
 	}
 }
 
-// scheduleArrival arms the next Poisson arrival for wl (open-loop mode).
+// scheduleArrival arms the next Poisson arrival for wl (open-loop mode). The
+// next-arrival time accumulates in float64 and is floored only on emission:
+// truncating each gap to int64 with a gap<1 clamp would bias the realized
+// rate above nominal — badly so once the mean gap nears a single cycle.
+// floor(t) can tie with the current cycle at sub-cycle gaps; the engine runs
+// same-cycle events in scheduling order, so coalesced arrivals still serve.
 func (r *runner) scheduleArrival(wl *wlState, now int64) {
 	meanCycles := r.opts.Config.FrequencyHz / r.opts.ArrivalRateHz
-	gap := int64(-meanCycles * logUniform(wl.arrivals))
-	if gap < 1 {
-		gap = 1
-	}
-	r.engine.ScheduleCall(now+gap, poissonArrivalCB, wl)
+	wl.nextArrivalF -= meanCycles * logUniform(wl.arrivals)
+	r.engine.ScheduleCall(int64(wl.nextArrivalF), poissonArrivalCB, wl)
 }
 
 // poissonArrivalCB handles one Poisson arrival and draws the next.

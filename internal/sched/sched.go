@@ -215,13 +215,18 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.ArrivalCycles != nil {
 		if o.ArrivalRateHz > 0 {
-			return o, errors.New("sched: ArrivalCycles and ArrivalRateHz are mutually exclusive")
+			return o, &ArrivalError{Workload: -1, Index: -1,
+				Reason: "ArrivalCycles and ArrivalRateHz are mutually exclusive"}
 		}
 		for i, schedule := range o.ArrivalCycles {
 			prev := int64(0)
 			for k, at := range schedule {
 				if at < prev {
-					return o, fmt.Errorf("sched: ArrivalCycles[%d][%d] = %d is negative or decreasing", i, k, at)
+					reason := "decreases"
+					if at < 0 {
+						reason = "is negative"
+					}
+					return o, &ArrivalError{Workload: i, Index: k, Value: at, Reason: reason}
 				}
 				prev = at
 			}

@@ -128,7 +128,7 @@ func NewChecker(sc *Scenario, scheme string, reversed bool) *Checker {
 	c := &Checker{
 		scheme:    scheme,
 		pmt:       scheme == SchemePMT,
-		closed:    sc.ArrivalRateHz == 0,
+		closed:    sc.ArrivalRateHz == 0 && sc.ArrivalCycles == nil,
 		cfg:       cfg,
 		lat:       sc.DispatchLatency,
 		pmtLo:     cfg.PMTContextSwitchCycles(0),

@@ -65,7 +65,8 @@ func serialExpectation(sc *Scenario, scheme string, wi int) ([]trace.Op, int64) 
 // preemptions, makespan = requests x the independently computed per-request
 // time, and every traced stall/run span matching the operator it executes.
 func checkSerial(sc *Scenario, out *Outcome) []string {
-	if len(sc.Workloads) != 1 || sc.ArrivalRateHz > 0 || out.Result == nil || out.Err != nil {
+	if len(sc.Workloads) != 1 || sc.ArrivalRateHz > 0 || sc.ArrivalCycles != nil ||
+		out.Result == nil || out.Err != nil {
 		return nil
 	}
 	var problems []string

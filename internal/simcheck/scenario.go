@@ -72,6 +72,11 @@ type Scenario struct {
 	VMemReloadFactor float64        `json:"vmem_reload_factor,omitempty"`
 	DispatchLatency  int64          `json:"dispatch_latency,omitempty"`
 	ArrivalRateHz    float64        `json:"arrival_rate_hz,omitempty"`
+	// ArrivalCycles is the explicit open-loop schedule per workload (the
+	// workload-engine arm): absolute nondecreasing arrival cycles, one
+	// schedule per workload. Mutually exclusive with ArrivalRateHz; V10
+	// schemes only (PMT has no arrival hook).
+	ArrivalCycles [][]int64 `json:"arrival_cycles,omitempty"`
 	PMTQuantum       int64          `json:"pmt_quantum,omitempty"`
 	PMTPrema         bool           `json:"pmt_prema,omitempty"`
 	PMTWeighted      bool           `json:"pmt_weighted,omitempty"`
@@ -154,8 +159,26 @@ func (s *Scenario) Validate() error {
 		default:
 			return fmt.Errorf("simcheck: unknown scheme %q", sch)
 		}
-		if sch == SchemePMT && s.ArrivalRateHz > 0 {
+		if sch == SchemePMT && (s.ArrivalRateHz > 0 || s.ArrivalCycles != nil) {
 			return fmt.Errorf("simcheck: PMT does not support open-loop arrivals")
+		}
+	}
+	if s.ArrivalCycles != nil {
+		if s.ArrivalRateHz > 0 {
+			return fmt.Errorf("simcheck: ArrivalCycles and ArrivalRateHz are mutually exclusive")
+		}
+		if len(s.ArrivalCycles) != len(s.Workloads) {
+			return fmt.Errorf("simcheck: %d arrival schedules for %d workloads",
+				len(s.ArrivalCycles), len(s.Workloads))
+		}
+		for i, schedule := range s.ArrivalCycles {
+			prev := int64(0)
+			for k, at := range schedule {
+				if at < prev {
+					return fmt.Errorf("simcheck: arrival_cycles[%d][%d] = %d is negative or decreasing", i, k, at)
+				}
+				prev = at
+			}
 		}
 	}
 	if s.Clones {

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Trace is a replayable arrival trace: one interarrival-gap stream per
+// recorded tenant. The file format is line-oriented and diff-friendly:
+//
+//	# comment lines start with '#'
+//	<stream-name> <gap> <gap> <gap> ...
+//
+// where each gap is an interarrival time in seconds (floats; scientific
+// notation allowed). The invitro production loader distributes per-minute
+// interarrival vectors per function; this is the same shape with the
+// bookkeeping stripped.
+type Trace struct {
+	Streams []Stream
+}
+
+// Stream is one recorded tenant's interarrival gaps in seconds.
+type Stream struct {
+	Name    string
+	GapsSec []float64
+}
+
+// MeanRateHz is the stream's native arrival rate.
+func (s Stream) MeanRateHz() float64 {
+	var sum float64
+	for _, g := range s.GapsSec {
+		sum += g
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return float64(len(s.GapsSec)) / sum
+}
+
+// Normalized returns a copy of the stream rescaled so its mean rate is
+// exactly targetHz (the invitro rate-normalization idiom); targetHz <= 0
+// returns the stream unchanged.
+func (s Stream) Normalized(targetHz float64) Stream {
+	native := s.MeanRateHz()
+	if targetHz <= 0 || native == 0 {
+		return s
+	}
+	scale := native / targetHz
+	out := Stream{Name: s.Name, GapsSec: make([]float64, len(s.GapsSec))}
+	for i, g := range s.GapsSec {
+		out.GapsSec[i] = g * scale
+	}
+	return out
+}
+
+// Spec converts the stream into a Replay spec at the given target rate
+// (0 keeps the native rate).
+func (s Stream) Spec(rateHz float64) Spec {
+	return Spec{Process: Replay, RateHz: rateHz, GapsSec: s.GapsSec}
+}
+
+// Specs builds one Replay spec per tenant, cycling through the trace's
+// streams when tenants outnumber them. rateHz > 0 normalizes every tenant
+// to that rate; 0 keeps each stream's native rate.
+func (t *Trace) Specs(tenants int, rateHz float64) []Spec {
+	out := make([]Spec, tenants)
+	for i := range out {
+		out[i] = t.Streams[i%len(t.Streams)].Spec(rateHz)
+	}
+	return out
+}
+
+// ParseTrace reads the trace format from r.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("workload: trace line %d: want <name> <gap>..., got %q", line, text)
+		}
+		st := Stream{Name: fields[0], GapsSec: make([]float64, 0, len(fields)-1)}
+		for _, f := range fields[1:] {
+			g, err := strconv.ParseFloat(f, 64)
+			if err != nil || g < 0 || isBad(g) {
+				return nil, fmt.Errorf("workload: trace line %d: bad gap %q", line, f)
+			}
+			st.GapsSec = append(st.GapsSec, g)
+		}
+		if st.MeanRateHz() == 0 {
+			return nil, fmt.Errorf("workload: trace line %d: stream %q has no realizable rate", line, st.Name)
+		}
+		tr.Streams = append(tr.Streams, st)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(tr.Streams) == 0 {
+		return nil, fmt.Errorf("workload: trace has no streams")
+	}
+	return tr, nil
+}
+
+// ReadTraceFile loads a trace file from disk.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := ParseTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// Write emits the trace in the format ParseTrace reads. Gaps round-trip
+// exactly (shortest float64 representation).
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# v10 workload trace: <stream-name> <interarrival gaps in seconds>...")
+	for _, st := range t.Streams {
+		if _, err := bw.WriteString(st.Name); err != nil {
+			return err
+		}
+		for _, g := range st.GapsSec {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatFloat(g, 'g', -1, 64))
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the trace to disk.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadTraceFixture(t *testing.T) {
+	tr, err := ReadTraceFile(filepath.Join("testdata", "sample.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Streams) != 3 {
+		t.Fatalf("fixture has %d streams, want 3", len(tr.Streams))
+	}
+	names := []string{"steady", "bursty", "sparse"}
+	for i, st := range tr.Streams {
+		if st.Name != names[i] {
+			t.Errorf("stream %d = %q, want %q", i, st.Name, names[i])
+		}
+		if st.MeanRateHz() <= 0 {
+			t.Errorf("stream %q has no rate", st.Name)
+		}
+	}
+	// steady is ~2 ms gaps → ~500 Hz native.
+	if r := tr.Streams[0].MeanRateHz(); math.Abs(r-500) > 5 {
+		t.Errorf("steady native rate %v Hz, want ≈500", r)
+	}
+}
+
+// TestTraceRoundTrip is the satellite-3 oracle: parse → normalize → emit →
+// parse reproduces the normalized trace exactly.
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := ReadTraceFile(filepath.Join("testdata", "sample.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := &Trace{}
+	for _, st := range tr.Streams {
+		ns := st.Normalized(750)
+		if r := ns.MeanRateHz(); math.Abs(r-750)/750 > 1e-12 {
+			t.Fatalf("stream %q normalized rate %v, want 750", st.Name, r)
+		}
+		norm.Streams = append(norm.Streams, ns)
+	}
+	var buf bytes.Buffer
+	if err := norm.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parsing emitted trace: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(norm.Streams, back.Streams) {
+		t.Fatal("trace did not round-trip bit-exactly")
+	}
+}
+
+func TestTraceSpecsCycleStreams(t *testing.T) {
+	tr, err := ReadTraceFile(filepath.Join("testdata", "sample.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := tr.Specs(7, 300)
+	if len(specs) != 7 {
+		t.Fatalf("got %d specs, want 7", len(specs))
+	}
+	for i, sp := range specs {
+		if sp.Process != Replay || sp.RateHz != 300 {
+			t.Fatalf("spec %d = %+v, want Replay at 300 Hz", i, sp)
+		}
+		want := tr.Streams[i%3].GapsSec
+		if !reflect.DeepEqual(sp.GapsSec, want) {
+			t.Fatalf("spec %d gaps don't cycle through streams", i)
+		}
+	}
+}
+
+func TestNormalizedZeroKeepsNative(t *testing.T) {
+	st := Stream{Name: "s", GapsSec: []float64{0.5, 0.25}}
+	if got := st.Normalized(0); !reflect.DeepEqual(got, st) {
+		t.Fatalf("Normalized(0) = %+v, want unchanged", got)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for _, tc := range []struct{ name, in, want string }{
+		{"empty", "# only comments\n", "no streams"},
+		{"short line", "lonely\n", "want <name> <gap>"},
+		{"bad gap", "s 0.1 nope\n", "bad gap"},
+		{"negative gap", "s 0.1 -0.2\n", "bad gap"},
+		{"zero rate", "s 0 0 0\n", "no realizable rate"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTrace(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ParseTrace err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReplayTenantsRotate(t *testing.T) {
+	// Tenants replaying the same stream must not arrive in lockstep: the
+	// seeded rotation starts each tenant at a different gap offset.
+	e := testEngine()
+	spec := Spec{Process: Replay, GapsSec: []float64{0.0004, 0.0009, 0.0023, 0.0011, 0.0031, 0.0016}}
+	a, err := e.Schedule(0, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Schedule(1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if equalInt64s(a, b) {
+		t.Fatal("two tenants replay in lockstep")
+	}
+}

@@ -1,0 +1,183 @@
+// Package workload is the production-trace traffic engine: it turns
+// per-tenant traffic descriptions (Spec) into deterministic absolute
+// arrival-cycle schedules consumable by sched.Options.ArrivalCycles and the
+// fleet dispatcher (fleet.Options.Arrivals).
+//
+// Real NPU multi-tenancy is not stationary Poisson load: production traces
+// are bursty, phase-structured, and heavy-tailed, and V10-style collocation
+// wins are largest exactly when tenant demand is anti-correlated. The engine
+// therefore supports, beyond Poisson:
+//
+//   - trace replay from files with rate normalization and per-tenant
+//     interarrival scaling (the vhive/invitro production-loader idiom),
+//   - diurnal rate curves (inhomogeneous Poisson via thinning),
+//   - MMPP flash-crowd bursts (2-state Markov-modulated Poisson),
+//   - tenant churn (arrival/departure windows mid-run),
+//   - heavy-tailed request-size mixes (mix.go), and
+//   - the LLM prefill/decode flagship scenario (llm.go): prefill tenants are
+//     SA/compute-bound, decode tenants are VU/memory-bound — the ideal V10
+//     collocation pair (FlexNPU).
+//
+// Everything is seeded and bit-deterministic: tenant t's schedule depends
+// only on (Engine.Seed, t, its Spec), never on the fleet size, core count,
+// or GOMAXPROCS.
+package workload
+
+import "fmt"
+
+// Process identifies an arrival process.
+type Process string
+
+// Supported arrival processes.
+const (
+	// Poisson is a stationary open-loop Poisson stream at RateHz.
+	Poisson Process = "poisson"
+	// Uniform spaces arrivals exactly 1/RateHz apart (invitro's uniform mode).
+	Uniform Process = "uniform"
+	// Diurnal is an inhomogeneous Poisson process whose rate follows a raised
+	// cosine with mean RateHz: rate(t) = RateHz·(1 + Amplitude·cos(2π·(t −
+	// PhaseFrac·Period)/Period)). The peak sits at PhaseFrac·Period, so two
+	// classes half a period apart have anti-correlated demand.
+	Diurnal Process = "diurnal"
+	// MMPP is a 2-state Markov-modulated Poisson process: a baseline state
+	// and a flash-crowd burst state running BurstFactor× hotter, occupied a
+	// BurstFrac fraction of the time, with mean dwell BurstDwellCycles. The
+	// long-run mean rate is exactly RateHz.
+	MMPP Process = "mmpp"
+	// Replay replays recorded interarrival gaps (GapsSec), cycling through
+	// them until the horizon; RateHz > 0 rescales the gaps so the realized
+	// mean rate matches (invitro's rate normalization), RateHz == 0 keeps
+	// the trace's native rate.
+	Replay Process = "trace"
+)
+
+// ParseProcess maps a CLI spelling to a Process.
+func ParseProcess(s string) (Process, error) {
+	switch Process(s) {
+	case Poisson, Uniform, Diurnal, MMPP, Replay:
+		return Process(s), nil
+	}
+	return "", fmt.Errorf("workload: unknown arrival process %q (want poisson, uniform, diurnal, mmpp, or trace)", s)
+}
+
+// Spec describes one tenant's traffic over a run horizon. The zero value of
+// every optional knob picks a documented default; only Process and (except
+// for Replay) RateHz are required.
+type Spec struct {
+	Process Process `json:"process"`
+
+	// RateHz is the tenant's mean arrival rate. Every process realizes this
+	// long-run mean exactly (in expectation), so sweeps stay comparable
+	// across processes. Replay treats 0 as "keep the trace's native rate".
+	RateHz float64 `json:"rate_hz,omitempty"`
+
+	// Amplitude is the Diurnal peak deviation from the mean, in [0, 1]
+	// (default 0.8: the peak rate is 1.8× the mean, the trough 0.2×).
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// PeriodCycles is the Diurnal period (default: the engine horizon, one
+	// "day" per run).
+	PeriodCycles int64 `json:"period_cycles,omitempty"`
+	// PhaseFrac offsets the Diurnal peak as a fraction of the period.
+	PhaseFrac float64 `json:"phase_frac,omitempty"`
+
+	// BurstFactor is the MMPP burst-state rate multiplier (default 8).
+	BurstFactor float64 `json:"burst_factor,omitempty"`
+	// BurstFrac is the long-run fraction of time spent bursting, in (0, 1)
+	// (default 0.1).
+	BurstFrac float64 `json:"burst_frac,omitempty"`
+	// BurstDwellCycles is the mean burst dwell time (default horizon/64).
+	BurstDwellCycles int64 `json:"burst_dwell_cycles,omitempty"`
+
+	// StartCycle / EndCycle bound the tenant's active window (tenant churn):
+	// arrivals are generated only in [StartCycle, min(EndCycle, horizon)).
+	// EndCycle 0 means the full horizon. Phase-structured processes keep
+	// absolute time, so a late joiner still peaks with its class.
+	StartCycle int64 `json:"start_cycle,omitempty"`
+	EndCycle   int64 `json:"end_cycle,omitempty"`
+
+	// GapsSec is Replay's recorded interarrival-gap stream in seconds
+	// (see Trace / ParseTrace for the file format).
+	GapsSec []float64 `json:"gaps_sec,omitempty"`
+}
+
+// withDefaults fills the documented defaults against a horizon.
+func (s Spec) withDefaults(horizon int64) Spec {
+	if s.Process == Diurnal && s.Amplitude == 0 {
+		s.Amplitude = 0.8
+	}
+	if s.PeriodCycles == 0 {
+		s.PeriodCycles = horizon
+	}
+	if s.BurstFactor == 0 {
+		s.BurstFactor = 8
+	}
+	if s.BurstFrac == 0 {
+		s.BurstFrac = 0.1
+	}
+	if s.BurstDwellCycles == 0 {
+		s.BurstDwellCycles = horizon / 64
+		if s.BurstDwellCycles < 1 {
+			s.BurstDwellCycles = 1
+		}
+	}
+	if s.EndCycle == 0 || s.EndCycle > horizon {
+		s.EndCycle = horizon
+	}
+	return s
+}
+
+// validate rejects malformed specs (after withDefaults).
+func (s Spec) validate() error {
+	switch s.Process {
+	case Poisson, Uniform, Diurnal, MMPP, Replay:
+	default:
+		return fmt.Errorf("workload: unknown arrival process %q", s.Process)
+	}
+	if s.Process == Replay {
+		if len(s.GapsSec) == 0 {
+			return fmt.Errorf("workload: trace replay needs a non-empty gap stream")
+		}
+		var sum float64
+		for i, g := range s.GapsSec {
+			if g < 0 || isBad(g) {
+				return fmt.Errorf("workload: trace gap %d is %v (want finite, >= 0)", i, g)
+			}
+			sum += g
+		}
+		if sum <= 0 {
+			return fmt.Errorf("workload: trace gaps sum to zero — no realizable rate")
+		}
+		if s.RateHz < 0 || isBad(s.RateHz) {
+			return fmt.Errorf("workload: invalid trace rate %v", s.RateHz)
+		}
+	} else if !(s.RateHz > 0) || isBad(s.RateHz) {
+		return fmt.Errorf("workload: %s process needs RateHz > 0, got %v", s.Process, s.RateHz)
+	}
+	if s.Amplitude < 0 || s.Amplitude > 1 {
+		return fmt.Errorf("workload: diurnal amplitude %v outside [0, 1]", s.Amplitude)
+	}
+	if s.PhaseFrac < 0 || s.PhaseFrac >= 1 {
+		return fmt.Errorf("workload: phase fraction %v outside [0, 1)", s.PhaseFrac)
+	}
+	if s.BurstFactor < 1 {
+		return fmt.Errorf("workload: burst factor %v < 1", s.BurstFactor)
+	}
+	if s.BurstFrac <= 0 || s.BurstFrac >= 1 {
+		return fmt.Errorf("workload: burst fraction %v outside (0, 1)", s.BurstFrac)
+	}
+	if s.BurstDwellCycles < 1 {
+		return fmt.Errorf("workload: burst dwell %d < 1", s.BurstDwellCycles)
+	}
+	if s.PeriodCycles < 1 {
+		return fmt.Errorf("workload: diurnal period %d < 1", s.PeriodCycles)
+	}
+	if s.StartCycle < 0 {
+		return fmt.Errorf("workload: negative start cycle %d", s.StartCycle)
+	}
+	if s.EndCycle <= s.StartCycle {
+		return fmt.Errorf("workload: active window [%d, %d) is empty", s.StartCycle, s.EndCycle)
+	}
+	return nil
+}
+
+func isBad(f float64) bool { return f != f || f > 1e308 || f < -1e308 }

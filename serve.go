@@ -78,6 +78,12 @@ type FleetOptions struct {
 	// RateHz is each tenant's open-loop Poisson arrival rate (default 60).
 	RateHz float64
 
+	// Arrivals, when non-nil, replaces the dispatcher's internal Poisson draw
+	// with one explicit absolute arrival-cycle schedule per tenant (mutually
+	// exclusive with RateHz). Build schedules with a TrafficEngine — trace
+	// replay, diurnal, MMPP, or LLM prefill/decode mixes all reduce to this.
+	Arrivals [][]int64
+
 	// DurationCycles is the arrival window (default 50e6 cycles ≈ 71 ms at
 	// 700 MHz); cores then drain their admitted queues.
 	DurationCycles int64
@@ -158,6 +164,7 @@ func ServeFleet(tenants []*Workload, scheme Scheme, opt FleetOptions) (*FleetRes
 		Scheme:         scheme.String(),
 		Policy:         opt.Policy,
 		RateHz:         opt.RateHz,
+		Arrivals:       opt.Arrivals,
 		DurationCycles: opt.DurationCycles,
 		QueueLimit:     opt.QueueLimit,
 		NoSpill:        opt.NoSpill,
