@@ -11,6 +11,7 @@
 //	v10check -replay repro.json               # re-run a saved repro
 //	v10check -chaos 200                       # fleet chaos trials under fault injection
 //	v10check -workload 200                    # workload-engine arrival-schedule trials
+//	v10check -isolation 200                   # vNPU noisy-neighbor isolation trials
 //	v10check -v                               # per-trial progress
 package main
 
@@ -34,6 +35,7 @@ func main() {
 	replay := flag.String("replay", "", "re-check a saved repro instead of random trials")
 	chaos := flag.Int("chaos", 0, "run this many fleet chaos trials (fault injection) instead of scheme trials")
 	workloadTrials := flag.Int("workload", 0, "run this many workload-engine trials (explicit arrival schedules) instead of scheme trials")
+	isolation := flag.Int("isolation", 0, "run this many vNPU noisy-neighbor isolation trials instead of scheme trials")
 	minimizeBudget := flag.Int("minimize", 200, "max re-checks spent minimizing a failure (0 disables)")
 	par := flag.Int("parallel", 0, "trial worker count (0 = GOMAXPROCS, 1 = serial)")
 	verbose := flag.Bool("v", false, "log every trial")
@@ -41,6 +43,11 @@ func main() {
 
 	if *chaos > 0 {
 		runChaos(*chaos, *seed, *out, *par, *verbose)
+		return
+	}
+
+	if *isolation > 0 {
+		runIsolation(*isolation, *seed, *out, *par, *verbose)
 		return
 	}
 
@@ -129,6 +136,36 @@ func runChaos(trials int, seed uint64, out string, par int, verbose bool) {
 		os.Exit(1)
 	}
 	fmt.Printf("v10check: %d chaos trials from seed %d, zero violations\n", trials, seed)
+}
+
+// runIsolation is the vNPU spatial-partitioning gate: every seeded
+// noisy-neighbor trial — an HBM flood, vector-memory hog, or MMPP flash
+// crowd in the slice next to a well-behaved victim — must keep the victim's
+// p99 contained, conserve every slice's windowed HBM quota and vmem ceiling,
+// and replay bit-identically. The first violation writes the full scenario
+// as a JSON repro and exits 1.
+func runIsolation(trials int, seed uint64, out string, par int, verbose bool) {
+	v := sweep(trials, seed, par, verbose, "isolation trial", simcheck.RunIsolationTrial)
+	if v == nil {
+		fmt.Printf("v10check: %d isolation trials from seed %d, zero violations\n", trials, seed)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "isolation seed %d (%s aggressor) violated %d invariant(s)\n",
+		v.Scenario.Seed, v.Scenario.Aggressor, len(v.Problems))
+	for _, p := range v.Problems {
+		fmt.Fprintf(os.Stderr, "  - %s\n", p)
+	}
+	if out != "" {
+		j, err := json.MarshalIndent(v, "", "  ")
+		if err == nil {
+			err = os.WriteFile(out, append(j, '\n'), 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "isolation repro written to %s\n", out)
+	}
+	os.Exit(1)
 }
 
 // report minimizes the failure, writes the repro and optional Chrome trace,

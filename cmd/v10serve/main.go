@@ -12,6 +12,7 @@
 //	v10serve -cores 4 -tenants 8 -workload mmpp -rate 120
 //	v10serve -cores 4 -tenants 8 -trace-file prod.trace
 //	v10serve -cores 4 -mix prefill-decode -tenants 8
+//	v10serve -cores 2 -tenants 6 -vnpu "big=0.75:0.75:0.75;small=0.25"
 package main
 
 import (
@@ -48,6 +49,7 @@ type summary struct {
 	ShedRate       float64                `json:"shed_rate"`
 	Placement      [][]int                `json:"placement"`
 	Workload       *workloadSummary       `json:"workload,omitempty"`
+	VNPU           *vnpuSummary           `json:"vnpu,omitempty"`
 	Faults         *faultSummary          `json:"faults,omitempty"`
 	CoreResults    []coreSummary          `json:"core_results"`
 	Tenants        []v10.FleetTenantStats `json:"tenants"`
@@ -77,12 +79,35 @@ type faultSummary struct {
 	GoodputRetained   float64 `json:"goodput_retained"`
 }
 
+// vnpuSummary is the spatial-partitioning block of the stdout JSON, present
+// only when -vnpu carves cores into slices. Slices folds each slice index's
+// enforcement counters across all cores; per-core detail lives in the
+// core_results rows.
+type vnpuSummary struct {
+	Spec         string               `json:"spec"`
+	WindowCycles int64                `json:"window_cycles"`
+	Slices       []vnpuSliceAggregate `json:"slices"`
+}
+
+// vnpuSliceAggregate is one slice index's accounting summed over cores.
+type vnpuSliceAggregate struct {
+	Slice          int     `json:"slice"`
+	Name           string  `json:"name,omitempty"`
+	Residents      int     `json:"residents"`
+	HBMBytes       float64 `json:"hbm_bytes"`
+	ThrottleStalls int64   `json:"throttle_stalls"`
+	ThrottleCycles int64   `json:"throttle_cycles"`
+	CapHits        int64   `json:"cap_hits"`
+}
+
 type coreSummary struct {
-	Core          int     `json:"core"`
-	Tenants       []int   `json:"tenants"`
-	Admitted      int     `json:"admitted"`
-	TotalCycles   int64   `json:"total_cycles"`
-	AggregateUtil float64 `json:"aggregate_util"`
+	Core          int                  `json:"core"`
+	Tenants       []int                `json:"tenants"`
+	Admitted      int                  `json:"admitted"`
+	TotalCycles   int64                `json:"total_cycles"`
+	AggregateUtil float64              `json:"aggregate_util"`
+	SliceOf       []int                `json:"slice_of,omitempty"`
+	Slices        []v10.VNPUSliceStats `json:"slices,omitempty"`
 }
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -115,6 +140,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultSeed := fs.Uint64("fault-seed", 0, "seed for -mttf fault generation (0 = use -seed)")
 	heartbeat := fs.Int64("heartbeat", 0, "dispatcher liveness heartbeat period in cycles (0 = default 1e6)")
 	noMigration := fs.Bool("no-migration", false, "shed failure victims instead of migrating (resilience baseline)")
+	vnpuSpec := fs.String("vnpu", "",
+		`carve each core into spatial vNPU slices, e.g. "big=0.75:0.75:0.75;small=0.25" ([name=]compute:vmem:hbm or [name=]fraction)`)
+	vnpuWindow := fs.Int64("vnpu-window", 0, "HBM token-bucket refill window for vNPU slices in cycles (0 = default)")
 	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same result)")
 	parallelism := fs.Int("parallel", 0, "worker goroutines for per-core simulations (0 = GOMAXPROCS)")
 	traceOut := fs.String("trace", "", "write a Perfetto timeline of the whole fleet (one section per core) to this file")
@@ -131,6 +159,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scheme, ok := schemeByName(*schemeFlag)
 	if !ok {
 		fmt.Fprintf(stderr, "unknown scheme %q (want PMT, V10-Base, V10-Fair, or V10-Full)\n", *schemeFlag)
+		return 2
+	}
+	var vnpuTemplates []v10.VNPUTemplate
+	if *vnpuSpec != "" {
+		vnpuTemplates, err = v10.ParseVNPUTemplates(*vnpuSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if scheme == v10.SchemePMT {
+			fmt.Fprintln(stderr, "-vnpu requires a V10 scheme (PMT has no slice-aware scheduler)")
+			return 2
+		}
+	} else if *vnpuWindow != 0 {
+		fmt.Fprintln(stderr, "-vnpu-window requires -vnpu")
+		return 2
+	}
+	if *vnpuWindow < 0 {
+		fmt.Fprintf(stderr, "invalid -vnpu-window %d\n", *vnpuWindow)
 		return 2
 	}
 	cfg := v10.DefaultConfig()
@@ -237,6 +284,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Faults:          schedule,
 		HeartbeatCycles: *heartbeat,
 		NoMigration:     *noMigration,
+
+		VNPUTemplates:     vnpuTemplates,
+		SliceWindowCycles: *vnpuWindow,
 	}
 	if arrivals != nil {
 		opt.RateHz = 0 // mutually exclusive with explicit schedules
@@ -299,6 +349,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	doc := buildSummary(res, len(ws), *rate)
+	if vnpuTemplates != nil {
+		doc.VNPU = buildVNPUSummary(res, *vnpuSpec, vnpuTemplates)
+		for _, sa := range doc.VNPU.Slices {
+			fmt.Fprintf(stderr, "vnpu slice %d%s: residents %d  hbm %.0f B  throttled %d (%d cycles)  cap hits %d\n",
+				sa.Slice, sliceTag(sa.Name), sa.Residents, sa.HBMBytes,
+				sa.ThrottleStalls, sa.ThrottleCycles, sa.CapHits)
+		}
+	}
 	if arrivals != nil {
 		wsum := &workloadSummary{Process: proc, Mix: *mixFlag, TraceFile: *traceFile}
 		for _, a := range arrivals {
@@ -415,7 +473,10 @@ func buildSummary(res *v10.FleetResult, tenantCount int, rateHz float64) summary
 		Tenants:        res.Tenants,
 	}
 	for _, cr := range res.Cores {
-		cs := coreSummary{Core: cr.Core, Tenants: cr.Tenants, Admitted: cr.Admitted}
+		cs := coreSummary{
+			Core: cr.Core, Tenants: cr.Tenants, Admitted: cr.Admitted,
+			SliceOf: cr.SliceOf, Slices: cr.Slices,
+		}
 		if cr.Run != nil {
 			cs.TotalCycles = cr.Run.TotalCycles
 			cs.AggregateUtil = cr.Run.AggregateUtil()
@@ -423,6 +484,38 @@ func buildSummary(res *v10.FleetResult, tenantCount int, rateHz float64) summary
 		s.CoreResults = append(s.CoreResults, cs)
 	}
 	return s
+}
+
+// buildVNPUSummary folds per-core slice stats into one aggregate row per
+// slice index. WindowCycles is read off the first materialized partition so
+// the summary reports the applied default, not the raw flag value.
+func buildVNPUSummary(res *v10.FleetResult, spec string, templates []v10.VNPUTemplate) *vnpuSummary {
+	vs := &vnpuSummary{Spec: spec, Slices: make([]vnpuSliceAggregate, len(templates))}
+	for i, t := range templates {
+		vs.Slices[i] = vnpuSliceAggregate{Slice: i, Name: t.Name}
+	}
+	for _, cr := range res.Cores {
+		for _, ss := range cr.Slices {
+			if vs.WindowCycles == 0 {
+				vs.WindowCycles = ss.WindowCycles
+			}
+			sa := &vs.Slices[ss.Slice]
+			sa.Residents += ss.Residents
+			sa.HBMBytes += ss.HBMBytes
+			sa.ThrottleStalls += ss.ThrottleStalls
+			sa.ThrottleCycles += ss.ThrottleCycles
+			sa.CapHits += ss.CapHits
+		}
+	}
+	return vs
+}
+
+// sliceTag renders a slice name as a digest suffix, empty for unnamed slices.
+func sliceTag(name string) string {
+	if name == "" {
+		return ""
+	}
+	return " (" + name + ")"
 }
 
 // printDigest writes the human-readable fleet digest.

@@ -364,6 +364,137 @@ func TestRunWorkloadDeterministic(t *testing.T) {
 	}
 }
 
+// vnpuArgs is the spatial-partitioning fixture: the quick fleet with each
+// core carved into a big and a small vNPU slice.
+func vnpuArgs(extra ...string) []string {
+	return append(quickArgs("-vnpu", "big=0.75:0.75:0.75;small=0.25"), extra...)
+}
+
+func TestRunVNPUEmitsGoldenSummary(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(vnpuArgs(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "summary.vnpu.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("vnpu summary drifted from golden (run with -update if intended):\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "vnpu slice 0 (big)") {
+		t.Error("vnpu digest missing from stderr")
+	}
+}
+
+func TestRunVNPUSummarySchema(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(vnpuArgs("-vnpu-window", "131072"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	var doc struct {
+		VNPU        map[string]any `json:"vnpu"`
+		CoreResults []struct {
+			Tenants []int            `json:"tenants"`
+			SliceOf []int            `json:"slice_of"`
+			Slices  []map[string]any `json:"slices"`
+		} `json:"core_results"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.VNPU == nil {
+		t.Fatal("vnpu run emitted no vnpu block")
+	}
+	for _, key := range []string{"spec", "window_cycles", "slices"} {
+		if _, ok := doc.VNPU[key]; !ok {
+			t.Errorf("vnpu block is missing %q", key)
+		}
+	}
+	if w, _ := doc.VNPU["window_cycles"].(float64); w != 131072 {
+		t.Errorf("window_cycles = %v, want the -vnpu-window value", doc.VNPU["window_cycles"])
+	}
+	if rows, _ := doc.VNPU["slices"].([]any); len(rows) != 2 {
+		t.Fatalf("vnpu slices = %v, want 2 aggregate rows", doc.VNPU["slices"])
+	}
+	for _, cr := range doc.CoreResults {
+		if len(cr.Tenants) == 0 {
+			continue
+		}
+		if len(cr.SliceOf) != len(cr.Tenants) {
+			t.Errorf("core row slice_of = %v for tenants %v", cr.SliceOf, cr.Tenants)
+		}
+		if len(cr.Slices) != 2 {
+			t.Fatalf("core row has %d slice stats, want 2", len(cr.Slices))
+		}
+		for _, ss := range cr.Slices {
+			for _, key := range []string{
+				"slice", "name", "compute_fraction", "vmem_bytes", "vmem_used_bytes",
+				"window_cycles", "hbm_quota_bytes_per_window", "hbm_bytes",
+				"peak_window_bytes", "throttle_stalls", "throttle_cycles",
+				"cap_hits", "residents",
+			} {
+				if _, ok := ss[key]; !ok {
+					t.Errorf("slice stats row is missing %q", key)
+				}
+			}
+		}
+	}
+}
+
+func TestRunVNPUFreeSummaryOmitsVNPUBlock(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(quickArgs(), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	for _, key := range []string{`"vnpu"`, `"slice_of"`, `"slices"`} {
+		if strings.Contains(stdout.String(), key) {
+			t.Fatalf("unsliced summary contains %s", key)
+		}
+	}
+}
+
+func TestRunRejectsBadVNPUFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"malformed spec":       quickArgs("-vnpu", "0.5:0.5"),
+		"bad fraction":         quickArgs("-vnpu", "big=huge"),
+		"zero-width slice":     quickArgs("-vnpu", "0:0.5:0.5;0.5"),
+		"fraction above one":   quickArgs("-vnpu", "1.5"),
+		"overcommitted vmem":   quickArgs("-vnpu", "0.5:0.8:0.5;0.5:0.8:0.5"),
+		"overcommitted hbm":    quickArgs("-vnpu", "0.5:0.5:0.9;0.5:0.5:0.9"),
+		"empty spec":           quickArgs("-vnpu", " ; "),
+		"pmt with slices":      quickArgs("-vnpu", "0.5;0.5", "-scheme", "PMT"),
+		"window without vnpu":  quickArgs("-vnpu-window", "4096"),
+		"negative vnpu window": quickArgs("-vnpu", "0.5;0.5", "-vnpu-window", "-1"),
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", name, code, stderr.String())
+		}
+	}
+}
+
+// TestRunVNPUDeterministic pins slice placement and enforcement accounting:
+// the same seed must reproduce the whole sliced summary byte for byte.
+func TestRunVNPUDeterministic(t *testing.T) {
+	var a, b, stderr bytes.Buffer
+	if code := run(vnpuArgs(), &a, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	if code := run(vnpuArgs(), &b, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different vnpu-mode summaries")
+	}
+}
+
 func TestBuildTenantsCyclesMix(t *testing.T) {
 	cfg := v10.DefaultConfig()
 	ws, err := buildTenants("BERT, NCF", 3, 2, cfg)

@@ -17,6 +17,15 @@ import (
 	"v10/internal/sim"
 )
 
+// Limiter gates transfer admission onto the channel: Charge debits bytes at
+// cycle now and returns the cycle the transfer may start moving — now when
+// budget remains, later when the transfer must stall behind a refill. A
+// vnpu.Slice's windowed token bucket satisfies it, which is how a slice's HBM
+// quota throttles (never sheds) the DMA traffic behind it.
+type Limiter interface {
+	Charge(now int64, bytes float64) int64
+}
+
 // Engine is a single DMA channel moving bytes at a fixed rate.
 type Engine struct {
 	engine    *sim.Engine
@@ -26,6 +35,11 @@ type Engine struct {
 	bytesMoved int64
 	busyCycles int64
 	pending    int
+
+	// Limiter, when non-nil, is charged for every transfer at enqueue time;
+	// the transfer is admitted to the FIFO only at the cycle the limiter
+	// grants (throttle delay shows up in the EvDMA queue-wait argument).
+	Limiter Limiter
 
 	// Tracer, when non-nil, receives an EvDMA span per completed transfer
 	// (Dur = transfer cycles, Arg0 = bytes, Arg1 = FIFO queueing delay).
@@ -61,6 +75,11 @@ func (d *Engine) Enqueue(bytes int64, onDone func(now sim.Cycle)) error {
 		cycles = 1
 	}
 	start := d.engine.Now()
+	if d.Limiter != nil && bytes > 0 {
+		if grant := d.Limiter.Charge(start, float64(bytes)); grant > start {
+			start = grant
+		}
+	}
 	if d.busyUntil > start {
 		start = d.busyUntil
 	}

@@ -341,7 +341,7 @@ func (d *dispatcher) detect(now int64, c int) {
 		Arg0: float64(c), Arg1: float64(fail),
 	})
 
-	job := buildJob(d.tenants, d.homes[c], d.out.admitted[c])
+	job := buildJob(d.tenants, d.homes[c], d.out.admitted[c], d.o)
 	d.out.deadJobs[c] = job
 	if len(job.roster) == 0 {
 		return

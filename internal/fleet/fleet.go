@@ -24,6 +24,7 @@ import (
 	"v10/internal/obs"
 	"v10/internal/sched"
 	"v10/internal/trace"
+	"v10/internal/vnpu"
 )
 
 // Policy selects how the dispatcher places tenants on cores.
@@ -167,6 +168,30 @@ type Options struct {
 	// compares against.
 	NoMigration bool
 
+	// VNPUTemplates, when non-empty, spatially partitions every core into
+	// the same set of vNPU slices: placement chooses a (core, slice) pair
+	// per tenant, V10's temporal interleaving runs independently within each
+	// slice, and every CoreResult carries the slices' enforcement statistics
+	// (throttle stalls, cap hits, charged HBM bytes). Requires a V10 scheme —
+	// the PMT baseline has no slice support.
+	VNPUTemplates []vnpu.Template
+
+	// SliceWindowCycles overrides the slices' HBM token-bucket refill window
+	// (0 = vnpu.DefaultWindowCycles). Ignored without VNPUTemplates.
+	SliceWindowCycles int64
+
+	// PinnedPlacement, when non-nil, bypasses the placement policy: entry c
+	// lists the tenants homed on core c (one entry per core, every tenant
+	// exactly once). The isolation oracles pin victim/aggressor layouts
+	// through it.
+	PinnedPlacement [][]int
+
+	// PinnedSlices, when non-nil, fixes every tenant's slice index on
+	// whatever core it lands on (len(tenants) entries, each a valid
+	// VNPUTemplates index). Without it, tenants pack onto the least-populated
+	// slice with vector-memory room. Requires VNPUTemplates.
+	PinnedSlices []int
+
 	// compat overrides the advisor compatibility oracle used by placement
 	// and the spill/migration gates (tests inject stubs); withDefaults wires
 	// it to Model.GroupFit when a model is present.
@@ -282,7 +307,48 @@ func (o Options) withDefaults() (Options, error) {
 	if !o.Faults.Empty() && o.Scheme == "PMT" {
 		return o, fmt.Errorf("fleet: fault injection requires a V10 scheme; PMT has no checkpoint/halt support")
 	}
+	if len(o.VNPUTemplates) > 0 {
+		if o.Scheme == "PMT" {
+			return o, fmt.Errorf("fleet: vNPU slicing requires a V10 scheme; PMT has no slice support")
+		}
+		if err := vnpu.Validate(o.VNPUTemplates); err != nil {
+			return o, err
+		}
+		if o.SliceWindowCycles < 0 {
+			return o, fmt.Errorf("fleet: negative SliceWindowCycles %d", o.SliceWindowCycles)
+		}
+	} else if o.PinnedSlices != nil {
+		return o, fmt.Errorf("fleet: PinnedSlices requires VNPUTemplates")
+	}
 	return o, nil
+}
+
+// pinnedHomes validates a PinnedPlacement against the tenant and core counts
+// and returns it as the placement.
+func pinnedHomes(pinned [][]int, tenants, cores int) ([][]int, error) {
+	if len(pinned) != cores {
+		return nil, fmt.Errorf("fleet: PinnedPlacement has %d cores, options say %d", len(pinned), cores)
+	}
+	seen := make([]bool, tenants)
+	homes := make([][]int, cores)
+	for c, group := range pinned {
+		for _, t := range group {
+			if t < 0 || t >= tenants {
+				return nil, fmt.Errorf("fleet: PinnedPlacement core %d names tenant %d of %d", c, t, tenants)
+			}
+			if seen[t] {
+				return nil, fmt.Errorf("fleet: PinnedPlacement places tenant %d twice", t)
+			}
+			seen[t] = true
+			homes[c] = append(homes[c], t)
+		}
+	}
+	for t, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("fleet: PinnedPlacement omits tenant %d", t)
+		}
+	}
+	return homes, nil
 }
 
 // tenantProfile is the dispatcher's cheap per-tenant characterization: the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"v10/internal/baseline"
 	"v10/internal/faults"
@@ -13,6 +14,7 @@ import (
 	"v10/internal/parallel"
 	"v10/internal/sched"
 	"v10/internal/trace"
+	"v10/internal/vnpu"
 )
 
 // TenantStats is one tenant's serving outcome across the whole fleet.
@@ -52,6 +54,11 @@ type CoreResult struct {
 	Core     int   `json:"core"`
 	Tenants  []int `json:"tenants"` // roster: residents first, spill sources after
 	Admitted int   `json:"admitted"`
+	// SliceOf maps roster entries to their vNPU slice indices and Slices
+	// carries the core's per-slice enforcement statistics; both are nil
+	// unless the fleet ran spatially partitioned (Options.VNPUTemplates).
+	SliceOf []int             `json:"slice_of,omitempty"`
+	Slices  []vnpu.SliceStats `json:"slices,omitempty"`
 	// Run holds the core's cycle-accurate measurements; nil when the core
 	// had no tenants. Cycle-capped cores keep their partial measurements
 	// (the joined error identifies them).
@@ -89,6 +96,7 @@ type coreJob struct {
 	ws        []*trace.Workload
 	schedules [][]int64 // admitted arrival cycles per roster entry
 	targets   []int     // admitted request counts per roster entry
+	sliceOf   []int     // vNPU slice per roster entry (nil: unsliced)
 	admitted  int
 }
 
@@ -123,8 +131,26 @@ func Run(tenants []*trace.Workload, o Options) (*Result, error) {
 				len(o.Arrivals), len(tenants))}
 	}
 
+	if o.PinnedSlices != nil && len(o.PinnedSlices) != len(tenants) {
+		return nil, fmt.Errorf("fleet: PinnedSlices has %d entries for %d tenants",
+			len(o.PinnedSlices), len(tenants))
+	}
+	for t, s := range o.PinnedSlices {
+		if s < 0 || s >= len(o.VNPUTemplates) {
+			return nil, fmt.Errorf("fleet: tenant %d pinned to slice %d of %d", t, s, len(o.VNPUTemplates))
+		}
+	}
+
 	profs := profileTenants(tenants, o)
-	homes := place(profs, o, mathx.NewRNG(o.Seed+0x9f1e))
+	var homes [][]int
+	if o.PinnedPlacement != nil {
+		homes, err = pinnedHomes(o.PinnedPlacement, len(tenants), o.Cores)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		homes = place(profs, o, mathx.NewRNG(o.Seed+0x9f1e))
+	}
 	arrivals := genArrivals(len(tenants), o)
 	disp := dispatch(tenants, arrivals, homes, profs, o)
 	jobs := buildJobs(tenants, homes, disp, o)
@@ -140,11 +166,14 @@ func Run(tenants []*trace.Workload, o Options) (*Result, error) {
 	}
 	replayObservability(disp, outs, o)
 	for c, job := range jobs {
-		cr := CoreResult{Core: c, Tenants: job.roster, Admitted: job.admitted}
+		cr := CoreResult{Core: c, Tenants: job.roster, Admitted: job.admitted, SliceOf: job.sliceOf}
 		if outs[c] != nil {
 			cr.Run = outs[c].res
-			if cr.Run != nil && cr.Run.TotalCycles > res.TotalCycles {
-				res.TotalCycles = cr.Run.TotalCycles
+			if cr.Run != nil {
+				cr.Slices = cr.Run.Slices
+				if cr.Run.TotalCycles > res.TotalCycles {
+					res.TotalCycles = cr.Run.TotalCycles
+				}
 			}
 		}
 		res.Cores = append(res.Cores, cr)
@@ -178,14 +207,14 @@ func buildJobs(tenants []*trace.Workload, homes [][]int, disp *dispatchOutcome, 
 			jobs[c] = job
 			continue
 		}
-		jobs[c] = buildJob(tenants, homes[c], disp.admitted[c])
+		jobs[c] = buildJob(tenants, homes[c], disp.admitted[c], o)
 	}
 	return jobs
 }
 
 // buildJob assembles one core's simulation input from its home residents and
 // the per-tenant admitted schedules.
-func buildJob(tenants []*trace.Workload, home []int, admitted [][]int64) coreJob {
+func buildJob(tenants []*trace.Workload, home []int, admitted [][]int64, o Options) coreJob {
 	var job coreJob
 	resident := make([]bool, len(tenants))
 	for _, t := range home {
@@ -207,7 +236,46 @@ func buildJob(tenants []*trace.Workload, home []int, admitted [][]int64) coreJob
 		job.targets = append(job.targets, len(sc))
 		job.admitted += len(sc)
 	}
+	if len(o.VNPUTemplates) > 0 {
+		job.sliceOf = assignSlices(job.roster, o)
+	}
 	return job
+}
+
+// assignSlices maps each roster entry to a vNPU slice on its core. Pinned
+// tenants (Options.PinnedSlices) go where they are told; the rest pack onto
+// the least-populated slice that still has vector-memory room for another
+// resident partition (capacity = slice vmem / MinPartitionBytes), falling
+// back to least-populated when every slice is full — sched.Run then fails
+// with the typed cap error instead of silently overcommitting.
+func assignSlices(roster []int, o Options) []int {
+	n := len(o.VNPUTemplates)
+	counts := make([]int, n)
+	caps := make([]int, n)
+	for s, t := range o.VNPUTemplates {
+		caps[s] = int(int64(t.VMem*float64(o.Config.VMemBytes)) / vnpu.MinPartitionBytes)
+	}
+	out := make([]int, len(roster))
+	for i, t := range roster {
+		s := -1
+		if o.PinnedSlices != nil {
+			s = o.PinnedSlices[t]
+		} else {
+			for pass := 0; pass < 2 && s < 0; pass++ {
+				for c := 0; c < n; c++ {
+					if pass == 0 && counts[c] >= caps[c] {
+						continue
+					}
+					if s < 0 || counts[c] < counts[s] {
+						s = c
+					}
+				}
+			}
+		}
+		counts[s]++
+		out[i] = s
+	}
+	return out
 }
 
 // perturb is one core's slice of the fault schedule, mapped to the
@@ -286,6 +354,17 @@ func runCore(c int, job coreJob, o Options, p perturb) *coreOut {
 	default: // V10-Full
 		so.Policy = sched.Priority
 		so.Preemption = true
+	}
+	if len(o.VNPUTemplates) > 0 {
+		// A fresh partition per core: slices hold live token-bucket and vmem
+		// state that must never alias across cores (or reruns).
+		part, perr := vnpu.NewPartition(o.Config, o.VNPUTemplates, o.SliceWindowCycles)
+		if perr != nil {
+			out.err = perr
+			return out
+		}
+		so.Slices = part.Slices
+		so.SliceOf = job.sliceOf
 	}
 	if o.Counters != nil {
 		out.counters = obs.NewCounterLog()
@@ -380,6 +459,7 @@ func tenantStats(tenants []*trace.Workload, profs []tenantProfile, homes [][]int
 	}
 	durationSec := float64(o.DurationCycles) / o.Config.FrequencyHz
 	stats := make([]TenantStats, len(tenants))
+	var lats []float64 // reused across tenants: one allocation, one sort each
 	for t := range tenants {
 		ts := &stats[t]
 		ts.Tenant = t
@@ -399,7 +479,7 @@ func tenantStats(tenants []*trace.Workload, profs []tenantProfile, homes [][]int
 		ts.CheckpointCycles = int64At(disp.ckptCycles, t)
 		ts.SLOCycles = o.SLOFactor * profs[t].estCycles
 
-		var lats []float64
+		lats = lats[:0]
 		for c, job := range jobs {
 			if outs[c] == nil || outs[c].res == nil {
 				continue
@@ -433,9 +513,13 @@ func tenantStats(tenants []*trace.Workload, profs []tenantProfile, homes [][]int
 				ts.Good++
 			}
 		}
+		// Mean before the in-place sort (float addition is order-sensitive),
+		// then both tail quantiles off one sorted buffer instead of a full
+		// copy+sort per quantile.
 		ts.AvgLatencyCycles = mathx.Mean(lats)
-		ts.P95LatencyCycles = mathx.Percentile(lats, 95)
-		ts.P99LatencyCycles = mathx.Percentile(lats, 99)
+		sort.Float64s(lats)
+		ts.P95LatencyCycles = mathx.PercentileSorted(lats, 95)
+		ts.P99LatencyCycles = mathx.PercentileSorted(lats, 99)
 		ts.GoodputHz = mathx.Ratio(float64(ts.Good), durationSec, 0)
 		ts.ShedRate = mathx.Ratio(float64(ts.Shed), float64(ts.Offered), 0)
 	}

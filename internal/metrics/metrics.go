@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"v10/internal/mathx"
+	"v10/internal/vnpu"
 )
 
 // BusyTracker integrates wall-clock time spent with each combination of
@@ -149,6 +150,10 @@ type RunResult struct {
 	HBMCapacity float64 // bytes per cycle
 	Busy        *BusyTracker
 	Workloads   []*WorkloadStats
+	// Slices holds per-vNPU-slice enforcement statistics (throttle stalls,
+	// cap hits, charged HBM bytes) when the run was spatially partitioned;
+	// nil otherwise.
+	Slices []vnpu.SliceStats
 }
 
 // SAUtil returns temporal SA utilization: useful SA cycles over available SA

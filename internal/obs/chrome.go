@@ -18,6 +18,7 @@ const (
 	tidWorkload = 201 // workload w → tidWorkload + w
 	tidDMA      = 401
 	tidFaults   = 421 // fault-injection and resilience events
+	tidVNPU     = 441 // vNPU slice s → tidVNPU + s (throttle/cap enforcement)
 )
 
 // ChromeWriter is a Tracer that renders the event stream as Chrome
@@ -104,6 +105,12 @@ func (e sectionedEvent) tid() (tid int, name string) {
 	case EvCoreFail, EvCoreStall, EvHBMDegrade, EvVMemPressure,
 		EvHeartbeatMiss, EvCoreDead, EvMigrate, EvMigrateShed:
 		return tidFaults, "faults"
+	case EvSliceHBM, EvSliceThrottle, EvSliceCapHit:
+		s := int(e.Arg0)
+		if s < 0 {
+			s = 0
+		}
+		return tidVNPU + s, fmt.Sprintf("vnpu slice %d", s)
 	}
 	switch e.FUKind {
 	case FUSA:
@@ -173,6 +180,11 @@ func (w *ChromeWriter) render(e sectionedEvent) chromeEvent {
 		args["latency_debt_cycles"] = e.Arg1
 	case EvMigrateShed:
 		args["attempts"] = e.Arg0
+	case EvSliceHBM:
+		args["slice"] = e.Arg0
+		args["bytes"] = e.Arg1
+	case EvSliceThrottle, EvSliceCapHit:
+		args["slice"] = e.Arg0
 	}
 
 	if e.Dur > 0 {

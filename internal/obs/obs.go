@@ -91,6 +91,19 @@ const (
 	// migration retry budget (instant, workload-attributed). Arg0 is the
 	// attempts spent.
 	EvMigrateShed
+	// EvSliceHBM marks one vNPU slice's token bucket granting an operator's
+	// HBM charge (instant, workload-attributed, emitted at the grant cycle).
+	// Arg0 is the slice index, Arg1 the charged bytes. The isolation
+	// conservation oracle replays these against the slice's window quota.
+	EvSliceHBM
+	// EvSliceThrottle spans the stall a slice's exhausted HBM window imposed
+	// on an operator's DMA (Dur cycles, workload-attributed, emitted at the
+	// grant cycle like every span). Arg0 is the slice index.
+	EvSliceThrottle
+	// EvSliceCapHit marks a vector-memory reservation rejected by a slice's
+	// hard ceiling (instant, workload-attributed; the scheduler skips the
+	// preemption instead of spilling past the cap). Arg0 is the slice index.
+	EvSliceCapHit
 
 	numEventTypes // keep last
 )
@@ -134,6 +147,12 @@ func (t EventType) String() string {
 		return "migrate"
 	case EvMigrateShed:
 		return "migrate-shed"
+	case EvSliceHBM:
+		return "slice-hbm"
+	case EvSliceThrottle:
+		return "slice-throttle"
+	case EvSliceCapHit:
+		return "slice-cap-hit"
 	}
 	return fmt.Sprintf("EventType(%d)", uint8(t))
 }

@@ -11,6 +11,7 @@ import (
 	"v10/internal/obs"
 	"v10/internal/sim"
 	"v10/internal/trace"
+	"v10/internal/vnpu"
 )
 
 type phase int
@@ -49,6 +50,17 @@ type wlState struct {
 	nextArrivalF float64 // open-loop Poisson: absolute next-arrival time, pre-floor
 	lastDispatch uint64
 	ctxBytes     int64 // preemption context currently held in vmem
+	vmemPart     int64 // this workload's vector-memory partition
+	ctxCap       int64 // cap on held preemption context (vmemPart / 4)
+
+	// vNPU slice membership (sliceIdx 0, slice nil, sliceFrac 1 when the
+	// core is unsliced). chargeFrom/chargeBytes carry the pending HBM
+	// token-bucket charge to its grant-time trace event.
+	sliceIdx    int
+	slice       *vnpu.Slice
+	sliceFrac   float64
+	chargeFrom  int64
+	chargeBytes float64
 
 	task *sim.FluidTask
 	fu   *fuState
@@ -75,11 +87,14 @@ func (w *wlState) arpAt(now int64) float64 {
 	return float64(w.activeAt(now)) / float64(now) / w.priority
 }
 
-// fuState is one functional unit (SA or VU).
+// fuState is one functional unit (SA or VU). Under spatial partitioning
+// every slice owns a full virtual FU set running at its compute fraction;
+// slice is 0 on an unsliced core.
 type fuState struct {
 	r         *runner // back-pointer for payload-style event callbacks
 	kind      int     // 0 = SA, 1 = VU
 	idx       int
+	slice     int
 	running   *wlState
 	switching bool
 	saving    *wlState // workload whose context this FU is checkpointing
@@ -95,8 +110,6 @@ type runner struct {
 	fus      [2][]*fuState // by kind
 	wls      []*wlState
 	dispatch uint64
-	ctxCap   int64 // per-workload cap on held preemption context
-	vmemPart int64 // per-workload vector-memory partition
 
 	// sliceTimer is the §3.2 preemption timer as a parkable grid timer: armed
 	// only while some workload sits ready without an FU, so contention-free
@@ -159,25 +172,46 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 	if opts.DisableFluidHBM {
 		capacity = 1e18 // effectively infinite: no contention
 	}
-	r := &runner{
-		opts:     opts,
-		engine:   engine,
-		pool:     sim.NewFluidPool(engine, capacity),
-		busy:     metrics.NewBusyTracker(cfg.NumSA, cfg.NumVU),
-		tr:       opts.Tracer,
-		vmemPart: cfg.VMemBytes / int64(len(workloads)),
+	// Spatial partitioning: each slice owns a virtual FU set and divides its
+	// own vector memory among its residents. nSlices stays 1 — and every
+	// code path below is bit-identical to the unsliced scheduler — when no
+	// slices are configured.
+	nSlices := 1
+	var sliceResidents []int
+	if len(opts.Slices) > 0 {
+		nSlices = len(opts.Slices)
+		if len(opts.SliceOf) != len(workloads) {
+			return nil, fmt.Errorf("sched: SliceOf has %d entries for %d workloads",
+				len(opts.SliceOf), len(workloads))
+		}
+		sliceResidents = make([]int, nSlices)
+		for i, s := range opts.SliceOf {
+			if s < 0 || s >= nSlices {
+				return nil, fmt.Errorf("sched: workload %d assigned to slice %d of %d", i, s, nSlices)
+			}
+			sliceResidents[s]++
+		}
 	}
-	r.ctxCap = r.vmemPart / 4
+	r := &runner{
+		opts:   opts,
+		engine: engine,
+		pool:   sim.NewFluidPool(engine, capacity),
+		busy:   metrics.NewBusyTracker(cfg.NumSA*nSlices, cfg.NumVU*nSlices),
+		tr:     opts.Tracer,
+	}
+	vmemPart := cfg.VMemBytes / int64(len(workloads))
 	r.hbmBase = capacity
 	r.pool.Tracer = opts.Tracer
 	// Fault hooks are scheduled before the workloads so a halt tied with an
 	// arrival (or any other same-cycle event) fires first and wins the tie.
 	r.scheduleFaults()
-	for i := 0; i < cfg.NumSA; i++ {
-		r.fus[0] = append(r.fus[0], &fuState{r: r, kind: 0, idx: i})
-	}
-	for i := 0; i < cfg.NumVU; i++ {
-		r.fus[1] = append(r.fus[1], &fuState{r: r, kind: 1, idx: i})
+	for s := 0; s < nSlices; s++ {
+		for i := 0; i < cfg.NumSA; i++ {
+			r.fus[0] = append(r.fus[0], &fuState{r: r, kind: 0, idx: s*cfg.NumSA + i, slice: s})
+		}
+		for i := 0; i < cfg.NumVU; i++ {
+			r.fus[1] = append(r.fus[1], &fuState{r: r, kind: 1, idx: s*cfg.NumVU + i, slice: s})
+		}
 	}
 	if opts.ArrivalCycles != nil && len(opts.ArrivalCycles) != len(workloads) {
 		return nil, &ArrivalError{Workload: -1, Index: -1,
@@ -189,12 +223,34 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 	}
 	for i, w := range workloads {
 		wl := &wlState{
-			r:        r,
-			idx:      i,
-			w:        w,
-			priority: w.Priority,
-			stats:    &metrics.WorkloadStats{Name: w.Name},
+			r:         r,
+			idx:       i,
+			w:         w,
+			priority:  w.Priority,
+			stats:     &metrics.WorkloadStats{Name: w.Name},
+			vmemPart:  vmemPart,
+			sliceFrac: 1,
 		}
+		if len(opts.Slices) > 0 {
+			sl := opts.Slices[opts.SliceOf[i]]
+			part := sl.VMemBytes / int64(sliceResidents[sl.Index])
+			if part < vnpu.MinPartitionBytes {
+				return nil, fmt.Errorf("sched: %w", &vnpu.CapError{
+					Slice: sl.Index, Name: sl.Name,
+					Requested: vnpu.MinPartitionBytes * int64(sliceResidents[sl.Index]),
+					Used:      0, Cap: sl.VMemBytes,
+				})
+			}
+			if err := sl.AllocVMem(part); err != nil {
+				return nil, fmt.Errorf("sched: %w", err)
+			}
+			sl.SetResidents(sliceResidents[sl.Index])
+			wl.sliceIdx = sl.Index
+			wl.slice = sl
+			wl.sliceFrac = sl.ComputeFraction
+			wl.vmemPart = part
+		}
+		wl.ctxCap = wl.vmemPart / 4
 		r.wls = append(r.wls, wl)
 		switch {
 		case opts.ArrivalCycles != nil:
@@ -245,6 +301,9 @@ func Run(workloads []*trace.Workload, opts Options) (*metrics.RunResult, error) 
 			wl.stats.InFlightOpKind = kindOf(wl.currentOp().Kind) + 1
 		}
 		result.Workloads = append(result.Workloads, wl.stats)
+	}
+	for _, sl := range opts.Slices {
+		result.Slices = append(result.Slices, sl.Stats())
 	}
 	if !finished {
 		// Return the partial measurements alongside the error: a timed-out
@@ -347,6 +406,9 @@ func (r *runner) resumeTask(wl *wlState) {
 	demand := 0.0
 	if op.Compute > 0 {
 		demand = op.HBMBytes / float64(op.Compute)
+		if wl.sliceFrac != 1 {
+			demand *= wl.sliceFrac // per stretched cycle, so bytes are conserved
+		}
 	}
 	wl.task = r.pool.StartTask(wl.remaining, demand, opDoneCB, wl)
 }
@@ -410,7 +472,7 @@ func (r *runner) startRequest(wl *wlState, now, arrivedAt int64) {
 	if owned {
 		wl.gscratch = g
 	}
-	part := r.vmemPart
+	part := wl.vmemPart
 	if f := r.vmemFactorAt(now); f < 1 {
 		part = int64(float64(part) * f)
 		if part < 1 {
@@ -486,12 +548,50 @@ func logUniform(rng *mathx.RNG) float64 {
 
 // beginOp starts the stall (DMA/infeed fetch) phase of the current op. The
 // ready event carries the workload as its payload — no per-operator closure.
+// On a sliced core the operator's HBM bytes are first charged against the
+// slice's token bucket: an exhausted window *stalls* the DMA (the stall phase
+// starts at the grant cycle), never sheds it.
 func (r *runner) beginOp(wl *wlState, now int64) {
 	op := wl.currentOp()
 	wl.remaining = float64(op.Compute)
+	if wl.sliceFrac != 1 {
+		// The slice owns only a fraction of the PE columns: compute stretches
+		// by 1/fraction (fluid demand shrinks by the same factor below, so
+		// total traffic is conserved).
+		wl.remaining /= wl.sliceFrac
+	}
 	wl.preempted = false
 	wl.phase = phaseStalling
-	r.engine.ScheduleCall(now+op.Stall, opReadyCB, wl)
+	start := now
+	if sl := wl.slice; sl != nil && op.HBMBytes > 0 {
+		start = sl.Charge(now, op.HBMBytes)
+		wl.chargeFrom = now
+		wl.chargeBytes = op.HBMBytes
+		// The grant-time charge event is scheduled whether or not a tracer is
+		// attached so traced and untraced sliced runs sequence identically.
+		r.engine.ScheduleCall(start, sliceChargeCB, wl)
+	}
+	r.engine.ScheduleCall(start+op.Stall, opReadyCB, wl)
+}
+
+// sliceChargeCB fires at the cycle a slice's token bucket granted the pending
+// HBM charge: it emits the throttle span (when the grant was delayed) and the
+// charge event the conservation oracle replays.
+func sliceChargeCB(payload any, now int64) {
+	wl := payload.(*wlState)
+	r := wl.r
+	if r.tr == nil {
+		return
+	}
+	if d := now - wl.chargeFrom; d > 0 {
+		e := r.event(obs.EvSliceThrottle, now, d, wl, nil)
+		e.Arg0 = float64(wl.sliceIdx)
+		r.tr.Emit(e)
+	}
+	e := r.event(obs.EvSliceHBM, now, 0, wl, nil)
+	e.Arg0 = float64(wl.sliceIdx)
+	e.Arg1 = wl.chargeBytes
+	r.tr.Emit(e)
 }
 
 // opReadyCB is beginOp's pooled-event trampoline.
@@ -512,7 +612,7 @@ func (r *runner) opReady(wl *wlState, now int64) {
 		return // already bound to an FU (mid context-restore)
 	}
 	kind := kindOf(wl.currentOp().Kind)
-	if fu := r.idleFU(kind); fu != nil {
+	if fu := r.idleFU(kind, wl.sliceIdx); fu != nil {
 		r.dispatchTo(fu, wl, now)
 		return
 	}
@@ -522,10 +622,10 @@ func (r *runner) opReady(wl *wlState, now int64) {
 	}
 }
 
-// idleFU returns an idle, non-switching FU of the kind, or nil.
-func (r *runner) idleFU(kind int) *fuState {
+// idleFU returns an idle, non-switching FU of the kind in the slice, or nil.
+func (r *runner) idleFU(kind, slice int) *fuState {
 	for _, fu := range r.fus[kind] {
-		if fu.running == nil && !fu.switching {
+		if fu.slice == slice && fu.running == nil && !fu.switching {
 			return fu
 		}
 	}
@@ -612,6 +712,9 @@ func (r *runner) startTask(fu *fuState, wl *wlState, now int64) {
 	demand := 0.0
 	if op.Compute > 0 {
 		demand = op.HBMBytes / float64(op.Compute)
+		if wl.sliceFrac != 1 {
+			demand *= wl.sliceFrac // per stretched cycle, so bytes are conserved
+		}
 	}
 	// Scale demand by the fraction of the op still to run so total traffic
 	// stays proportional after preemption.
@@ -624,7 +727,9 @@ func (r *runner) opComplete(fu *fuState, wl *wlState, now int64) {
 	r.setBusy(now, fu.kind, -1)
 	seg := now - wl.segStart
 	wl.activeCycles += seg
-	r.addBusyTo(wl, fu.kind, int64(wl.segWork*op.Eff()))
+	// sliceFrac converts stretched segment work back to physical-core useful
+	// cycles (exact no-op at fraction 1: x*1.0 == x in IEEE 754).
+	r.addBusyTo(wl, fu.kind, int64(wl.segWork*op.Eff()*wl.sliceFrac))
 	wl.stats.HBMBytes += wl.task.BytesMoved()
 	wl.stats.ProgressOps++
 	wl.stats.ProgressOpCycles += float64(op.Compute)
@@ -681,20 +786,22 @@ func (r *runner) fillFU(fu *fuState, now int64) {
 	if fu.running != nil || fu.switching {
 		return
 	}
-	if wl := r.pickNext(fu.kind, now); wl != nil {
+	if wl := r.pickNext(fu.kind, fu.slice, now); wl != nil {
 		r.dispatchTo(fu, wl, now)
 	}
 }
 
 // pickNext implements the scheduling policies over ready candidates for the
-// FU kind: Algorithm 1 (Priority) or Round-Robin.
-func (r *runner) pickNext(kind int, now int64) *wlState {
+// FU kind within one slice: Algorithm 1 (Priority) or Round-Robin. V10's
+// temporal interleaving thus runs independently inside every vNPU slice.
+func (r *runner) pickNext(kind, slice int, now int64) *wlState {
 	var best *wlState
 	var bestKey float64
 	for _, wl := range r.wls {
 		// wl.fu guards the context-restore window: the workload is already
 		// bound to an FU (switching in) but not yet phaseRunning.
-		if wl.phase != phaseReady || wl.fu != nil || kindOf(wl.currentOp().Kind) != kind {
+		if wl.phase != phaseReady || wl.fu != nil || wl.sliceIdx != slice ||
+			kindOf(wl.currentOp().Kind) != kind {
 			continue
 		}
 		var key float64
@@ -744,7 +851,7 @@ func (r *runner) sliceCheck(now int64) {
 			if running == nil || fu.switching {
 				continue
 			}
-			cand := r.pickNext(kind, now)
+			cand := r.pickNext(kind, fu.slice, now)
 			if cand == nil {
 				continue
 			}
@@ -759,14 +866,14 @@ func (r *runner) sliceCheck(now int64) {
 // preempt stops the operator running on fu, saving its context (§3.3). The
 // FU pays the save cost, then the policy refills it.
 func (r *runner) preempt(fu *fuState, wl *wlState, now int64) {
-	if !r.reserveCtx(wl, fu.kind) {
+	if !r.reserveCtx(wl, fu.kind, now) {
 		return // no vmem left for another context: skip this preemption
 	}
 	wl.remaining = r.pool.Preempt(wl.task)
 	r.setBusy(now, fu.kind, -1)
 	seg := now - wl.segStart
 	wl.activeCycles += seg
-	r.addBusyTo(wl, fu.kind, int64((wl.segWork-wl.remaining)*wl.currentOp().Eff()))
+	r.addBusyTo(wl, fu.kind, int64((wl.segWork-wl.remaining)*wl.currentOp().Eff()*wl.sliceFrac))
 	wl.stats.HBMBytes += wl.task.BytesMoved()
 	wl.stats.Preemptions++
 	wl.task = nil
@@ -829,15 +936,26 @@ func (r *runner) restoreCycles(kind int) int64 {
 }
 
 // reserveCtx accounts vector-memory space for a preemption context. SA
-// contexts are 96 KB (§3.3); VU contexts are a few KB and always fit.
-func (r *runner) reserveCtx(wl *wlState, kind int) bool {
+// contexts are 96 KB (§3.3); VU contexts are a few KB and always fit. On a
+// sliced core the budget comes out of the slice's vmem ceiling, and a
+// rejection is recorded as a cap hit (the scheduler skips the preemption
+// instead of spilling past the slice boundary).
+func (r *runner) reserveCtx(wl *wlState, kind int, now int64) bool {
 	var bytes int64
 	if kind == 0 {
 		bytes = r.opts.Config.SAContextBytes()
 	} else {
 		bytes = int64(r.opts.Config.VURegFileBits) * int64(r.opts.Config.VULanes) / 8
 	}
-	if wl.ctxBytes+bytes > r.ctxCap {
+	if wl.ctxBytes+bytes > wl.ctxCap {
+		if sl := wl.slice; sl != nil {
+			sl.NoteCapHit()
+			if r.tr != nil {
+				e := r.event(obs.EvSliceCapHit, now, 0, wl, nil)
+				e.Arg0 = float64(wl.sliceIdx)
+				r.tr.Emit(e)
+			}
+		}
 		return false
 	}
 	wl.ctxBytes += bytes

@@ -18,6 +18,7 @@ import (
 	"v10/internal/npu"
 	"v10/internal/obs"
 	"v10/internal/trace"
+	"v10/internal/vnpu"
 )
 
 // Policy selects how the operator scheduler picks the next workload when
@@ -138,6 +139,23 @@ type Options struct {
 	// tiling and extra reload traffic, §3.6).
 	VMemWindows []Window
 
+	// Slices, when non-empty, spatially partitions the core into vNPU
+	// slices (see internal/vnpu): each slice owns a virtual set of the
+	// core's functional units running at its compute fraction, workloads
+	// draw their vector-memory partitions and preemption-context budgets
+	// from their slice's hard cap instead of the whole core, and every
+	// operator's HBM bytes are charged against the slice's windowed token
+	// bucket at DMA admission — an exhausted window stalls the transfer to
+	// the next refill rather than shedding it. Scheduling (Algorithm 1,
+	// preemption) interleaves only the workloads *within* a slice. Slices
+	// carry live bucket state, so callers pass a fresh vnpu.Partition's
+	// slices per run.
+	Slices []*vnpu.Slice
+
+	// SliceOf maps each workload to its slice index (required with Slices,
+	// one entry per workload; invalid otherwise).
+	SliceOf []int
+
 	// Scheme overrides the result label; empty derives it from the options.
 	Scheme string
 
@@ -237,6 +255,17 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.HaltAtCycle < 0 {
 		return o, errors.New("sched: negative HaltAtCycle")
+	}
+	if len(o.Slices) == 0 && o.SliceOf != nil {
+		return o, errors.New("sched: SliceOf set without Slices")
+	}
+	for i, s := range o.Slices {
+		if s == nil {
+			return o, fmt.Errorf("sched: Slices[%d] is nil", i)
+		}
+		if !(s.ComputeFraction > 0 && s.ComputeFraction <= 1) {
+			return o, fmt.Errorf("sched: Slices[%d] has compute fraction %v", i, s.ComputeFraction)
+		}
 	}
 	if err := validateWindows("stall", o.StallWindows, false); err != nil {
 		return o, err

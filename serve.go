@@ -5,6 +5,7 @@ import (
 
 	"v10/internal/faults"
 	"v10/internal/fleet"
+	"v10/internal/vnpu"
 )
 
 // Fleet serving (see internal/fleet): a front-end dispatcher routes open-loop
@@ -15,6 +16,32 @@ import (
 
 // FleetPolicy selects how the fleet dispatcher places tenants on cores.
 type FleetPolicy = fleet.Policy
+
+// VNPUTemplate declares one spatial vNPU slice as fractions of a core's
+// systolic arrays and vector units (Compute), vector memory (VMem), and HBM
+// bandwidth (HBM). See internal/vnpu.
+type VNPUTemplate = vnpu.Template
+
+// VNPUSliceStats is one slice's enforcement accounting after a run: vmem
+// high-water mark against its ceiling, HBM bytes moved, token-bucket throttle
+// stalls, and vmem cap hits.
+type VNPUSliceStats = vnpu.SliceStats
+
+// ParseVNPUTemplates parses and validates a slice-template spec string like
+// "big=0.75:0.75:0.75;small=0.25" — slices separated by ';' or ',', each
+// either "[name=]compute:vmem:hbm" or a single "[name=]fraction" applied to
+// all three resources. Fractions must lie in (0,1] and may not sum past 1
+// for any resource.
+func ParseVNPUTemplates(spec string) ([]VNPUTemplate, error) {
+	ts, err := vnpu.ParseTemplates(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := vnpu.Validate(ts); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
 
 // Placement policies.
 const (
@@ -141,6 +168,18 @@ type FleetOptions struct {
 	// Counters, when non-nil, receives every core's counter snapshots under
 	// "core N" sections (V10 schemes only).
 	Counters *CounterLog
+
+	// VNPUTemplates, when non-empty, carves every core into spatial vNPU
+	// slices (hardware-assisted partitioning): each tenant is assigned a
+	// (core, slice) pair and V10 temporal interleaving runs within each
+	// slice. Slices enforce hard vector-memory ceilings and windowed
+	// token-bucket HBM-bandwidth throttling. Requires a V10 scheme.
+	VNPUTemplates []VNPUTemplate
+
+	// SliceWindowCycles is the HBM token-bucket refill window for vNPU
+	// slices (default vnpu.DefaultWindowCycles). Only meaningful with
+	// VNPUTemplates.
+	SliceWindowCycles int64
 }
 
 // ServeFleet simulates the tenants' open-loop request streams on a fleet of
@@ -174,6 +213,9 @@ func ServeFleet(tenants []*Workload, scheme Scheme, opt FleetOptions) (*FleetRes
 		Parallel:       opt.Parallel,
 		Tracer:         opt.Tracer,
 		Counters:       opt.Counters,
+
+		VNPUTemplates:     opt.VNPUTemplates,
+		SliceWindowCycles: opt.SliceWindowCycles,
 
 		Faults:                 opt.Faults,
 		HeartbeatCycles:        opt.HeartbeatCycles,
