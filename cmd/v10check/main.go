@@ -12,6 +12,7 @@
 //	v10check -chaos 200                       # fleet chaos trials under fault injection
 //	v10check -workload 200                    # workload-engine arrival-schedule trials
 //	v10check -isolation 200                   # vNPU noisy-neighbor isolation trials
+//	v10check -elastic 200                     # autoscaling control-plane trials
 //	v10check -v                               # per-trial progress
 package main
 
@@ -36,6 +37,7 @@ func main() {
 	chaos := flag.Int("chaos", 0, "run this many fleet chaos trials (fault injection) instead of scheme trials")
 	workloadTrials := flag.Int("workload", 0, "run this many workload-engine trials (explicit arrival schedules) instead of scheme trials")
 	isolation := flag.Int("isolation", 0, "run this many vNPU noisy-neighbor isolation trials instead of scheme trials")
+	elastic := flag.Int("elastic", 0, "run this many autoscaling control-plane trials instead of scheme trials")
 	minimizeBudget := flag.Int("minimize", 200, "max re-checks spent minimizing a failure (0 disables)")
 	par := flag.Int("parallel", 0, "trial worker count (0 = GOMAXPROCS, 1 = serial)")
 	verbose := flag.Bool("v", false, "log every trial")
@@ -48,6 +50,11 @@ func main() {
 
 	if *isolation > 0 {
 		runIsolation(*isolation, *seed, *out, *par, *verbose)
+		return
+	}
+
+	if *elastic > 0 {
+		runElastic(*elastic, *seed, *out, *par, *verbose)
 		return
 	}
 
@@ -164,6 +171,36 @@ func runIsolation(trials int, seed uint64, out string, par int, verbose bool) {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "isolation repro written to %s\n", out)
+	}
+	os.Exit(1)
+}
+
+// runElastic is the control-plane gate: every seeded autoscaling trial —
+// diurnal swings, MMPP flash crowds, and churning tenants over a fleet that
+// grows and shrinks — must conserve requests through core drains, take only
+// decisions a clean controller replays (cooldown, hysteresis, LIFO drain),
+// keep its typed scale events consistent with its metrics, report honest
+// admission estimates, and rerun bit-identically. The first violation writes
+// the full scenario as a JSON repro and exits 1.
+func runElastic(trials int, seed uint64, out string, par int, verbose bool) {
+	v := sweep(trials, seed, par, verbose, "elastic trial", simcheck.RunElasticTrial)
+	if v == nil {
+		fmt.Printf("v10check: %d elastic trials from seed %d, zero violations\n", trials, seed)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "elastic seed %d violated %d invariant(s)\n", v.Scenario.Seed, len(v.Problems))
+	for _, p := range v.Problems {
+		fmt.Fprintf(os.Stderr, "  - %s\n", p)
+	}
+	if out != "" {
+		j, err := json.MarshalIndent(v, "", "  ")
+		if err == nil {
+			err = os.WriteFile(out, append(j, '\n'), 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "elastic repro written to %s\n", out)
 	}
 	os.Exit(1)
 }

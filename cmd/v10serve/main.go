@@ -51,6 +51,7 @@ type summary struct {
 	Workload       *workloadSummary       `json:"workload,omitempty"`
 	VNPU           *vnpuSummary           `json:"vnpu,omitempty"`
 	Faults         *faultSummary          `json:"faults,omitempty"`
+	Elastic        *elasticSummary        `json:"elastic,omitempty"`
 	CoreResults    []coreSummary          `json:"core_results"`
 	Tenants        []v10.FleetTenantStats `json:"tenants"`
 }
@@ -77,6 +78,29 @@ type faultSummary struct {
 	MigrationCycles   int64   `json:"migration_cycles"`
 	BaselineGoodputHz float64 `json:"baseline_goodput_hz"`
 	GoodputRetained   float64 `json:"goodput_retained"`
+}
+
+// elasticSummary is the control-plane block of the stdout JSON, present only
+// when -autoscale turns the elastic control plane on.
+type elasticSummary struct {
+	MinCores              int                   `json:"min_cores"`
+	MaxCores              int                   `json:"max_cores"`
+	IntervalCycles        int64                 `json:"interval_cycles"`
+	CooldownCycles        int64                 `json:"cooldown_cycles"`
+	Admission             string                `json:"admission"`
+	Recluster             bool                  `json:"recluster"`
+	FinalActiveCores      int                   `json:"final_active_cores"`
+	PeakActiveCores       int                   `json:"peak_active_cores"`
+	ScaleUps              int                   `json:"scale_ups"`
+	ScaleDowns            int                   `json:"scale_downs"`
+	DrainVictims          int                   `json:"drain_victims"`
+	Readmitted            int                   `json:"readmitted"`
+	DrainShed             int                   `json:"drain_shed"`
+	Reclusters            int                   `json:"reclusters"`
+	ModelDrift            float64               `json:"model_drift,omitempty"`
+	ProvisionedCoreCycles int64                 `json:"provisioned_core_cycles"`
+	StaticCoreCycles      int64                 `json:"static_core_cycles"`
+	Decisions             []v10.ElasticDecision `json:"decisions"`
 }
 
 // vnpuSummary is the spatial-partitioning block of the stdout JSON, present
@@ -143,6 +167,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	vnpuSpec := fs.String("vnpu", "",
 		`carve each core into spatial vNPU slices, e.g. "big=0.75:0.75:0.75;small=0.25" ([name=]compute:vmem:hbm or [name=]fraction)`)
 	vnpuWindow := fs.Int64("vnpu-window", 0, "HBM token-bucket refill window for vNPU slices in cycles (0 = default)")
+	autoscale := fs.Int("autoscale", 0,
+		"elastic control plane: start with this many active cores and autoscale up to -cores (0 = static fleet)")
+	controlInterval := fs.Int64("control-interval", 0,
+		"autoscaling control-tick period in cycles (0 = duration/16; requires -autoscale)")
+	cooldown := fs.Int64("cooldown", 0,
+		"minimum cycle gap between scale decisions (0 = 2 control intervals; requires -autoscale)")
+	admission := fs.String("admission", "queue-bound",
+		"dispatcher admission policy: queue-bound or predictive (PREMA-style estimated slowdown)")
+	slowdown := fs.Float64("slowdown", 0,
+		"predictive admission's slowdown ceiling (wait+service)/service (0 = -slo-factor)")
+	recluster := fs.Bool("recluster", false,
+		"fold observed tenant features into the advisor's clustering online (requires -autoscale and -policy advisor)")
 	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same result)")
 	parallelism := fs.Int("parallel", 0, "worker goroutines for per-core simulations (0 = GOMAXPROCS)")
 	traceOut := fs.String("trace", "", "write a Perfetto timeline of the whole fleet (one section per core) to this file")
@@ -178,6 +214,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *vnpuWindow < 0 {
 		fmt.Fprintf(stderr, "invalid -vnpu-window %d\n", *vnpuWindow)
+		return 2
+	}
+	adm, err := v10.ParseFleetAdmission(*admission)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *slowdown != 0 && adm != v10.AdmitPredictive {
+		fmt.Fprintln(stderr, "-slowdown requires -admission predictive")
+		return 2
+	}
+	if *slowdown < 0 || (*slowdown != 0 && *slowdown < 1) {
+		fmt.Fprintf(stderr, "invalid -slowdown %v (must be >= 1)\n", *slowdown)
+		return 2
+	}
+	if *autoscale < 0 || *autoscale > *cores {
+		fmt.Fprintf(stderr, "invalid -autoscale %d (want 0..%d cores)\n", *autoscale, *cores)
+		return 2
+	}
+	if *autoscale == 0 {
+		switch {
+		case *controlInterval != 0:
+			fmt.Fprintln(stderr, "-control-interval requires -autoscale")
+			return 2
+		case *cooldown != 0:
+			fmt.Fprintln(stderr, "-cooldown requires -autoscale")
+			return 2
+		case *recluster:
+			fmt.Fprintln(stderr, "-recluster requires -autoscale")
+			return 2
+		}
+	} else {
+		if scheme == v10.SchemePMT {
+			fmt.Fprintln(stderr, "-autoscale requires a V10 scheme (PMT has no drain/checkpoint support)")
+			return 2
+		}
+		if *cooldown < 0 {
+			fmt.Fprintf(stderr, "invalid -cooldown %d\n", *cooldown)
+			return 2
+		}
+		if *controlInterval < 0 {
+			fmt.Fprintf(stderr, "invalid -control-interval %d\n", *controlInterval)
+			return 2
+		}
+		if vnpuTemplates != nil {
+			fmt.Fprintln(stderr, "-autoscale and -vnpu are mutually exclusive")
+			return 2
+		}
+	}
+	if *recluster && pol != v10.PlaceAdvisor {
+		fmt.Fprintln(stderr, "-recluster requires -policy advisor (there is no model to update)")
 		return 2
 	}
 	cfg := v10.DefaultConfig()
@@ -287,6 +374,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		VNPUTemplates:     vnpuTemplates,
 		SliceWindowCycles: *vnpuWindow,
+
+		Admission:     adm,
+		SlowdownLimit: *slowdown,
+		Recluster:     *recluster,
+	}
+	if *autoscale > 0 {
+		opt.Elastic = &v10.ElasticConfig{
+			MinCores:       *autoscale,
+			IntervalCycles: *controlInterval,
+			CooldownCycles: *cooldown,
+		}
+		if schedule != nil && !schedule.Empty() {
+			fmt.Fprintln(stderr, "-autoscale and fault injection are mutually exclusive")
+			return 2
+		}
 	}
 	if arrivals != nil {
 		opt.RateHz = 0 // mutually exclusive with explicit schedules
@@ -363,6 +465,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 			wsum.ScheduledArrivals += len(a)
 		}
 		doc.Workload = wsum
+	}
+	if res.Control != nil {
+		ctl := res.Control
+		es := &elasticSummary{
+			MinCores:              ctl.MinCores,
+			MaxCores:              ctl.MaxCores,
+			IntervalCycles:        ctl.IntervalCycles,
+			CooldownCycles:        ctl.Config.CooldownCycles,
+			Admission:             string(adm),
+			Recluster:             *recluster,
+			FinalActiveCores:      ctl.FinalActiveCores,
+			PeakActiveCores:       ctl.PeakActiveCores,
+			ScaleUps:              ctl.ScaleUps,
+			ScaleDowns:            ctl.ScaleDowns,
+			DrainVictims:          ctl.DrainVictims,
+			Readmitted:            ctl.Readmitted,
+			DrainShed:             ctl.DrainShed,
+			Reclusters:            ctl.Reclusters,
+			ModelDrift:            ctl.ModelDrift,
+			ProvisionedCoreCycles: res.ProvisionedCoreCycles,
+			StaticCoreCycles:      int64(ctl.MaxCores) * res.DurationCycles,
+			Decisions:             ctl.Decisions,
+		}
+		if es.Decisions == nil {
+			es.Decisions = []v10.ElasticDecision{}
+		}
+		doc.Elastic = es
+		fmt.Fprintf(stderr, "elastic: %d→%d active (peak %d), %d up / %d down, drained %d (readmitted %d, shed %d), provisioned %d of %d core-cycles\n",
+			es.MinCores, es.FinalActiveCores, es.PeakActiveCores, es.ScaleUps, es.ScaleDowns,
+			es.DrainVictims, es.Readmitted, es.DrainShed, es.ProvisionedCoreCycles, es.StaticCoreCycles)
 	}
 	if schedule != nil && !schedule.Empty() {
 		// A fault-free re-run of the same configuration anchors the resilience

@@ -167,12 +167,12 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		"fault on absent core":     quickArgs("-faults", "fail@7:1000"),
 		"faults and mttf together": quickArgs("-faults", "fail@0:1000", "-mttf", "1000000"),
 
-		"unknown workload":         quickArgs("-workload", "fractal"),
-		"trace without file":       quickArgs("-workload", "trace"),
-		"missing trace file":       quickArgs("-trace-file", filepath.Join("testdata", "no-such.trace")),
-		"unknown mix":              quickArgs("-mix", "everything"),
-		"mix with workload":        quickArgs("-mix", "prefill-decode", "-workload", "mmpp"),
-		"mix with trace file":      quickArgs("-mix", "prefill-decode", "-trace-file", filepath.Join("testdata", "sample.trace")),
+		"unknown workload":    quickArgs("-workload", "fractal"),
+		"trace without file":  quickArgs("-workload", "trace"),
+		"missing trace file":  quickArgs("-trace-file", filepath.Join("testdata", "no-such.trace")),
+		"unknown mix":         quickArgs("-mix", "everything"),
+		"mix with workload":   quickArgs("-mix", "prefill-decode", "-workload", "mmpp"),
+		"mix with trace file": quickArgs("-mix", "prefill-decode", "-trace-file", filepath.Join("testdata", "sample.trace")),
 	} {
 		var stdout, stderr bytes.Buffer
 		if code := run(args, &stdout, &stderr); code != 2 {

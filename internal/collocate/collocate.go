@@ -210,6 +210,11 @@ type Model struct {
 	perf       [][]float64 // cluster-pair mean collocation performance
 	perfKnown  [][]bool
 	globalMean float64
+
+	// Online re-clustering state (nil unless cloned via CloneForOnline).
+	onlineCounts []int   // per-centroid observation counts (training + online)
+	onlineDrift  float64 // cumulative centroid movement in PCA space
+	onlineObs    int     // observations folded in since the clone
 }
 
 // ClusterOnly fits the PCA + K-Means stage without pairwise profiling. The

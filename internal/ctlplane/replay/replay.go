@@ -1,0 +1,117 @@
+// Package replay is the counterfactual-replay harness for the elastic control
+// plane. The fleet simulator is bit-deterministic, so a control decision can
+// be evaluated exactly: re-run the identical seeded scenario with the
+// controller scripted to an alternative decision trace and diff the outcomes.
+// The delta between the two runs is the true causal effect of the decision —
+// no noise, no confidence intervals, no "all else roughly equal".
+package replay
+
+import (
+	"fmt"
+
+	"v10/internal/ctlplane"
+	"v10/internal/fleet"
+	"v10/internal/mathx"
+	"v10/internal/trace"
+)
+
+// Script extracts the decision trace of a finished elastic run in the form
+// Config.Script accepts: replaying it verbatim over the same scenario
+// reproduces the run bit-identically.
+func Script(res *fleet.Result) []ctlplane.Decision {
+	if res.Control == nil {
+		return nil
+	}
+	return append([]ctlplane.Decision(nil), res.Control.Decisions...)
+}
+
+// Summary is the outcome slice a counterfactual comparison cares about.
+type Summary struct {
+	// WorstP99Cycles is the highest per-tenant p99 latency — the fairness
+	// headline number.
+	WorstP99Cycles float64 `json:"worst_p99_cycles"`
+	GoodputHz      float64 `json:"goodput_hz"`
+	Good           int     `json:"good"`
+	Shed           int     `json:"shed"`
+	// ProvisionedCoreCycles is the capacity actually paid for (activity
+	// spans, not fleet size × duration).
+	ProvisionedCoreCycles int64 `json:"provisioned_core_cycles"`
+	FinalActiveCores      int   `json:"final_active_cores"`
+	Decisions             int   `json:"decisions"`
+}
+
+func summarize(res *fleet.Result) Summary {
+	s := Summary{
+		GoodputHz:             res.GoodputHz,
+		Good:                  res.Good,
+		Shed:                  res.Shed,
+		ProvisionedCoreCycles: res.ProvisionedCoreCycles,
+	}
+	for _, ts := range res.Tenants {
+		if ts.P99LatencyCycles > s.WorstP99Cycles {
+			s.WorstP99Cycles = ts.P99LatencyCycles
+		}
+	}
+	if res.Control != nil {
+		s.FinalActiveCores = res.Control.FinalActiveCores
+		s.Decisions = len(res.Control.Decisions)
+	}
+	return s
+}
+
+// Report is the exact outcome diff between the base run and the
+// counterfactual. Deltas are (counterfactual − base)/base; a positive p99
+// delta means the alternative decisions made tail latency worse.
+type Report struct {
+	Base           Summary `json:"base"`
+	Counterfactual Summary `json:"counterfactual"`
+
+	P99DeltaPct         float64 `json:"p99_delta_pct"`
+	GoodputDeltaPct     float64 `json:"goodput_delta_pct"`
+	ProvisionedDeltaPct float64 `json:"provisioned_delta_pct"`
+}
+
+func pctDelta(counter, base float64) float64 {
+	return mathx.Ratio(counter-base, base, 0) * 100
+}
+
+// Run executes the seeded scenario twice: once with the live controller, and
+// once with the controller scripted to mutate(trace of the first run). The
+// mutate hook receives its own copy of the trace — return it modified (drop a
+// scale-up, move a drain earlier, force an extra core) to ask "what if the
+// controller had decided differently?". A nil mutate replays the trace
+// verbatim, which must reproduce the base run exactly.
+func Run(tenants []*trace.Workload, o fleet.Options, mutate func([]ctlplane.Decision) []ctlplane.Decision) (*Report, error) {
+	if o.Elastic == nil {
+		return nil, fmt.Errorf("replay: counterfactual replay needs an elastic run (Options.Elastic is nil)")
+	}
+	base, err := fleet.Run(tenants, o)
+	if err != nil {
+		return nil, fmt.Errorf("replay: base run: %w", err)
+	}
+	script := Script(base)
+	if mutate != nil {
+		script = mutate(script)
+	}
+	if script == nil {
+		// A nil script would flip the rerun back to live-controller mode;
+		// an empty-but-non-nil one means "no decisions at all".
+		script = []ctlplane.Decision{}
+	}
+	cfg := base.Control.Config
+	cfg.Script = script
+	oW := o
+	oW.Elastic = &cfg
+	counter, err := fleet.Run(tenants, oW)
+	if err != nil {
+		return nil, fmt.Errorf("replay: counterfactual run: %w", err)
+	}
+	sb, sc := summarize(base), summarize(counter)
+	return &Report{
+		Base:                sb,
+		Counterfactual:      sc,
+		P99DeltaPct:         pctDelta(sc.WorstP99Cycles, sb.WorstP99Cycles),
+		GoodputDeltaPct:     pctDelta(sc.GoodputHz, sb.GoodputHz),
+		ProvisionedDeltaPct: pctDelta(float64(sc.ProvisionedCoreCycles), float64(sb.ProvisionedCoreCycles)),
+	}, nil
+}

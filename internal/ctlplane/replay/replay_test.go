@@ -1,0 +1,145 @@
+package replay
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"v10/internal/ctlplane"
+	"v10/internal/fleet"
+	"v10/internal/npu"
+	"v10/internal/trace"
+)
+
+// synthetic builds a deterministic workload of alternating SA/VU op pairs.
+func synthetic(name string, saLen, vuLen int64, pairs int) *trace.Workload {
+	return trace.NewWorkload(name, name, 1, func(int) *trace.Graph {
+		g := &trace.Graph{}
+		for i := 0; i < pairs; i++ {
+			sa := trace.Op{ID: len(g.Ops), Kind: trace.KindSA, Compute: saLen}
+			if len(g.Ops) > 0 {
+				sa.Deps = []int{len(g.Ops) - 1}
+			}
+			g.Ops = append(g.Ops, sa)
+			g.Ops = append(g.Ops, trace.Op{
+				ID: len(g.Ops), Kind: trace.KindVU, Compute: vuLen,
+				Deps: []int{len(g.Ops) - 1},
+			})
+		}
+		return g
+	})
+}
+
+func scenario() ([]*trace.Workload, fleet.Options) {
+	tenants := []*trace.Workload{
+		synthetic("sa0", 4000, 10, 6),
+		synthetic("vu0", 10, 4000, 6),
+		synthetic("sa1", 4000, 10, 6),
+		synthetic("vu1", 10, 4000, 6),
+	}
+	o := fleet.Options{
+		Config:         npu.DefaultConfig(),
+		Cores:          3,
+		Policy:         fleet.PolicyLeastLoaded,
+		RateHz:         30_000,
+		DurationCycles: 3_000_000,
+		Seed:           5, // pinned: the regression below depends on this exact run
+		Elastic:        &ctlplane.Config{MinCores: 1, HysteresisWindows: 1},
+	}
+	return tenants, o
+}
+
+// TestReplayedScriptIsCycleIdentical is the counterfactual-replay regression:
+// re-running the pinned seeded scenario with the controller scripted to the
+// natural run's own decision trace must reproduce the natural run
+// bit-identically — same completions, same latencies, same window signals.
+func TestReplayedScriptIsCycleIdentical(t *testing.T) {
+	tenants, o := scenario()
+	natural, err := fleet.Run(tenants, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if natural.Control == nil || natural.Control.ScaleUps == 0 {
+		t.Fatal("pinned scenario must autoscale for this regression to bite")
+	}
+	cfg := natural.Control.Config
+	cfg.Script = Script(natural)
+	oW := o
+	oW.Elastic = &cfg
+	replayed, err := fleet.Run(tenants, oW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only legitimate difference is the Script riding in the recorded
+	// config; null it out and demand bit-identity.
+	replayed.Control.Config.Script = nil
+	jn, _ := json.Marshal(natural)
+	jr, _ := json.Marshal(replayed)
+	if string(jn) != string(jr) || !reflect.DeepEqual(natural, replayed) {
+		t.Fatal("scripted replay of the natural decision trace diverged from the natural run")
+	}
+	// And a second scripted run reproduces the first (scripted mode is itself
+	// deterministic).
+	again, err := fleet.Run(tenants, oW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again.Control.Config.Script = nil
+	if !reflect.DeepEqual(replayed, again) {
+		t.Fatal("scripted rerun is not bit-identical")
+	}
+}
+
+func TestRunVerbatimReportsZeroDeltas(t *testing.T) {
+	tenants, o := scenario()
+	rep, err := Run(tenants, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.P99DeltaPct != 0 || rep.GoodputDeltaPct != 0 || rep.ProvisionedDeltaPct != 0 {
+		t.Fatalf("verbatim replay has nonzero deltas: %+v", rep)
+	}
+	if !reflect.DeepEqual(rep.Base, rep.Counterfactual) {
+		t.Fatalf("summaries differ under verbatim replay: %+v vs %+v", rep.Base, rep.Counterfactual)
+	}
+}
+
+// TestCounterfactualNoScaleUp asks the harness the canonical what-if: what
+// would this overloaded run have looked like had the controller never added
+// capacity? The forced run must provision strictly less and serve strictly
+// worse — an exact, seed-for-seed causal readout.
+func TestCounterfactualNoScaleUp(t *testing.T) {
+	tenants, o := scenario()
+	rep, err := Run(tenants, o, func(ds []ctlplane.Decision) []ctlplane.Decision {
+		var out []ctlplane.Decision
+		for _, d := range ds {
+			if d.Kind != ctlplane.DecideScaleUp && d.Kind != ctlplane.DecideScaleDown {
+				out = append(out, d)
+			}
+		}
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Base.Decisions == 0 {
+		t.Fatal("base run took no decisions; scenario lost its point")
+	}
+	if rep.Counterfactual.FinalActiveCores != 1 {
+		t.Fatalf("forced run still scaled: %d active cores", rep.Counterfactual.FinalActiveCores)
+	}
+	if rep.ProvisionedDeltaPct >= 0 {
+		t.Fatalf("denying scale-ups should cut provisioned capacity, delta %+.2f%%", rep.ProvisionedDeltaPct)
+	}
+	if rep.Counterfactual.Good >= rep.Base.Good {
+		t.Fatalf("starved run served %d good vs %d with autoscaling", rep.Counterfactual.Good, rep.Base.Good)
+	}
+}
+
+func TestRunRejectsStaticOptions(t *testing.T) {
+	tenants, o := scenario()
+	o.Elastic = nil
+	if _, err := Run(tenants, o, nil); err == nil {
+		t.Fatal("static options accepted")
+	}
+}

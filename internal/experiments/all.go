@@ -50,6 +50,7 @@ func Generators() []Generator {
 		{"fleet", "Fleet placement-policy sweep", (*Context).Fleet},
 		{"faults", "Fleet resilience under injected core failures", (*Context).Faults},
 		{"workload", "Workload-engine traffic sweep (bursty + prefill/decode)", (*Context).WorkloadSweep},
+		{"elastic", "Elastic control plane: autoscaling vs static provisioning", (*Context).Elastic},
 	}
 }
 

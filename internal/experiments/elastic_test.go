@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestElasticExperiment(t *testing.T) {
+	c := testContext()
+	tb, err := c.Elastic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2; len(tb.Rows) != want {
+		t.Fatalf("rows = %d, want %d (scenarios × fleet × admission)", len(tb.Rows), want)
+	}
+	type cell struct{ goodput, p99, provisioned float64 }
+	cells := map[string]cell{}
+	for _, row := range tb.Rows {
+		key := row[0] + "/" + row[1] + "/" + row[2]
+		cells[key] = cell{
+			goodput:     parseFloatCell(t, row[6]),
+			p99:         parseFloatCell(t, row[7]),
+			provisioned: parseFloatCell(t, row[8]),
+		}
+	}
+
+	// The tentpole acceptance criteria, straight off the table cells.
+	//
+	// 1. Under the diurnal swing the autoscaler matches the statically
+	//    peak-provisioned fleet's p99 within 5% while provisioning materially
+	//    (>20%) fewer core-cycles.
+	for _, adm := range []string{"queue-bound", "predictive"} {
+		auto, static := cells["diurnal/autoscale/"+adm], cells["diurnal/static/"+adm]
+		if auto.p99 > static.p99*1.05 {
+			t.Errorf("diurnal/%s: autoscaled p99 %.3fms exceeds static %.3fms by more than 5%%",
+				adm, auto.p99, static.p99)
+		}
+		if auto.provisioned > static.provisioned*0.8 {
+			t.Errorf("diurnal/%s: autoscaled fleet provisioned %.1fMcyc, not materially below static %.1fMcyc",
+				adm, auto.provisioned, static.provisioned)
+		}
+	}
+	// 2. Under churn, predictive admission beats queue-bound on goodput on
+	//    the autoscaled fleet (sheds land on requests that would have missed
+	//    their SLO anyway).
+	if p, q := cells["churn/autoscale/predictive"], cells["churn/autoscale/queue-bound"]; p.goodput <= q.goodput {
+		t.Errorf("churn: predictive goodput %.1f <= queue-bound %.1f on the autoscaled fleet",
+			p.goodput, q.goodput)
+	}
+	if !strings.Contains(tb.Note, "autoscaled p99") || !strings.Contains(tb.Note, "predictive admission") {
+		t.Errorf("note missing the headline comparisons: %q", tb.Note)
+	}
+}
+
+func TestElasticExperimentDeterministic(t *testing.T) {
+	a, err := testContext().Elastic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testContext().Elastic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Elastic is nondeterministic across contexts")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"v10/internal/collocate"
+	"v10/internal/ctlplane"
 	"v10/internal/mathx"
 	"v10/internal/obs"
 	"v10/internal/trace"
@@ -101,6 +102,59 @@ type dispatchOutcome struct {
 	// log carries the fleet-level fault/heartbeat/migration events for the
 	// "fleet" trace section.
 	log *obs.Log
+	// ctl holds the elastic control plane's bookkeeping (nil without
+	// Options.Elastic).
+	ctl *controlState
+}
+
+// controlState is the dispatcher's elastic-control-plane bookkeeping: the
+// decision loop itself, the window accumulators feeding it, and the per-core
+// activity spans provisioned-cycle accounting reads.
+type controlState struct {
+	controller *ctlplane.Controller
+	off        []bool  // per-core inactive flag
+	spanStart  []int64 // activation cycle of the open span; -1 when off
+	spans      []CoreSpan
+	windows    []ctlplane.WindowSignal
+	decisions  []ctlplane.Decision
+	observed   [][]int // per window: tenants folded into the model (Recluster)
+
+	// Current-window accumulators (reset at every tick).
+	winAdmitted int
+	winShed     int
+	winGoodEst  int
+	winSeen     []bool // tenants offered during the window
+
+	// Per-tenant drain accounting, aligned with the dispatch outcome slices.
+	drained    []int // victims evicted by core drains
+	readmitted []int // drained victims that landed on a surviving core
+	drainShed  []int // drained victims dropped after exhausting retries
+
+	scaleUps   int
+	scaleDowns int
+	reclusters int
+	modelDrift float64
+}
+
+func newControlState(o Options, nT int) *controlState {
+	cs := &controlState{
+		controller: ctlplane.NewController(*o.Elastic, o.Cores),
+		off:        make([]bool, o.Cores),
+		spanStart:  make([]int64, o.Cores),
+		winSeen:    make([]bool, nT),
+		drained:    make([]int, nT),
+		readmitted: make([]int, nT),
+		drainShed:  make([]int, nT),
+	}
+	for c := 0; c < o.Cores; c++ {
+		if c < o.Elastic.MinCores {
+			cs.spanStart[c] = 0
+		} else {
+			cs.off[c] = true
+			cs.spanStart[c] = -1
+		}
+	}
+	return cs
 }
 
 // queueEntry is one request booked in a core's virtual dispatcher queue.
@@ -129,8 +183,9 @@ func (q *coreQueue) drain(now int64) {
 	}
 }
 
-// admit books one request with the given service estimate.
-func (q *coreQueue) admit(now int64, estCycles float64, tenant int) {
+// admit books one request with the given service estimate and returns its
+// estimated completion cycle.
+func (q *coreQueue) admit(now int64, estCycles float64, tenant int) int64 {
 	start := q.busyTil
 	if now > start {
 		start = now
@@ -141,6 +196,7 @@ func (q *coreQueue) admit(now int64, estCycles float64, tenant int) {
 	}
 	q.busyTil = done
 	q.pending = append(q.pending, queueEntry{done: done, tenant: tenant})
+	return done
 }
 
 // residents returns who is on core c right now: the placed home tenants plus
@@ -162,30 +218,35 @@ func (q *coreQueue) residents(home []int) []int {
 	return group
 }
 
-// migration is one victim request of a core failure being re-dispatched.
+// migration is one victim request of a core failure (or a control-plane core
+// drain) being re-dispatched.
 type migration struct {
 	tenant    int
 	arrivedAt int64 // original front-door arrival (latency debt baseline)
 	detectAt  int64 // when its core was declared dead (migration-cycles baseline)
 	attempts  int   // failed placement attempts so far
+	drained   bool  // evicted by a scale-down drain, not a failure
 }
 
-// Event priorities at equal cycles: failure detection preempts pending
-// migrations, which land before new front-door arrivals.
+// Event priorities at equal cycles: failure detection preempts control ticks,
+// which preempt pending migrations, which land before new front-door
+// arrivals.
 const (
 	prioDetect = iota
+	prioControl
 	prioMigration
 	prioArrival
 )
 
 // dispatchEvent is one entry of the dispatcher's event heap.
 type dispatchEvent struct {
-	at   int64
-	prio int
-	seq  int
-	core int // prioDetect: which core to declare dead
-	mig  *migration
-	arr  arrival
+	at     int64
+	prio   int
+	seq    int
+	core   int // prioDetect: which core to declare dead
+	window int // prioControl: the window this tick closes
+	mig    *migration
+	arr    arrival
 }
 
 type eventHeap []*dispatchEvent
@@ -223,6 +284,7 @@ type dispatcher struct {
 	feats   []collocate.Features
 	events  eventHeap
 	seq     int
+	ctl     *controlState // elastic control plane (nil without Options.Elastic)
 }
 
 // dispatch runs admission control and failure recovery over the merged
@@ -268,12 +330,25 @@ func dispatch(tenants []*trace.Workload, arrivals []arrival, homes [][]int, prof
 		}
 	}
 
-	// Seed the heap: every front-door arrival plus one detection event per
-	// fail-stopped core. Arrivals are pushed in their (already sorted) order
-	// so equal-cycle arrivals keep their tenant-index tie-break via seq.
+	// Seed the heap: every front-door arrival, one detection event per
+	// fail-stopped core, and — under autoscaling — one control tick per
+	// window boundary. Arrivals are pushed in their (already sorted) order so
+	// equal-cycle arrivals keep their tenant-index tie-break via seq.
 	for c := 0; c < o.Cores; c++ {
 		if fail, ok := o.Faults.FailCycle(c); ok {
 			d.push(&dispatchEvent{at: detectCycle(fail, o), prio: prioDetect, core: c})
+		}
+	}
+	if o.Elastic != nil {
+		out.ctl = newControlState(o, nT)
+		d.ctl = out.ctl
+		interval := o.Elastic.IntervalCycles
+		for w := 0; ; w++ {
+			at := int64(w+1) * interval
+			if at > o.DurationCycles {
+				break
+			}
+			d.push(&dispatchEvent{at: at, prio: prioControl, window: w})
 		}
 	}
 	for _, a := range arrivals {
@@ -285,11 +360,34 @@ func dispatch(tenants []*trace.Workload, arrivals []arrival, homes [][]int, prof
 		switch e.prio {
 		case prioDetect:
 			d.detect(e.at, e.core)
+		case prioControl:
+			d.tick(e.at, e.window)
 		case prioMigration:
 			d.migrate(e.at, e.mig)
 		case prioArrival:
 			d.arrive(e.arr)
 		}
+	}
+	if d.ctl != nil {
+		// Close the open activity spans at the end of the arrival window. A
+		// core activated on the final control tick has an empty span — no
+		// cycles were provisioned, so nothing is recorded.
+		for c := range d.ctl.spanStart {
+			if d.ctl.spanStart[c] >= 0 {
+				if d.ctl.spanStart[c] < o.DurationCycles {
+					d.ctl.spans = append(d.ctl.spans, CoreSpan{
+						Core: c, StartCycle: d.ctl.spanStart[c], EndCycle: o.DurationCycles,
+					})
+				}
+				d.ctl.spanStart[c] = -1
+			}
+		}
+		sort.SliceStable(d.ctl.spans, func(i, j int) bool {
+			if d.ctl.spans[i].Core != d.ctl.spans[j].Core {
+				return d.ctl.spans[i].Core < d.ctl.spans[j].Core
+			}
+			return d.ctl.spans[i].StartCycle < d.ctl.spans[j].StartCycle
+		})
 	}
 	return out
 }
@@ -404,14 +502,201 @@ func checkpointCycles(o Options, inFlightKind int) int64 {
 	return o.Config.VUPreemptCycles() + xfer
 }
 
-// migrate attempts to land one victim request on a surviving core.
+// tick closes window w at its boundary cycle: it aggregates the window's
+// admission signal, folds the observed tenants into the collocation model
+// (Recluster), asks the controller for decisions, and applies them.
+func (d *dispatcher) tick(now int64, w int) {
+	cs := d.ctl
+	// Occupancy snapshot across active cores, after draining estimated
+	// completions up to the tick.
+	active := 0
+	occ := 0.0
+	for c := range d.queues {
+		if cs.off[c] || d.queues[c].dead {
+			continue
+		}
+		d.queues[c].drain(now)
+		active++
+		occ += float64(len(d.queues[c].pending)) / float64(d.o.QueueLimit)
+	}
+	queueFrac := 0.0
+	if active > 0 {
+		queueFrac = occ / float64(active)
+	}
+
+	// Online re-clustering: fold the tenants offered during the window into
+	// the model in tenant order (deterministic), before the signal is built
+	// so the decision sees this window's drift.
+	drift := 0.0
+	if d.o.Recluster {
+		var observed []int
+		for t, seen := range cs.winSeen {
+			if !seen {
+				continue
+			}
+			observed = append(observed, t)
+			if !d.o.skipModelUpdates {
+				_, moved := d.o.Model.Observe(d.feats[t])
+				drift += moved
+			}
+			cs.winSeen[t] = false
+		}
+		cs.observed = append(cs.observed, observed)
+		cs.modelDrift += drift
+	}
+
+	att := 1.0 // an idle window has no demand, hence no violation
+	if cs.winAdmitted+cs.winShed > 0 {
+		att = float64(cs.winGoodEst) / float64(cs.winAdmitted+cs.winShed)
+	}
+	sig := ctlplane.WindowSignal{
+		Window:      w,
+		StartCycle:  now - d.o.Elastic.IntervalCycles,
+		EndCycle:    now,
+		ActiveCores: active,
+		Admitted:    cs.winAdmitted,
+		Shed:        cs.winShed,
+		GoodEst:     cs.winGoodEst,
+		Attainment:  att,
+		QueueFrac:   queueFrac,
+		Drift:       drift,
+	}
+	cs.windows = append(cs.windows, sig)
+	cs.winAdmitted, cs.winShed, cs.winGoodEst = 0, 0, 0
+
+	for _, dec := range cs.controller.Decide(sig) {
+		cs.decisions = append(cs.decisions, dec)
+		switch dec.Kind {
+		case ctlplane.DecideScaleUp:
+			d.activate(now, dec)
+		case ctlplane.DecideScaleDown:
+			cs.scaleDowns++
+			d.out.log.Emit(obs.Event{
+				Time: now, Type: obs.EvScaleDown,
+				WIdx: -1, FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+				Arg0: float64(dec.Core), Arg1: float64(dec.ActiveAfter),
+			})
+			d.drainCore(now, dec.Core)
+		case ctlplane.DecideRecluster:
+			cs.reclusters++
+			_, obsCount := d.o.Model.OnlineDrift()
+			d.out.log.Emit(obs.Event{
+				Time: now, Type: obs.EvRecluster,
+				WIdx: -1, FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+				Arg0: dec.Drift, Arg1: float64(obsCount),
+			})
+		}
+	}
+}
+
+// activate brings a spare core online: it starts a fresh activity span and
+// becomes a spill/readmission target immediately.
+func (d *dispatcher) activate(now int64, dec ctlplane.Decision) {
+	cs := d.ctl
+	cs.scaleUps++
+	cs.off[dec.Core] = false
+	cs.spanStart[dec.Core] = now
+	d.out.log.Emit(obs.Event{
+		Time: now, Type: obs.EvScaleUp,
+		WIdx: -1, FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+		Arg0: float64(dec.Core), Arg1: float64(dec.ActiveAfter),
+	})
+}
+
+// drainCore retires an active spare core: its unserved queue suffix becomes
+// readmission migrations (the in-service head pays the §3.3 checkpoint cost,
+// like a failure victim), its admitted schedule is truncated to what it will
+// actually have served, and the core goes inactive.
+func (d *dispatcher) drainCore(now int64, c int) {
+	cs := d.ctl
+	q := &d.queues[c]
+	q.drain(now)
+
+	// The queue (ascending estimated completion) is the per-tenant admission
+	// suffix: count pending entries per tenant, then walk the queue in order
+	// matching each entry to its tenant's next unserved admission.
+	pendingOf := make(map[int]int)
+	for _, e := range q.pending {
+		pendingOf[e.tenant]++
+	}
+	cursor := make(map[int]int, len(pendingOf))
+	for t, n := range pendingOf {
+		cursor[t] = len(d.out.admitted[c][t]) - n
+	}
+
+	// At most one request is in service at the drain point — the queue head
+	// (its predecessors' estimated completions have all passed). Its
+	// context-save cost delays its readmission, charged as an SA checkpoint
+	// (the conservative §3.3 cost; the dispatcher has no operator-kind
+	// ground truth mid-run).
+	var ckpt int64
+	if len(q.pending) > 0 {
+		t0 := q.pending[0].tenant
+		ckpt = checkpointCycles(d.o, 1)
+		d.out.ckptCycles[t0] += ckpt
+	}
+	for i, e := range q.pending {
+		t := e.tenant
+		k := cursor[t]
+		cursor[t]++
+		at := d.out.admitted[c][t][k]
+		debt := d.out.debts[c][t][k]
+		m := &migration{tenant: t, arrivedAt: at - debt, detectAt: now, drained: true}
+		cs.drained[t]++
+		if d.o.NoMigration {
+			d.shedMigration(now, m)
+			continue
+		}
+		ready := now
+		if i == 0 {
+			ready += ckpt
+		}
+		d.push(&dispatchEvent{at: ready, prio: prioMigration, mig: m})
+	}
+	victims := len(q.pending)
+	for t, n := range pendingOf {
+		keep := len(d.out.admitted[c][t]) - n
+		d.out.admitted[c][t] = d.out.admitted[c][t][:keep]
+		d.out.debts[c][t] = d.out.debts[c][t][:keep]
+	}
+	q.pending = nil
+	q.busyTil = 0
+	cs.off[c] = true
+	if cs.spanStart[c] >= 0 {
+		if cs.spanStart[c] < now {
+			cs.spans = append(cs.spans, CoreSpan{Core: c, StartCycle: cs.spanStart[c], EndCycle: now})
+		}
+		cs.spanStart[c] = -1
+	}
+	d.out.log.Emit(obs.Event{
+		Time: now, Type: obs.EvCoreDrain,
+		WIdx: -1, FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+		Arg0: float64(c), Arg1: float64(victims),
+	})
+}
+
+// migrate attempts to land one victim request — of a core failure or a
+// scale-down drain — on a surviving core.
 func (d *dispatcher) migrate(now int64, m *migration) {
 	for c := range d.queues {
+		if d.ctl != nil && d.ctl.off[c] {
+			continue
+		}
 		d.queues[c].drain(now)
 	}
-	best := d.bestTarget(m.tenant, -1)
+	best := d.bestTarget(now, m.tenant, -1)
 	if best >= 0 {
 		d.admit(best, arrival{at: now, tenant: m.tenant}, now-m.arrivedAt)
+		if m.drained {
+			d.ctl.readmitted[m.tenant]++
+			d.out.log.Emit(obs.Event{
+				Time: now, Type: obs.EvReadmit,
+				Workload: d.tenantName(m.tenant), WIdx: m.tenant,
+				FUKind: obs.FUNone, FUIndex: -1, Request: -1, Op: -1,
+				Arg0: float64(best), Arg1: float64(now - m.arrivedAt),
+			})
+			return
+		}
 		d.out.migrated[m.tenant]++
 		d.out.migCycles[m.tenant] += now - m.detectAt
 		d.out.log.Emit(obs.Event{
@@ -437,7 +722,11 @@ func (d *dispatcher) migrate(now int64, m *migration) {
 // shedMigration gives up on a victim request (retry budget exhausted, or
 // NoMigration).
 func (d *dispatcher) shedMigration(now int64, m *migration) {
-	d.out.migShed[m.tenant]++
+	if m.drained {
+		d.ctl.drainShed[m.tenant]++
+	} else {
+		d.out.migShed[m.tenant]++
+	}
 	d.out.log.Emit(obs.Event{
 		Time: now, Type: obs.EvMigrateShed,
 		Workload: d.tenantName(m.tenant), WIdx: m.tenant,
@@ -458,16 +747,22 @@ func (d *dispatcher) tenantName(t int) string {
 // when no core has died, modulo the live-residents compatibility snapshot.
 func (d *dispatcher) arrive(a arrival) {
 	d.out.offered[a.tenant]++
+	if d.ctl != nil && a.tenant < len(d.ctl.winSeen) {
+		d.ctl.winSeen[a.tenant] = true
+	}
 	for c := range d.queues {
+		if d.ctl != nil && d.ctl.off[c] {
+			continue
+		}
 		d.queues[c].drain(a.at)
 	}
 	h := d.home[a.tenant]
-	if !d.queues[h].dead && len(d.queues[h].pending) < d.o.QueueLimit {
+	if !d.queues[h].dead && (d.ctl == nil || !d.ctl.off[h]) && d.admitOK(h, a) {
 		d.admit(h, a, 0)
 		return
 	}
 	if d.o.NoSpill {
-		d.out.shed[a.tenant]++
+		d.shedArrival(a.tenant)
 		return
 	}
 	// Spill: probe the other cores for room, preferring the shallowest queue
@@ -475,21 +770,47 @@ func (d *dispatcher) arrive(a arrival) {
 	// only spills onto cores whose *live* residents — placed tenants plus
 	// anyone currently queued there — the tenant is predicted compatible
 	// with; empty cores are trivially compatible.
-	best := d.bestTarget(a.tenant, h)
+	best := d.bestTarget(a.at, a.tenant, h)
 	if best < 0 {
-		d.out.shed[a.tenant]++
+		d.shedArrival(a.tenant)
 		return
 	}
 	d.admit(best, a, 0)
 }
 
-// bestTarget picks the most lightly loaded live core with queue room that
+func (d *dispatcher) shedArrival(tenant int) {
+	d.out.shed[tenant]++
+	if d.ctl != nil {
+		d.ctl.winShed++
+	}
+}
+
+// admitOK applies the front-door admission discipline to one arrival probing
+// core c: the static queue bound, or the PREMA-style predicted-slowdown gate.
+func (d *dispatcher) admitOK(c int, a arrival) bool {
+	q := &d.queues[c]
+	if d.o.Admission == AdmitPredictive {
+		est := d.profs[a.tenant].estCycles
+		if est <= 0 {
+			return true
+		}
+		wait := float64(q.busyTil - a.at)
+		if wait < 0 {
+			wait = 0
+		}
+		return (wait+est)/est <= d.o.SlowdownLimit
+	}
+	return len(q.pending) < d.o.QueueLimit
+}
+
+// bestTarget picks the most lightly loaded live core with admission room that
 // passes the advisor compatibility gate, excluding core `exclude` (-1: none).
-func (d *dispatcher) bestTarget(tenant, exclude int) int {
+func (d *dispatcher) bestTarget(at int64, tenant, exclude int) int {
 	best := -1
 	for c := range d.queues {
 		q := &d.queues[c]
-		if c == exclude || q.dead || len(q.pending) >= d.o.QueueLimit {
+		if c == exclude || q.dead || (d.ctl != nil && d.ctl.off[c]) ||
+			!d.admitOK(c, arrival{at: at, tenant: tenant}) {
 			continue
 		}
 		if d.o.Policy == PolicyAdvisor {
@@ -510,10 +831,18 @@ func (d *dispatcher) bestTarget(tenant, exclude int) int {
 
 // admit books one request on core c with the given latency debt.
 func (d *dispatcher) admit(c int, a arrival, debt int64) {
-	d.queues[c].admit(a.at, d.profs[a.tenant].estCycles, a.tenant)
+	done := d.queues[c].admit(a.at, d.profs[a.tenant].estCycles, a.tenant)
 	d.out.admitted[c][a.tenant] = append(d.out.admitted[c][a.tenant], a.at)
 	d.out.debts[c][a.tenant] = append(d.out.debts[c][a.tenant], debt)
 	if c != d.home[a.tenant] {
 		d.out.spilled[a.tenant]++
+	}
+	if d.ctl != nil && debt == 0 {
+		// Front-door admission: feed the window's estimated SLO-attainment
+		// signal (readmissions carry debt and are already counted).
+		d.ctl.winAdmitted++
+		if float64(done-a.at) <= d.o.SLOFactor*d.profs[a.tenant].estCycles {
+			d.ctl.winGoodEst++
+		}
 	}
 }

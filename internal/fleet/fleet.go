@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"v10/internal/collocate"
+	"v10/internal/ctlplane"
 	"v10/internal/faults"
 	"v10/internal/mathx"
 	"v10/internal/npu"
@@ -51,6 +52,29 @@ func ParsePolicy(s string) (Policy, error) {
 		return Policy(s), nil
 	}
 	return "", fmt.Errorf("fleet: unknown placement policy %q (want advisor, least-loaded, or random)", s)
+}
+
+// Admission selects the dispatcher's front-door admission discipline.
+type Admission string
+
+const (
+	// AdmitQueueBound is the classic static bound: admit while the core's
+	// dispatcher queue holds fewer than QueueLimit requests (default).
+	AdmitQueueBound Admission = "queue-bound"
+	// AdmitPredictive is PREMA-style predictive admission: admit while the
+	// request's predicted slowdown — (estimated wait + estimated service) over
+	// estimated service — stays at or below SlowdownLimit. The queue bounds
+	// itself: a long backlog predicts a high slowdown and rejects the arrival.
+	AdmitPredictive Admission = "predictive"
+)
+
+// ParseAdmission maps a CLI spelling to an Admission discipline.
+func ParseAdmission(s string) (Admission, error) {
+	switch Admission(s) {
+	case AdmitQueueBound, AdmitPredictive:
+		return Admission(s), nil
+	}
+	return "", fmt.Errorf("fleet: unknown admission discipline %q (want queue-bound or predictive)", s)
 }
 
 // Options configure a fleet run. The zero value serves two cores of V10-Full
@@ -192,10 +216,53 @@ type Options struct {
 	// slice with vector-memory room. Requires VNPUTemplates.
 	PinnedSlices []int
 
+	// Elastic, when non-nil, runs the fleet under the autoscaling control
+	// plane: tenants are homed on the first Elastic.MinCores cores, the
+	// remaining cores start inactive, and the control loop activates or
+	// drains them against windowed SLO-attainment signals (see ctlplane).
+	// Requires a V10 scheme and is mutually exclusive with fault injection,
+	// vNPU slicing, and pinned placement.
+	Elastic *ctlplane.Config
+
+	// Admission selects the front-door admission discipline (default
+	// queue-bound, which is bit-identical to the pre-elastic dispatcher).
+	Admission Admission
+
+	// SlowdownLimit is predictive admission's slowdown ceiling: an arrival is
+	// admitted while (wait + est)/est stays at or below it (default
+	// SLOFactor; must be >= 1). Ignored under queue-bound admission.
+	SlowdownLimit float64
+
+	// Recluster enables online advisor re-clustering: at every control tick
+	// the tenants observed during the window are folded into the collocation
+	// model's K-Means stage (sequential centroid updates — no full retrain),
+	// so compatibility gates track the drifting mix. Requires Model and
+	// Elastic. The model is cloned internally; the caller's model is never
+	// mutated, keeping reruns and counterfactual replays bit-identical.
+	Recluster bool
+
+	// EstimateScale multiplies every tenant's estimated service time (0 = 1,
+	// the identity). The estimate feeds queue booking, predictive admission,
+	// and the SLO denominator, so this knob is both a sensitivity study and
+	// the injection point for the estimate-consistency mutation oracle.
+	EstimateScale float64
+
+	// StatsWindowCycles, when positive, additionally buckets every tenant's
+	// completions into windows of this many cycles, each annotated with the
+	// core count actually active during the window — goodput attribution that
+	// stays honest across scale events. Defaults to Elastic.IntervalCycles
+	// under autoscaling; 0 disables the windows on static fleets.
+	StatsWindowCycles int64
+
 	// compat overrides the advisor compatibility oracle used by placement
 	// and the spill/migration gates (tests inject stubs); withDefaults wires
 	// it to Model.GroupFit when a model is present.
 	compat func(feats []collocate.Features, group []int, cand int) float64
+
+	// skipModelUpdates is a test-only mutation hook: the control loop skips
+	// the online centroid updates, leaving the collocation model stale as the
+	// mix churns. The recluster-consistency oracle must catch it.
+	skipModelUpdates bool
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -224,6 +291,14 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if _, err := ParsePolicy(string(o.Policy)); err != nil {
 		return o, err
+	}
+	if o.Recluster {
+		if o.Model == nil {
+			return o, fmt.Errorf("fleet: Recluster requires a trained collocation model")
+		}
+		// Clone before the compat binding below so the online updates land on
+		// a private copy and the gates read the updated centroids.
+		o.Model = o.Model.CloneForOnline()
 	}
 	if o.compat == nil && o.Model != nil {
 		o.compat = o.Model.GroupFit
@@ -320,6 +395,52 @@ func (o Options) withDefaults() (Options, error) {
 	} else if o.PinnedSlices != nil {
 		return o, fmt.Errorf("fleet: PinnedSlices requires VNPUTemplates")
 	}
+	if o.EstimateScale == 0 {
+		o.EstimateScale = 1
+	}
+	if o.EstimateScale < 0 || math.IsInf(o.EstimateScale, 0) || math.IsNaN(o.EstimateScale) {
+		return o, fmt.Errorf("fleet: invalid EstimateScale %v", o.EstimateScale)
+	}
+	if o.Admission == "" {
+		o.Admission = AdmitQueueBound
+	}
+	if _, err := ParseAdmission(string(o.Admission)); err != nil {
+		return o, err
+	}
+	if o.SlowdownLimit == 0 {
+		o.SlowdownLimit = o.SLOFactor
+	}
+	if o.SlowdownLimit < 1 {
+		return o, fmt.Errorf("fleet: SlowdownLimit %v below 1 would reject every arrival", o.SlowdownLimit)
+	}
+	if o.Elastic != nil {
+		if o.Scheme == "PMT" {
+			return o, fmt.Errorf("fleet: elastic autoscaling requires a V10 scheme; PMT has no drain/checkpoint support")
+		}
+		if !o.Faults.Empty() {
+			return o, fmt.Errorf("fleet: elastic autoscaling and fault injection are mutually exclusive")
+		}
+		if len(o.VNPUTemplates) > 0 {
+			return o, fmt.Errorf("fleet: elastic autoscaling and vNPU slicing are mutually exclusive")
+		}
+		if o.PinnedPlacement != nil {
+			return o, fmt.Errorf("fleet: elastic autoscaling and PinnedPlacement are mutually exclusive")
+		}
+		cfg, err := o.Elastic.WithDefaults(o.Cores, o.DurationCycles)
+		if err != nil {
+			return o, err
+		}
+		o.Elastic = &cfg
+		if o.StatsWindowCycles == 0 {
+			o.StatsWindowCycles = cfg.IntervalCycles
+		}
+	}
+	if o.Recluster && o.Elastic == nil {
+		return o, fmt.Errorf("fleet: Recluster requires Elastic (the control loop drives the updates)")
+	}
+	if o.StatsWindowCycles < 0 {
+		return o, fmt.Errorf("fleet: negative StatsWindowCycles %d", o.StatsWindowCycles)
+	}
 	return o, nil
 }
 
@@ -359,29 +480,42 @@ type tenantProfile struct {
 	estCycles float64
 }
 
+// EstimateServeCycles is the dispatcher's service-time estimator for one
+// tenant: the mean serial stall+compute total of its first profileRequests
+// request graphs, tiled against a half-core vector-memory partition (the
+// typical residency the placement aims for is two tenants per core). The
+// simcheck estimate-consistency oracle recomputes it independently to pin the
+// dispatcher's queue booking and SLO denominators (modulo EstimateScale).
+func EstimateServeCycles(w *trace.Workload, cfg npu.CoreConfig, profileRequests int) float64 {
+	if profileRequests < 1 {
+		profileRequests = 1
+	}
+	part := cfg.VMemBytes / 2
+	var total float64
+	var scratch *trace.Graph
+	for rq := 0; rq < profileRequests; rq++ {
+		g, owned := w.RequestInto(rq, scratch)
+		if owned {
+			scratch = g
+		}
+		// Both generated and tiled graphs are in execution (ID) order, so
+		// summing Ops directly visits operators exactly as Linearize would.
+		for _, op := range trace.TileForVMem(g, part, 0.5).Ops {
+			total += float64(op.Stall + op.Compute)
+		}
+	}
+	return total / float64(profileRequests)
+}
+
 // profileTenants extracts features and service-time estimates from the first
 // ProfileRequests request graphs of every tenant (pure trace analysis — no
 // simulation).
 func profileTenants(tenants []*trace.Workload, o Options) []tenantProfile {
 	profs := make([]tenantProfile, len(tenants))
-	// Estimate against a half-core vector-memory partition: the typical
-	// residency the placement aims for is two tenants per core.
-	part := o.Config.VMemBytes / 2
-	var scratch *trace.Graph // reused across tenants: profiling is sequential
 	for i, w := range tenants {
-		var total float64
-		for rq := 0; rq < o.ProfileRequests; rq++ {
-			g, owned := w.RequestInto(rq, scratch)
-			if owned {
-				scratch = g
-			}
-			// Both generated and tiled graphs are in execution (ID) order, so
-			// summing Ops directly visits operators exactly as Linearize would.
-			for _, op := range trace.TileForVMem(g, part, 0.5).Ops {
-				total += float64(op.Stall + op.Compute)
-			}
+		profs[i] = tenantProfile{
+			estCycles: o.EstimateScale * EstimateServeCycles(w, o.Config, o.ProfileRequests),
 		}
-		profs[i] = tenantProfile{estCycles: total / float64(o.ProfileRequests)}
 		if o.Model != nil {
 			profs[i].feat = collocate.ExtractFeatures(w, o.Config, o.ProfileRequests)
 		}

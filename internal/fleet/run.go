@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"v10/internal/baseline"
+	"v10/internal/ctlplane"
 	"v10/internal/faults"
 	"v10/internal/mathx"
 	"v10/internal/metrics"
@@ -41,12 +42,82 @@ type TenantStats struct {
 	MigrationCycles  int64 `json:"migration_cycles,omitempty"`
 	CheckpointCycles int64 `json:"checkpoint_cycles,omitempty"`
 
+	// Elastic-drain metrics (autoscaling; zero without scale-downs). Drained
+	// counts this tenant's requests evicted by core drains, Readmitted the
+	// drained victims that landed on a surviving core, DrainShed the drained
+	// victims dropped after exhausting retries (already included in Shed).
+	Drained    int `json:"drained,omitempty"`
+	Readmitted int `json:"readmitted,omitempty"`
+	DrainShed  int `json:"drain_shed,omitempty"`
+
 	SLOCycles        float64 `json:"slo_cycles"`
 	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
 	P95LatencyCycles float64 `json:"p95_latency_cycles"`
 	P99LatencyCycles float64 `json:"p99_latency_cycles"`
 	GoodputHz        float64 `json:"goodput_hz"` // SLO-compliant req/s over the arrival window
 	ShedRate         float64 `json:"shed_rate"`  // shed / offered
+
+	// Windows buckets completions by completion cycle into
+	// StatsWindowCycles-sized windows, each annotated with the cores active
+	// during it — goodput attribution that survives mid-run scale events.
+	// Nil unless Options.StatsWindowCycles > 0.
+	Windows []TenantWindow `json:"windows,omitempty"`
+}
+
+// TenantWindow is one tenant's serving outcome inside one stats window.
+type TenantWindow struct {
+	Window      int   `json:"window"`
+	StartCycle  int64 `json:"start_cycle"`
+	EndCycle    int64 `json:"end_cycle"`
+	ActiveCores int   `json:"active_cores"` // cores with an activity span overlapping the window
+	Completed   int   `json:"completed"`    // completions attributed to the window
+	Good        int   `json:"good"`
+	// GoodputHz is the window's SLO-compliant rate; GoodputPerCoreHz divides
+	// it by the window's active core count, the honest per-capacity number.
+	GoodputHz        float64 `json:"goodput_hz"`
+	GoodputPerCoreHz float64 `json:"goodput_per_core_hz"`
+}
+
+// CoreSpan is one contiguous activity interval of a core: [StartCycle,
+// EndCycle) within the arrival window. Static fleets have one full-length
+// span per core; autoscaled cores accumulate one span per activation.
+type CoreSpan struct {
+	Core       int   `json:"core"`
+	StartCycle int64 `json:"start_cycle"`
+	EndCycle   int64 `json:"end_cycle"`
+}
+
+// ControlOutcome is the elastic control plane's run record: every window
+// signal, every decision, the per-core activity spans, and the drain/
+// recluster tallies the oracles cross-check.
+type ControlOutcome struct {
+	MinCores       int   `json:"min_cores"`
+	MaxCores       int   `json:"max_cores"`
+	IntervalCycles int64 `json:"interval_cycles"`
+	// Config is the fully resolved control policy the run used — the
+	// discipline oracle replays decisions against exactly these parameters.
+	Config ctlplane.Config `json:"config"`
+
+	FinalActiveCores int `json:"final_active_cores"`
+	PeakActiveCores  int `json:"peak_active_cores"`
+
+	ScaleUps     int `json:"scale_ups"`
+	ScaleDowns   int `json:"scale_downs"`
+	DrainVictims int `json:"drain_victims"`
+	Readmitted   int `json:"readmitted"`
+	DrainShed    int `json:"drain_shed"`
+	Reclusters   int `json:"reclusters"`
+	// ModelDrift is the cumulative centroid movement the online re-clustering
+	// accumulated (0 without Recluster).
+	ModelDrift float64 `json:"model_drift,omitempty"`
+
+	Windows   []ctlplane.WindowSignal `json:"windows"`
+	Decisions []ctlplane.Decision     `json:"decisions"`
+	CoreSpans []CoreSpan              `json:"core_spans"`
+	// ObservedTenants lists, per window, the tenants folded into the
+	// collocation model (Recluster only) — the recluster-consistency oracle
+	// replays them against a fresh clone.
+	ObservedTenants [][]int `json:"observed_tenants,omitempty"`
 }
 
 // CoreResult is one core's simulation outcome.
@@ -83,11 +154,21 @@ type Result struct {
 	GoodputHz float64 `json:"goodput_hz"`
 	ShedRate  float64 `json:"shed_rate"`
 
+	// ProvisionedCoreCycles sums every core's activity spans over the arrival
+	// window — the capacity actually paid for. A static fleet provisions
+	// Cores × DurationCycles; an autoscaled one only the spans its control
+	// plane kept active. The elastic experiment's efficiency claim is
+	// denominated in this.
+	ProvisionedCoreCycles int64 `json:"provisioned_core_cycles"`
+
 	// Fault-injection outcome (omitted from JSON on fault-free runs).
 	FailedCores     []int `json:"failed_cores,omitempty"` // detection order
 	Migrated        int   `json:"migrated,omitempty"`
 	MigrationShed   int   `json:"migration_shed,omitempty"`
 	MigrationCycles int64 `json:"migration_cycles,omitempty"`
+
+	// Control is the elastic control plane's run record (nil on static runs).
+	Control *ControlOutcome `json:"control,omitempty"`
 }
 
 // coreJob is one core's prepared simulation input.
@@ -148,6 +229,16 @@ func Run(tenants []*trace.Workload, o Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+	} else if o.Elastic != nil {
+		// Homes live on the always-active floor; the spare cores above
+		// MinCores start empty and inactive, serving only spill and
+		// readmission traffic while scaled up.
+		oPlace := o
+		oPlace.Cores = o.Elastic.MinCores
+		homes = place(profs, oPlace, mathx.NewRNG(o.Seed+0x9f1e))
+		for len(homes) < o.Cores {
+			homes = append(homes, nil)
+		}
 	} else {
 		homes = place(profs, o, mathx.NewRNG(o.Seed+0x9f1e))
 	}
@@ -191,6 +282,45 @@ func Run(tenants []*trace.Workload, o Options) (*Result, error) {
 		res.MigrationCycles += ts.MigrationCycles
 	}
 	res.ShedRate = mathx.Ratio(float64(res.Shed), float64(res.Offered), 0)
+	res.ProvisionedCoreCycles = int64(o.Cores) * o.DurationCycles
+	if cs := disp.ctl; cs != nil {
+		res.ProvisionedCoreCycles = 0
+		for _, sp := range cs.spans {
+			res.ProvisionedCoreCycles += sp.EndCycle - sp.StartCycle
+		}
+		ctl := &ControlOutcome{
+			MinCores:        o.Elastic.MinCores,
+			MaxCores:        o.Cores,
+			IntervalCycles:  o.Elastic.IntervalCycles,
+			Config:          *o.Elastic,
+			ScaleUps:        cs.scaleUps,
+			ScaleDowns:      cs.scaleDowns,
+			Reclusters:      cs.reclusters,
+			ModelDrift:      cs.modelDrift,
+			Windows:         cs.windows,
+			Decisions:       cs.decisions,
+			CoreSpans:       cs.spans,
+			ObservedTenants: cs.observed,
+		}
+		ctl.FinalActiveCores = cs.controller.Active()
+		ctl.PeakActiveCores = o.Elastic.MinCores
+		for _, w := range cs.windows {
+			if w.ActiveCores > ctl.PeakActiveCores {
+				ctl.PeakActiveCores = w.ActiveCores
+			}
+		}
+		for _, d := range ctl.Decisions {
+			if d.Kind == ctlplane.DecideScaleUp && d.ActiveAfter > ctl.PeakActiveCores {
+				ctl.PeakActiveCores = d.ActiveAfter
+			}
+		}
+		for _, ts := range res.Tenants {
+			ctl.DrainVictims += ts.Drained
+			ctl.Readmitted += ts.Readmitted
+			ctl.DrainShed += ts.DrainShed
+		}
+		res.Control = ctl
+	}
 	return res, runErr
 }
 
@@ -446,6 +576,42 @@ func int64At(s []int64, i int) int64 {
 	return 0
 }
 
+// makeTenantWindows builds one tenant's empty stats-window skeleton: window
+// bounds plus the core count active in each window, read from the control
+// plane's activity spans (a static fleet is fully active throughout).
+// Completions land in the window of their completion cycle; completions past
+// the arrival horizon (cores draining their backlog) clamp to the last
+// window.
+func makeTenantWindows(disp *dispatchOutcome, o Options) []TenantWindow {
+	n := int((o.DurationCycles + o.StatsWindowCycles - 1) / o.StatsWindowCycles)
+	if n < 1 {
+		n = 1
+	}
+	spans := []CoreSpan(nil)
+	if disp.ctl != nil {
+		spans = disp.ctl.spans
+	} else {
+		for c := 0; c < o.Cores; c++ {
+			spans = append(spans, CoreSpan{Core: c, StartCycle: 0, EndCycle: o.DurationCycles})
+		}
+	}
+	wins := make([]TenantWindow, n)
+	for i := range wins {
+		start := int64(i) * o.StatsWindowCycles
+		end := start + o.StatsWindowCycles
+		if end > o.DurationCycles {
+			end = o.DurationCycles
+		}
+		wins[i] = TenantWindow{Window: i, StartCycle: start, EndCycle: end}
+		for _, sp := range spans {
+			if sp.StartCycle < end && sp.EndCycle > start {
+				wins[i].ActiveCores++
+			}
+		}
+	}
+	return wins
+}
+
 // tenantStats folds the per-core workload measurements back into per-tenant
 // serving statistics. PMT cores serve closed-loop and can overshoot their
 // targets, so completions and latencies are capped to the admitted count.
@@ -477,8 +643,19 @@ func tenantStats(tenants []*trace.Workload, profs []tenantProfile, homes [][]int
 		ts.MigrationShed = intAt(disp.migShed, t)
 		ts.MigrationCycles = int64At(disp.migCycles, t)
 		ts.CheckpointCycles = int64At(disp.ckptCycles, t)
+		if cs := disp.ctl; cs != nil {
+			ts.Drained = cs.drained[t]
+			ts.Readmitted = cs.readmitted[t]
+			ts.DrainShed = cs.drainShed[t]
+			// Drain-shed victims are lost requests, same as migration sheds.
+			ts.Shed += cs.drainShed[t]
+		}
 		ts.SLOCycles = o.SLOFactor * profs[t].estCycles
 
+		var wins []TenantWindow
+		if o.StatsWindowCycles > 0 {
+			wins = makeTenantWindows(disp, o)
+		}
 		lats = lats[:0]
 		for c, job := range jobs {
 			if outs[c] == nil || outs[c].res == nil {
@@ -499,11 +676,28 @@ func tenantStats(tenants []*trace.Workload, profs []tenantProfile, homes [][]int
 				if c < len(disp.debts) && disp.debts[c] != nil {
 					dbt = disp.debts[c][rt]
 				}
+				var sched []int64
+				if c < len(disp.admitted) && disp.admitted[c] != nil {
+					sched = disp.admitted[c][rt]
+				}
 				for i, l := range got {
 					if i < len(dbt) {
 						l += float64(dbt[i])
 					}
 					lats = append(lats, l)
+					if wins != nil && i < len(sched) {
+						// Completion lands at core-arrival + core latency;
+						// the debt already elapsed before the core arrival.
+						at := sched[i] + int64(outs[c].res.Workloads[k].LatencyCycles[i])
+						w := int(at / o.StatsWindowCycles)
+						if w >= len(wins) {
+							w = len(wins) - 1
+						}
+						wins[w].Completed++
+						if l <= o.SLOFactor*profs[t].estCycles {
+							wins[w].Good++
+						}
+					}
 				}
 			}
 		}
@@ -512,6 +706,14 @@ func tenantStats(tenants []*trace.Workload, profs []tenantProfile, homes [][]int
 			if l <= ts.SLOCycles {
 				ts.Good++
 			}
+		}
+		if wins != nil {
+			winSec := float64(o.StatsWindowCycles) / o.Config.FrequencyHz
+			for i := range wins {
+				wins[i].GoodputHz = mathx.Ratio(float64(wins[i].Good), winSec, 0)
+				wins[i].GoodputPerCoreHz = mathx.Ratio(wins[i].GoodputHz, float64(wins[i].ActiveCores), 0)
+			}
+			ts.Windows = wins
 		}
 		// Mean before the in-place sort (float addition is order-sensitive),
 		// then both tail quantiles off one sorted buffer instead of a full

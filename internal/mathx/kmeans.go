@@ -92,6 +92,46 @@ func KMeans(data *Matrix, k, maxIter int, rng *RNG) *KMeansResult {
 	return &KMeansResult{Centroids: centroids, Labels: labels, Inertia: inertia, Iterations: iter}
 }
 
+// Clone deep-copies the fitted clustering so one fit can seed several
+// independent online-update streams without sharing centroid storage.
+func (r *KMeansResult) Clone() *KMeansResult {
+	out := &KMeansResult{Inertia: r.Inertia, Iterations: r.Iterations}
+	if r.Centroids != nil {
+		out.Centroids = NewMatrix(r.Centroids.Rows, r.Centroids.Cols)
+		copy(out.Centroids.Data, r.Centroids.Data)
+	}
+	if r.Labels != nil {
+		out.Labels = append([]int(nil), r.Labels...)
+	}
+	return out
+}
+
+// UpdateCentroid nudges centroid c toward x by learning rate lr (the
+// MacQueen sequential K-Means step: centroid += lr * (x - centroid)) and
+// returns the Euclidean distance the centroid moved. lr is clamped to [0,1].
+func (r *KMeansResult) UpdateCentroid(c int, x []float64, lr float64) float64 {
+	d := r.Centroids.Cols
+	if len(x) != d {
+		panic("mathx: KMeansResult.UpdateCentroid dimension mismatch")
+	}
+	if c < 0 || c >= r.Centroids.Rows {
+		panic("mathx: KMeansResult.UpdateCentroid centroid out of range")
+	}
+	if lr < 0 {
+		lr = 0
+	} else if lr > 1 {
+		lr = 1
+	}
+	row := r.Centroids.Data[c*d : (c+1)*d]
+	moved := 0.0
+	for j := 0; j < d; j++ {
+		step := lr * (x[j] - row[j])
+		moved += step * step
+		row[j] += step
+	}
+	return math.Sqrt(moved)
+}
+
 // Predict returns the nearest centroid index for x.
 func (r *KMeansResult) Predict(x []float64) int {
 	k, d := r.Centroids.Rows, r.Centroids.Cols

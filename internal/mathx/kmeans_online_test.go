@@ -1,0 +1,85 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func twoClusterFit(t *testing.T) *KMeansResult {
+	t.Helper()
+	data := NewMatrix(6, 2)
+	pts := [][2]float64{{0, 0}, {0.2, 0}, {0, 0.2}, {10, 10}, {10.2, 10}, {10, 10.2}}
+	for i, p := range pts {
+		data.Set(i, 0, p[0])
+		data.Set(i, 1, p[1])
+	}
+	return KMeans(data, 2, 50, NewRNG(7))
+}
+
+func TestKMeansClone(t *testing.T) {
+	r := twoClusterFit(t)
+	c := r.Clone()
+	if &c.Centroids.Data[0] == &r.Centroids.Data[0] {
+		t.Fatal("clone shares the centroid backing array")
+	}
+	if len(c.Labels) != len(r.Labels) {
+		t.Fatalf("labels not cloned: %d vs %d", len(c.Labels), len(r.Labels))
+	}
+	before := r.Centroids.At(0, 0)
+	c.UpdateCentroid(0, []float64{100, 100}, 0.5)
+	if r.Centroids.At(0, 0) != before {
+		t.Fatal("updating the clone mutated the original centroids")
+	}
+}
+
+func TestUpdateCentroidMovesTowardPoint(t *testing.T) {
+	r := twoClusterFit(t)
+	x := []float64{1, 1}
+	c := r.Predict(x)
+	d0 := math.Sqrt(sqDist([]float64{r.Centroids.At(c, 0), r.Centroids.At(c, 1)}, x))
+	moved := r.UpdateCentroid(c, x, 0.25)
+	d1 := math.Sqrt(sqDist([]float64{r.Centroids.At(c, 0), r.Centroids.At(c, 1)}, x))
+	if moved <= 0 {
+		t.Fatalf("no movement reported: %v", moved)
+	}
+	if d1 >= d0 {
+		t.Fatalf("centroid did not approach the point: %v -> %v", d0, d1)
+	}
+	// The reported movement is exactly lr × the prior distance.
+	if math.Abs(moved-0.25*d0) > 1e-12 {
+		t.Fatalf("moved %v, want lr*dist = %v", moved, 0.25*d0)
+	}
+	// lr=1 teleports the centroid onto the point; lr=0 is a no-op.
+	r.UpdateCentroid(c, x, 1)
+	if r.Centroids.At(c, 0) != 1 || r.Centroids.At(c, 1) != 1 {
+		t.Fatalf("lr=1 did not land on the point: (%v,%v)", r.Centroids.At(c, 0), r.Centroids.At(c, 1))
+	}
+	if m := r.UpdateCentroid(c, x, 0); m != 0 {
+		t.Fatalf("lr=0 moved %v", m)
+	}
+	// Out-of-range learning rates clamp instead of overshooting.
+	r.UpdateCentroid(c, []float64{3, 3}, 7)
+	if r.Centroids.At(c, 0) != 3 || r.Centroids.At(c, 1) != 3 {
+		t.Fatalf("lr>1 not clamped to 1: (%v,%v)", r.Centroids.At(c, 0), r.Centroids.At(c, 1))
+	}
+	if m := r.UpdateCentroid(c, x, -4); m != 0 {
+		t.Fatalf("negative lr not clamped to 0, moved %v", m)
+	}
+}
+
+func TestUpdateCentroidPanics(t *testing.T) {
+	r := twoClusterFit(t)
+	for name, f := range map[string]func(){
+		"bad-cluster": func() { r.UpdateCentroid(5, []float64{0, 0}, 0.5) },
+		"bad-dim":     func() { r.UpdateCentroid(0, []float64{0}, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

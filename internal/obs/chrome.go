@@ -19,6 +19,7 @@ const (
 	tidDMA      = 401
 	tidFaults   = 421 // fault-injection and resilience events
 	tidVNPU     = 441 // vNPU slice s → tidVNPU + s (throttle/cap enforcement)
+	tidCtl      = 481 // control-plane decisions (scale/drain/readmit/recluster)
 )
 
 // ChromeWriter is a Tracer that renders the event stream as Chrome
@@ -111,6 +112,8 @@ func (e sectionedEvent) tid() (tid int, name string) {
 			s = 0
 		}
 		return tidVNPU + s, fmt.Sprintf("vnpu slice %d", s)
+	case EvScaleUp, EvScaleDown, EvCoreDrain, EvReadmit, EvRecluster:
+		return tidCtl, "ctlplane"
 	}
 	switch e.FUKind {
 	case FUSA:
@@ -185,6 +188,18 @@ func (w *ChromeWriter) render(e sectionedEvent) chromeEvent {
 		args["bytes"] = e.Arg1
 	case EvSliceThrottle, EvSliceCapHit:
 		args["slice"] = e.Arg0
+	case EvScaleUp, EvScaleDown:
+		args["core"] = e.Arg0
+		args["active_cores"] = e.Arg1
+	case EvCoreDrain:
+		args["core"] = e.Arg0
+		args["victims"] = e.Arg1
+	case EvReadmit:
+		args["target_core"] = e.Arg0
+		args["latency_debt_cycles"] = e.Arg1
+	case EvRecluster:
+		args["drift"] = e.Arg0
+		args["observations"] = e.Arg1
 	}
 
 	if e.Dur > 0 {

@@ -104,6 +104,23 @@ const (
 	// hard ceiling (instant, workload-attributed; the scheduler skips the
 	// preemption instead of spilling past the cap). Arg0 is the slice index.
 	EvSliceCapHit
+	// EvScaleUp marks the control plane activating a spare core (instant).
+	// Arg0 is the core index, Arg1 the active core count after the decision.
+	EvScaleUp
+	// EvScaleDown marks the control plane deciding to retire a core (instant).
+	// Arg0 is the core index, Arg1 the active core count after the decision.
+	EvScaleDown
+	// EvCoreDrain marks a core's queue being drained for scale-down (instant).
+	// Arg0 is the core index, Arg1 the number of victim requests evicted.
+	EvCoreDrain
+	// EvReadmit marks one drained victim request landing on a surviving core
+	// (instant, workload-attributed). Arg0 is the target core, Arg1 the
+	// latency debt in cycles between the original arrival and the landing.
+	EvReadmit
+	// EvRecluster marks the control plane refreshing the collocation model
+	// from the drifted tenant mix (instant). Arg0 is the cumulative centroid
+	// drift in PCA space, Arg1 the number of observations folded in so far.
+	EvRecluster
 
 	numEventTypes // keep last
 )
@@ -153,6 +170,16 @@ func (t EventType) String() string {
 		return "slice-throttle"
 	case EvSliceCapHit:
 		return "slice-cap-hit"
+	case EvScaleUp:
+		return "scale-up"
+	case EvScaleDown:
+		return "scale-down"
+	case EvCoreDrain:
+		return "core-drain"
+	case EvReadmit:
+		return "readmit"
+	case EvRecluster:
+		return "reclustered"
 	}
 	return fmt.Sprintf("EventType(%d)", uint8(t))
 }

@@ -76,12 +76,12 @@ type Scenario struct {
 	// workload-engine arm): absolute nondecreasing arrival cycles, one
 	// schedule per workload. Mutually exclusive with ArrivalRateHz; V10
 	// schemes only (PMT has no arrival hook).
-	ArrivalCycles [][]int64 `json:"arrival_cycles,omitempty"`
-	PMTQuantum       int64          `json:"pmt_quantum,omitempty"`
-	PMTPrema         bool           `json:"pmt_prema,omitempty"`
-	PMTWeighted      bool           `json:"pmt_weighted,omitempty"`
-	Clones           bool           `json:"clones,omitempty"` // workloads are identical copies
-	Workloads        []WorkloadSpec `json:"workloads"`
+	ArrivalCycles [][]int64      `json:"arrival_cycles,omitempty"`
+	PMTQuantum    int64          `json:"pmt_quantum,omitempty"`
+	PMTPrema      bool           `json:"pmt_prema,omitempty"`
+	PMTWeighted   bool           `json:"pmt_weighted,omitempty"`
+	Clones        bool           `json:"clones,omitempty"` // workloads are identical copies
+	Workloads     []WorkloadSpec `json:"workloads"`
 }
 
 // graph materializes one workload's operator DAG (fresh per call so callers

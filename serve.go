@@ -3,6 +3,7 @@ package v10
 import (
 	"fmt"
 
+	"v10/internal/ctlplane"
 	"v10/internal/faults"
 	"v10/internal/fleet"
 	"v10/internal/vnpu"
@@ -75,6 +76,40 @@ func ParseFaults(spec string) (*FaultSchedule, error) { return faults.Parse(spec
 func GenerateFaults(cores int, horizonCycles, mttfCycles int64, seed uint64) *FaultSchedule {
 	return faults.Generate(cores, horizonCycles, mttfCycles, seed)
 }
+
+// ElasticConfig parameterizes the fleet's elastic control plane: an
+// SLO-attainment-driven autoscaling loop with hysteresis and cooldown that
+// activates spare cores under pressure and drains them (migrating their
+// queued work) when the fleet runs cold. See internal/ctlplane.
+type ElasticConfig = ctlplane.Config
+
+// ElasticDecision is one recorded control-plane action (scale-up,
+// scale-down, or recluster) with the window and cycle it was taken at.
+type ElasticDecision = ctlplane.Decision
+
+// FleetControlOutcome is the elastic control plane's recorded outcome for a
+// run: scaling counters, drain accounting, the full window-signal and
+// decision traces, and per-core activity spans.
+type FleetControlOutcome = fleet.ControlOutcome
+
+// FleetAdmission selects the dispatcher's admission policy: AdmitQueueBound
+// (the classic bounded queue) or AdmitPredictive (PREMA-style estimated-
+// slowdown admission).
+type FleetAdmission = fleet.Admission
+
+// Admission policies.
+const (
+	// AdmitQueueBound admits while the target core's queue is under
+	// QueueLimit — the static baseline.
+	AdmitQueueBound = fleet.AdmitQueueBound
+	// AdmitPredictive admits while the predicted slowdown
+	// (wait + service) / service stays within SlowdownLimit.
+	AdmitPredictive = fleet.AdmitPredictive
+)
+
+// ParseFleetAdmission maps a CLI spelling ("queue-bound", "predictive") to a
+// FleetAdmission.
+func ParseFleetAdmission(s string) (FleetAdmission, error) { return fleet.ParseAdmission(s) }
 
 // FleetResult is a whole fleet run's outcome: per-core simulation results,
 // per-tenant SLO statistics, and aggregate goodput/shed accounting.
@@ -180,6 +215,32 @@ type FleetOptions struct {
 	// slices (default vnpu.DefaultWindowCycles). Only meaningful with
 	// VNPUTemplates.
 	SliceWindowCycles int64
+
+	// Elastic, when non-nil, turns on the autoscaling control plane: the
+	// fleet starts at Elastic.MinCores active cores and the control loop
+	// activates/drains spares against windowed SLO-attainment signals.
+	// Requires a V10 scheme; mutually exclusive with Faults and
+	// VNPUTemplates.
+	Elastic *ElasticConfig
+
+	// Admission picks the dispatcher's admission policy (default
+	// AdmitQueueBound). AdmitPredictive admits on estimated slowdown
+	// instead of queue depth.
+	Admission FleetAdmission
+
+	// SlowdownLimit is AdmitPredictive's ceiling on (wait + service) /
+	// service (default SLOFactor; must be >= 1).
+	SlowdownLimit float64
+
+	// Recluster folds each window's observed tenant features into a private
+	// clone of the advisor's K-Means stage (MacQueen online updates), so the
+	// collocation model tracks tenant-mix drift. Requires Elastic and an
+	// Advisor-backed run.
+	Recluster bool
+
+	// StatsWindowCycles sets the per-tenant windowed-stats bucket width
+	// (default: the control interval under Elastic, otherwise no windows).
+	StatsWindowCycles int64
 }
 
 // ServeFleet simulates the tenants' open-loop request streams on a fleet of
@@ -216,6 +277,12 @@ func ServeFleet(tenants []*Workload, scheme Scheme, opt FleetOptions) (*FleetRes
 
 		VNPUTemplates:     opt.VNPUTemplates,
 		SliceWindowCycles: opt.SliceWindowCycles,
+
+		Elastic:           opt.Elastic,
+		Admission:         opt.Admission,
+		SlowdownLimit:     opt.SlowdownLimit,
+		Recluster:         opt.Recluster,
+		StatsWindowCycles: opt.StatsWindowCycles,
 
 		Faults:                 opt.Faults,
 		HeartbeatCycles:        opt.HeartbeatCycles,
