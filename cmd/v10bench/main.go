@@ -24,6 +24,7 @@ import (
 	"v10/internal/experiments"
 	"v10/internal/parallel"
 	"v10/internal/report"
+	"v10/internal/tune"
 )
 
 // selectGenerators resolves the -only flag: empty means every generator, else
@@ -58,6 +59,8 @@ func main() {
 		"write a Perfetto-loadable <pair>.trace.json timeline per collocation pair into this directory")
 	counterDir := flag.String("counters", "",
 		"write <pair>.counters.csv per-workload counter snapshots into this directory")
+	tunedFlag := flag.String("tuned", "",
+		"tuned-policy JSON the 'tuned' experiment compares against the defaults (default: the committed v10tune winner)")
 	var pf perfFlags
 	flag.BoolVar(&pf.enabled, "perf", false,
 		"run the committed performance suites (BENCH_sim/BENCH_fleet scenarios) instead of the paper tables")
@@ -93,6 +96,14 @@ func main() {
 	ctx.Parallel = *par
 	ctx.TraceDir = *traceDir
 	ctx.CounterDir = *counterDir
+	if *tunedFlag != "" {
+		p, err := tune.LoadPolicy(*tunedFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ctx.TunedKnobs = &p.Knobs
+	}
 
 	gens, err := selectGenerators(*only)
 	if err != nil {

@@ -13,6 +13,7 @@
 //	v10serve -cores 4 -tenants 8 -trace-file prod.trace
 //	v10serve -cores 4 -mix prefill-decode -tenants 8
 //	v10serve -cores 2 -tenants 6 -vnpu "big=0.75:0.75:0.75;small=0.25"
+//	v10serve -cores 4 -tenants 8 -tuned results/tuned_policy.json
 package main
 
 import (
@@ -179,6 +180,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"predictive admission's slowdown ceiling (wait+service)/service (0 = -slo-factor)")
 	recluster := fs.Bool("recluster", false,
 		"fold observed tenant features into the advisor's clustering online (requires -autoscale and -policy advisor)")
+	tunedFlag := fs.String("tuned", "",
+		"tuned-policy JSON from v10tune -out; its knobs override the scheduler/queue/migration flags above")
+	feedback := fs.Int("feedback-rounds", 0,
+		"recalibrate service estimates against realized latency and re-run this many times (0 = single pass)")
 	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same result)")
 	parallelism := fs.Int("parallel", 0, "worker goroutines for per-core simulations (0 = GOMAXPROCS)")
 	traceOut := fs.String("trace", "", "write a Perfetto timeline of the whole fleet (one section per core) to this file")
@@ -266,6 +271,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *recluster && pol != v10.PlaceAdvisor {
 		fmt.Fprintln(stderr, "-recluster requires -policy advisor (there is no model to update)")
 		return 2
+	}
+	if *feedback < 0 {
+		fmt.Fprintf(stderr, "invalid -feedback-rounds %d\n", *feedback)
+		return 2
+	}
+	var tuned *v10.TunedKnobs
+	if *tunedFlag != "" {
+		p, err := v10.LoadTunedPolicy(*tunedFlag)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		tuned = &p.Knobs
 	}
 	cfg := v10.DefaultConfig()
 	proc := strings.ToLower(strings.TrimSpace(*workloadFlag))
@@ -378,6 +396,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Admission:     adm,
 		SlowdownLimit: *slowdown,
 		Recluster:     *recluster,
+
+		FeedbackRounds: *feedback,
+		Tuned:          tuned,
 	}
 	if *autoscale > 0 {
 		opt.Elastic = &v10.ElasticConfig{

@@ -508,3 +508,90 @@ func TestBuildTenantsCyclesMix(t *testing.T) {
 		t.Fatalf("names = %s / %s / %s", ws[0].Name, ws[1].Name, ws[2].Name)
 	}
 }
+
+// writeTunedPolicy drops a policy file with the given knobs into a temp dir.
+func writeTunedPolicy(t *testing.T, knobs v10.TunedKnobs) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "policy.json")
+	p := &v10.TunedPolicy{Description: "test policy", Knobs: knobs}
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWithTunedPolicy(t *testing.T) {
+	path := writeTunedPolicy(t, v10.BuiltinTunedKnobs())
+	var tunedOut, defOut, stderr bytes.Buffer
+	if code := run(quickArgs("-tuned", path), &tunedOut, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	stderr.Reset()
+	if code := run(quickArgs(), &defOut, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	var tuned map[string]any
+	if err := json.Unmarshal(tunedOut.Bytes(), &tuned); err != nil {
+		t.Fatalf("tuned stdout is not JSON: %v", err)
+	}
+	// The tuned quantum reshapes the schedule: same fixture, different
+	// timeline (the coarse counters may tie, the cycle accounting cannot).
+	if bytes.Equal(tunedOut.Bytes(), defOut.Bytes()) {
+		t.Fatalf("tuned policy left the run bit-identical to the defaults:\n%s", tunedOut.String())
+	}
+}
+
+func TestRunWithFeedbackRounds(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(quickArgs("-feedback-rounds", "1"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout is not JSON: %v", err)
+	}
+}
+
+// TestRunRejectsBadTunedPolicy exercises the shared knob validation through
+// the CLI: out-of-range values, non-finite values, unknown fields, and
+// missing files all exit 2 before any simulation runs.
+func TestRunRejectsBadTunedPolicy(t *testing.T) {
+	outOfRange := v10.BuiltinTunedKnobs()
+	outOfRange.QuantumCycles = 1 // below the legal floor
+	tooHigh := v10.BuiltinTunedKnobs()
+	tooHigh.DrainOccupancy = 64 // above the legal ceiling
+	dir := t.TempDir()
+	writeRaw := func(name, body string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Save refuses illegal knobs, so out-of-range files are written raw.
+	mustJSON := func(k v10.TunedKnobs) string {
+		b, err := json.Marshal(map[string]any{"knobs": k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	for name, args := range map[string][]string{
+		"missing policy file": quickArgs("-tuned", filepath.Join(dir, "no-such.json")),
+		"malformed policy":    quickArgs("-tuned", writeRaw("garbage.json", "not json")),
+		"unknown field":       quickArgs("-tuned", writeRaw("unknown.json", `{"knobs": {}, "bogus": 1}`)),
+		"knob below minimum":  quickArgs("-tuned", writeRaw("low.json", mustJSON(outOfRange))),
+		"knob above maximum":  quickArgs("-tuned", writeRaw("high.json", mustJSON(tooHigh))),
+		"non-finite knob": quickArgs("-tuned", writeRaw("inf.json",
+			`{"knobs": {"quantum_cycles": 32768, "preempt_margin": 1e999, "priority_exponent": 0,
+			  "queue_limit": 8, "collocation_threshold": 1.3, "migration_backoff_cycles": 250000,
+			  "cooldown_intervals": 2, "slowdown_limit": 2.5, "drain_occupancy": 0.25}}`)),
+		"negative feedback rounds": quickArgs("-feedback-rounds", "-1"),
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", name, code, stderr.String())
+		}
+	}
+}

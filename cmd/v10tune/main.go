@@ -1,0 +1,136 @@
+// Command v10tune searches the serving stack's cross-layer knob space —
+// scheduler quantum, preemption margin, priority bias, dispatcher queue
+// bound, collocation threshold, migration backoff, and the elastic control
+// plane's cooldown/drain parameters — with a seeded evolutionary search over
+// the deterministic simulator, scored on a fixed corpus of fleet scenarios
+// (steady serving, fault injection, LLM prefill/decode traffic,
+// autoscaling). It prints the search result as JSON on stdout and can write
+// the winning policy (loadable by v10serve -tuned) and the full Pareto
+// front.
+//
+//	v10tune -seed 1 -generations 16 -pop 24 -out results/tuned_policy.json
+//	v10tune -seed 1 -parallel 4                 # same front, any -parallel
+//	v10tune -validate results/tuned_policy.json # load + range-check only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"v10/internal/tune"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main's testable body; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("v10tune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1, "search seed (same seed, same Pareto front at any -parallel)")
+	par := fs.Int("parallel", 0, "candidate-evaluation workers (0 = GOMAXPROCS, 1 = serial)")
+	generations := fs.Int("generations", 16, "breeding rounds after the initial population")
+	pop := fs.Int("pop", 24, "candidates per generation (minimum 2)")
+	out := fs.String("out", "", "write the winning policy JSON here (empty = don't)")
+	frontOut := fs.String("front", "", "write the full Pareto front JSON here (empty = don't)")
+	validate := fs.String("validate", "", "load and range-check this policy file, then exit")
+	quiet := fs.Bool("quiet", false, "suppress per-generation progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *validate != "" {
+		p, err := tune.LoadPolicy(*validate)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "%s: valid policy (%d knobs)\n", *validate, len(tune.KnobNames()))
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(p); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	if *pop < 2 {
+		fmt.Fprintf(stderr, "invalid -pop %d (minimum 2)\n", *pop)
+		return 2
+	}
+	if *generations < 1 {
+		fmt.Fprintf(stderr, "invalid -generations %d (minimum 1)\n", *generations)
+		return 2
+	}
+
+	fmt.Fprintf(stderr, "building evaluation corpus (seed %d)...\n", *seed)
+	corpus, err := tune.DefaultCorpus(*seed, *par)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	progress := func(format string, args ...any) {
+		fmt.Fprintf(stderr, format+"\n", args...)
+	}
+	if *quiet {
+		progress = nil
+	}
+	res, err := tune.Search(tune.Options{
+		Seed:        *seed,
+		Parallel:    *par,
+		Generations: *generations,
+		Population:  *pop,
+		Corpus:      corpus,
+		Progress:    progress,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// The search-invariant oracles run in the production path: no policy is
+	// written from a front that fails coverage, objective-consistency,
+	// dominance, winner-constraint, or freshness checks.
+	if err := tune.Verify(res, corpus, *par); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	if *out != "" {
+		p := &tune.Policy{
+			Description: "v10tune evolutionary search winner (gate: fleet+faults goodput up at p99 <= default)",
+			Seed:        res.Seed,
+			Generations: res.Generations,
+			Population:  res.Population,
+			Evaluations: res.Evaluations,
+			Objectives:  &res.Best.Objectives,
+			Knobs:       res.Best.Knobs,
+		}
+		if err := p.Save(*out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote winning policy to %s\n", *out)
+	}
+	if *frontOut != "" {
+		data, err := json.MarshalIndent(res.Front, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(*frontOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote %d-point Pareto front to %s\n", len(res.Front), *frontOut)
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"v10/internal/tune"
+)
+
+// TestRunSmokeTinyBudget runs the whole production path — corpus build,
+// search, the Verify oracle chain, and both output files — at the smallest
+// legal budget, then checks the emitted schemas.
+func TestRunSmokeTinyBudget(t *testing.T) {
+	dir := t.TempDir()
+	policyPath := filepath.Join(dir, "policy.json")
+	frontPath := filepath.Join(dir, "front.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-seed", "1", "-pop", "2", "-generations", "1", "-parallel", "1",
+		"-quiet", "-out", policyPath, "-front", frontPath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+
+	var res tune.Result
+	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+		t.Fatalf("stdout is not a Result: %v", err)
+	}
+	if res.Evaluations < 2 || len(res.Front) == 0 {
+		t.Fatalf("degenerate result: %d evaluations, front %d", res.Evaluations, len(res.Front))
+	}
+	if len(res.Best.Scores) != 4 {
+		t.Fatalf("Best scored %d corpus cells, want 4", len(res.Best.Scores))
+	}
+
+	p, err := tune.LoadPolicy(policyPath)
+	if err != nil {
+		t.Fatalf("written policy does not load: %v", err)
+	}
+	if p.Knobs != res.Best.Knobs {
+		t.Fatalf("policy knobs %+v != Best knobs %+v", p.Knobs, res.Best.Knobs)
+	}
+	if p.Seed != 1 || p.Evaluations != res.Evaluations || p.Objectives == nil {
+		t.Fatalf("policy provenance incomplete: %+v", p)
+	}
+
+	frontData, err := os.ReadFile(frontPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var front []tune.Point
+	if err := json.Unmarshal(frontData, &front); err != nil {
+		t.Fatalf("front file is not a []Point: %v", err)
+	}
+	if len(front) != len(res.Front) {
+		t.Fatalf("front file has %d points, result %d", len(front), len(res.Front))
+	}
+}
+
+func TestRunValidateAcceptsCommittedPolicy(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	path := filepath.Join("..", "..", tune.TunedPolicyPath)
+	if code := run([]string{"-validate", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr.String())
+	}
+	var p tune.Policy
+	if err := json.Unmarshal(stdout.Bytes(), &p); err != nil {
+		t.Fatalf("-validate stdout is not a Policy: %v", err)
+	}
+	if p.Knobs != tune.Tuned() {
+		t.Fatalf("committed policy knobs %+v != Tuned() literal", p.Knobs)
+	}
+}
+
+func TestRunErrorExits(t *testing.T) {
+	dir := t.TempDir()
+	writeRaw := func(name, body string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	outOfRange := `{"knobs": {"quantum_cycles": 32768, "preempt_margin": 99,
+		"priority_exponent": 0, "queue_limit": 8, "collocation_threshold": 1.3,
+		"migration_backoff_cycles": 250000, "cooldown_intervals": 2,
+		"slowdown_limit": 2.5, "drain_occupancy": 0.25}}`
+	nonFinite := `{"knobs": {"quantum_cycles": 32768, "preempt_margin": 1e999,
+		"priority_exponent": 0, "queue_limit": 8, "collocation_threshold": 1.3,
+		"migration_backoff_cycles": 250000, "cooldown_intervals": 2,
+		"slowdown_limit": 2.5, "drain_occupancy": 0.25}}`
+	for name, tc := range map[string]struct {
+		args []string
+		want int
+	}{
+		"unknown flag":          {[]string{"-definitely-not-a-flag"}, 2},
+		"population below two":  {[]string{"-pop", "1"}, 2},
+		"zero generations":      {[]string{"-generations", "0"}, 2},
+		"validate missing file": {[]string{"-validate", filepath.Join(dir, "no-such.json")}, 1},
+		"validate garbage":      {[]string{"-validate", writeRaw("garbage.json", "not json")}, 1},
+		"validate unknown field": {[]string{
+			"-validate", writeRaw("unknown.json", `{"knobs": {}, "bogus": 1}`)}, 1},
+		"validate out-of-range knob": {[]string{
+			"-validate", writeRaw("range.json", outOfRange)}, 1},
+		"validate non-finite knob": {[]string{
+			"-validate", writeRaw("inf.json", nonFinite)}, 1},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != tc.want {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", name, code, tc.want, stderr.String())
+		}
+	}
+}

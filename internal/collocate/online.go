@@ -40,6 +40,25 @@ func (m *Model) CloneForOnline() *Model {
 	return out
 }
 
+// WithThreshold returns a shallow copy of the model whose predicted-beneficial
+// cutoff is th (ShouldCollocate and GroupFit compare predicted pair
+// performance against it). Everything else — PCA projection, centroids, the
+// profiled performance tables — is shared with the receiver, which is never
+// mutated; the policy-search harness sweeps the threshold over one trained
+// model this way instead of retraining per candidate. th must be positive;
+// a non-positive th returns the receiver unchanged (the trained cutoff).
+func (m *Model) WithThreshold(th float64) *Model {
+	if m == nil || th <= 0 || th == m.cfg.Threshold {
+		return m
+	}
+	out := *m
+	out.cfg.Threshold = th
+	return &out
+}
+
+// Threshold reports the model's predicted-beneficial cutoff.
+func (m *Model) Threshold() float64 { return m.cfg.Threshold }
+
 // Observe folds one live feature vector into the clustering: it assigns f to
 // its nearest centroid, nudges that centroid toward f with learning rate
 // 1/(count+1) (the MacQueen sequential K-Means step), and returns the cluster

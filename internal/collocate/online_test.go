@@ -124,3 +124,31 @@ func TestOnlineUpdatesAreDeterministic(t *testing.T) {
 		t.Fatal("online update stream is not bit-identical across reruns")
 	}
 }
+
+func TestWithThresholdClones(t *testing.T) {
+	m, feats := trainedZooModel(t)
+	orig := m.Threshold()
+	hi := m.WithThreshold(orig * 10)
+	lo := m.WithThreshold(1e-9)
+	if m.Threshold() != orig {
+		t.Fatalf("receiver mutated: threshold %v, want %v", m.Threshold(), orig)
+	}
+	if hi.Threshold() != orig*10 || lo.Threshold() != 1e-9 {
+		t.Fatalf("thresholds not applied: hi=%v lo=%v", hi.Threshold(), lo.Threshold())
+	}
+	// The gates must read the new cutoff: at an absurdly high threshold no
+	// pair collocates; at a near-zero threshold every pair does.
+	for i := range feats {
+		for j := i + 1; j < len(feats); j++ {
+			if hi.ShouldCollocate(feats[i], feats[j]) {
+				t.Fatalf("pair %d+%d collocates above a 10x threshold", i, j)
+			}
+			if !lo.ShouldCollocate(feats[i], feats[j]) {
+				t.Fatalf("pair %d+%d rejected at a near-zero threshold", i, j)
+			}
+		}
+	}
+	if m.WithThreshold(0) != m || m.WithThreshold(orig) != m {
+		t.Fatal("identity cases should return the receiver")
+	}
+}

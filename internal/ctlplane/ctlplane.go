@@ -38,6 +38,12 @@ type Config struct {
 	// CooldownCycles is the minimum cycle gap between two scale decisions.
 	// Default 2×IntervalCycles. Negative is rejected.
 	CooldownCycles int64 `json:"cooldown_cycles"`
+	// CooldownIntervals expresses the cooldown as a multiple of the control
+	// interval instead of absolute cycles — the portable form a tuned policy
+	// carries across scenarios whose horizons (and therefore intervals)
+	// differ. Mutually exclusive with CooldownCycles; WithDefaults resolves
+	// it to CooldownCycles = CooldownIntervals × IntervalCycles.
+	CooldownIntervals int `json:"cooldown_intervals,omitempty"`
 	// HysteresisWindows is how many consecutive qualifying windows a signal
 	// must persist before the loop acts on it. Default 2.
 	HysteresisWindows int `json:"hysteresis_windows"`
@@ -88,6 +94,17 @@ func (cfg Config) WithDefaults(maxCores int, durationCycles int64) (Config, erro
 	}
 	if cfg.CooldownCycles < 0 {
 		return cfg, fmt.Errorf("ctlplane: negative CooldownCycles %d", cfg.CooldownCycles)
+	}
+	if cfg.CooldownIntervals < 0 {
+		return cfg, fmt.Errorf("ctlplane: negative CooldownIntervals %d", cfg.CooldownIntervals)
+	}
+	if cfg.CooldownIntervals > 0 {
+		if cfg.CooldownCycles > 0 {
+			return cfg, fmt.Errorf("ctlplane: CooldownCycles %d and CooldownIntervals %d are mutually exclusive",
+				cfg.CooldownCycles, cfg.CooldownIntervals)
+		}
+		cfg.CooldownCycles = int64(cfg.CooldownIntervals) * cfg.IntervalCycles
+		cfg.CooldownIntervals = 0 // resolved; keeps WithDefaults idempotent
 	}
 	if cfg.CooldownCycles == 0 {
 		cfg.CooldownCycles = 2 * cfg.IntervalCycles

@@ -299,3 +299,26 @@ func TestCheckDisciplineSkipsScriptedRuns(t *testing.T) {
 		t.Fatalf("scripted run flagged: %v", problems)
 	}
 }
+
+func TestCooldownIntervalsResolve(t *testing.T) {
+	cfg, err := Config{IntervalCycles: 1000, CooldownIntervals: 3}.WithDefaults(4, 16_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CooldownCycles != 3000 {
+		t.Fatalf("CooldownCycles = %d, want 3000", cfg.CooldownCycles)
+	}
+	if cfg.CooldownIntervals != 0 {
+		t.Fatalf("CooldownIntervals not cleared after resolution: %d", cfg.CooldownIntervals)
+	}
+	// Resolution must be idempotent: re-validating the resolved config works.
+	if again, err := cfg.WithDefaults(4, 16_000); err != nil || again.CooldownCycles != cfg.CooldownCycles || again.CooldownIntervals != 0 {
+		t.Fatalf("resolved config not idempotent: %+v err=%v", again, err)
+	}
+	if _, err := (Config{CooldownIntervals: -1}).WithDefaults(4, 16_000); err == nil {
+		t.Fatal("negative CooldownIntervals accepted")
+	}
+	if _, err := (Config{CooldownCycles: 10, CooldownIntervals: 2}).WithDefaults(4, 16_000); err == nil {
+		t.Fatal("CooldownCycles+CooldownIntervals together accepted")
+	}
+}

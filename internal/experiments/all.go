@@ -51,6 +51,7 @@ func Generators() []Generator {
 		{"faults", "Fleet resilience under injected core failures", (*Context).Faults},
 		{"workload", "Workload-engine traffic sweep (bursty + prefill/decode)", (*Context).WorkloadSweep},
 		{"elastic", "Elastic control plane: autoscaling vs static provisioning", (*Context).Elastic},
+		{"tuned", "Tuned policy vs default knobs (v10tune search winner)", (*Context).Tuned},
 	}
 }
 

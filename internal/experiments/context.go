@@ -18,6 +18,7 @@ import (
 	"v10/internal/parallel"
 	"v10/internal/sched"
 	"v10/internal/trace"
+	"v10/internal/tune"
 )
 
 // Context carries shared configuration and memoizes simulation runs so that
@@ -49,6 +50,10 @@ type Context struct {
 	// CounterDir, when set, writes interval-sampled per-workload counter
 	// snapshots for every pair as <pair>.counters.csv.
 	CounterDir string
+
+	// TunedKnobs overrides the committed v10tune policy in the tuned
+	// experiment (nil = the built-in search winner).
+	TunedKnobs *tune.Knobs
 
 	profiles parallel.Memo[string, *metrics.RunResult]
 	pairs    parallel.Memo[string, *pairRun]

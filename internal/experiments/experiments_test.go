@@ -41,7 +41,7 @@ func TestGeneratorsRegistryComplete(t *testing.T) {
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig15",
 		"fig16a", "fig16b", "fig16c", "fig17", "fig18", "fig19", "fig20",
 		"fig21", "fig22a", "fig22b", "fig23", "fig24", "fig25", "disc4", "ext1", "calib",
-		"fleet", "faults", "workload", "elastic",
+		"fleet", "faults", "workload", "elastic", "tuned",
 	}
 	gens := Generators()
 	if len(gens) != len(want) {

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"v10/internal/report"
+	"v10/internal/tune"
+)
+
+// Tuned compares the committed v10tune search winner against the default
+// knobs on the tuner's own evaluation corpus (rebuilt at the committed
+// policy's seed), one row per corpus cell. The fleet and faults rows are the
+// regression gate the policy was selected under: goodput at least the
+// defaults' at no-worse p99, strictly better goodput on at least one.
+func (c *Context) Tuned() (*report.Table, error) {
+	knobs := tune.Tuned()
+	if c.TunedKnobs != nil {
+		knobs = *c.TunedKnobs
+	}
+	if err := knobs.Validate(); err != nil {
+		return nil, fmt.Errorf("tuned experiment: %w", err)
+	}
+	corpus, err := tune.DefaultCorpus(tune.TunedSeed, c.Parallel)
+	if err != nil {
+		return nil, fmt.Errorf("tuned experiment: %w", err)
+	}
+	defaults := tune.DefaultKnobs()
+
+	t := &report.Table{
+		ID:    "tuned",
+		Title: "Tuned policy vs default knobs (v10tune search winner)",
+		Note: fmt.Sprintf("v10tune corpus at seed %d; 'gate' rows are the committed policy's regression gate "+
+			"(goodput >= default at p99 <= default, strictly better somewhere); p99 is the worst tenant's, in Mcycles",
+			tune.TunedSeed),
+		Header: []string{"scenario", "gate", "goodput default (Hz)", "goodput tuned (Hz)", "goodput x",
+			"p99 default (Mcy)", "p99 tuned (Mcy)", "p99 x", "fairness default", "fairness tuned"},
+	}
+	for _, sc := range corpus {
+		sd, err := sc.Run(defaults, c.Parallel)
+		if err != nil {
+			return nil, fmt.Errorf("tuned experiment: defaults on %s: %w", sc.Name, err)
+		}
+		st, err := sc.Run(knobs, c.Parallel)
+		if err != nil {
+			return nil, fmt.Errorf("tuned experiment: tuned on %s: %w", sc.Name, err)
+		}
+		gate := ""
+		if tune.GateScenarios[sc.Name] {
+			gate = "yes"
+		}
+		t.AddRow(sc.Name, gate,
+			sd.GoodputHz, st.GoodputHz, ratioCell(st.GoodputHz, sd.GoodputHz),
+			sd.P99Cycles/1e6, st.P99Cycles/1e6, ratioCell(st.P99Cycles, sd.P99Cycles),
+			sd.Fairness, st.Fairness)
+	}
+	return t, nil
+}
+
+// ratioCell renders tuned/default, guarding the degenerate zero baseline.
+func ratioCell(v, b float64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3fx", v/b)
+}

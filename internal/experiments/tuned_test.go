@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"v10/internal/tune"
+)
+
+func TestTunedExperimentRegistered(t *testing.T) {
+	g, ok := ByID("tuned")
+	if !ok {
+		t.Fatal("tuned experiment not registered")
+	}
+	if g.Name == "" {
+		t.Fatal("tuned experiment has no name")
+	}
+}
+
+func TestTunedExperimentTable(t *testing.T) {
+	c := NewContext()
+	tb, err := c.Tuned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "tuned" {
+		t.Fatalf("table ID %q", tb.ID)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows, want one per corpus cell", len(tb.Rows))
+	}
+	gateRows := 0
+	for _, row := range tb.Rows {
+		if tune.GateScenarios[row[0]] {
+			if row[1] != "yes" {
+				t.Errorf("gate cell %s not marked", row[0])
+			}
+			gateRows++
+		} else if row[1] != "" {
+			t.Errorf("non-gate cell %s marked as gate", row[0])
+		}
+	}
+	if gateRows != len(tune.GateScenarios) {
+		t.Fatalf("table covers %d of %d gate cells", gateRows, len(tune.GateScenarios))
+	}
+	if !strings.Contains(tb.Note, "seed") {
+		t.Errorf("note omits the corpus seed: %q", tb.Note)
+	}
+}
+
+func TestTunedExperimentRejectsBadOverride(t *testing.T) {
+	c := NewContext()
+	bad := tune.DefaultKnobs()
+	bad.QueueLimit = -5
+	c.TunedKnobs = &bad
+	if _, err := c.Tuned(); err == nil {
+		t.Fatal("invalid knob override accepted")
+	}
+}

@@ -79,6 +79,11 @@ type dispatchOutcome struct {
 	shed []int
 	// offered[t] counts tenant t's total arrivals.
 	offered []int
+	// estLatSum[t] / estLatCnt[t] accumulate the dispatcher's predicted
+	// latency (booked completion − arrival, plus carried debt) over tenant
+	// t's admissions — the estimate side of the realized-latency feedback.
+	estLatSum []float64
+	estLatCnt []int
 	// migrated[t] counts migration landings (a request re-victimized by a
 	// cascading failure counts once per landing).
 	migrated []int
@@ -302,6 +307,8 @@ func dispatch(tenants []*trace.Workload, arrivals []arrival, homes [][]int, prof
 		spilled:    make([]int, nT),
 		shed:       make([]int, nT),
 		offered:    make([]int, nT),
+		estLatSum:  make([]float64, nT),
+		estLatCnt:  make([]int, nT),
 		migrated:   make([]int, nT),
 		migShed:    make([]int, nT),
 		migCycles:  make([]int64, nT),
@@ -785,12 +792,25 @@ func (d *dispatcher) shedArrival(tenant int) {
 	}
 }
 
+// bookEst is the booking estimate for one tenant request: the profiled
+// service estimate scaled by the current calibration round's multiplier (1
+// without feedback). Queue booking, predictive admission, and therefore the
+// control plane's attainment signal all see the calibrated value; the SLO
+// definition deliberately does not.
+func (d *dispatcher) bookEst(t int) float64 {
+	est := d.profs[t].estCycles
+	if d.o.calib != nil {
+		est *= d.o.calib[t]
+	}
+	return est
+}
+
 // admitOK applies the front-door admission discipline to one arrival probing
 // core c: the static queue bound, or the PREMA-style predicted-slowdown gate.
 func (d *dispatcher) admitOK(c int, a arrival) bool {
 	q := &d.queues[c]
 	if d.o.Admission == AdmitPredictive {
-		est := d.profs[a.tenant].estCycles
+		est := d.bookEst(a.tenant)
 		if est <= 0 {
 			return true
 		}
@@ -831,9 +851,11 @@ func (d *dispatcher) bestTarget(at int64, tenant, exclude int) int {
 
 // admit books one request on core c with the given latency debt.
 func (d *dispatcher) admit(c int, a arrival, debt int64) {
-	done := d.queues[c].admit(a.at, d.profs[a.tenant].estCycles, a.tenant)
+	done := d.queues[c].admit(a.at, d.bookEst(a.tenant), a.tenant)
 	d.out.admitted[c][a.tenant] = append(d.out.admitted[c][a.tenant], a.at)
 	d.out.debts[c][a.tenant] = append(d.out.debts[c][a.tenant], debt)
+	d.out.estLatSum[a.tenant] += float64(done-a.at) + float64(debt)
+	d.out.estLatCnt[a.tenant]++
 	if c != d.home[a.tenant] {
 		d.out.spilled[a.tenant]++
 	}

@@ -247,6 +247,42 @@ type Options struct {
 	// the injection point for the estimate-consistency mutation oracle.
 	EstimateScale float64
 
+	// PreemptMargin forwards the per-core scheduler's preemption benefit
+	// margin: a waiting workload preempts only when its accumulated-rate
+	// product exceeds the running one's by this factor (0 = the scheduler's
+	// default 1.25). Tunable knob; must be >= 1 when set.
+	PreemptMargin float64
+
+	// PriorityExponent biases tenant scheduling priorities by estimated
+	// service time: tenant t's authored priority is multiplied by
+	// (ref/est_t)^PriorityExponent, where ref is the geometric mean of the
+	// fleet's service estimates — positive exponents favor short tenants
+	// (shortest-job-first pressure on the V10 priority scheduler), negative
+	// ones favor long tenants. 0 (the default) leaves priorities as authored.
+	PriorityExponent float64
+
+	// CollocationThreshold overrides the trained model's predicted-beneficial
+	// cutoff for this run (0 = keep the trained threshold). Placement grouping
+	// and the spill/migration compatibility gates all read it. Requires Model.
+	CollocationThreshold float64
+
+	// FeedbackRounds closes the loop between estimated and realized latency:
+	// after each round the dispatcher's per-tenant booking estimates are
+	// rescaled by the ratio of realized to predicted mean latency, and the
+	// whole run repeats with the calibrated estimates (FeedbackRounds extra
+	// passes). The SLO definition stays on the uncalibrated estimates — only
+	// queue booking, predictive admission, and the control plane's attainment
+	// signal see the calibration, so goodput is judged against a fixed bar
+	// while the control signals converge toward ground truth. The Result
+	// carries one CalibrationRound per pass; 0 (the default) is the classic
+	// single estimate-driven pass, bit-identical to the pre-feedback
+	// dispatcher.
+	FeedbackRounds int
+
+	// calib holds the per-tenant booking-estimate multipliers of the current
+	// feedback round (nil = all 1). Internal: Run's feedback loop sets it.
+	calib []float64
+
 	// StatsWindowCycles, when positive, additionally buckets every tenant's
 	// completions into windows of this many cycles, each annotated with the
 	// core count actually active during the window — goodput attribution that
@@ -291,6 +327,17 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if _, err := ParsePolicy(string(o.Policy)); err != nil {
 		return o, err
+	}
+	if o.CollocationThreshold < 0 || math.IsInf(o.CollocationThreshold, 0) || math.IsNaN(o.CollocationThreshold) {
+		return o, fmt.Errorf("fleet: invalid CollocationThreshold %v", o.CollocationThreshold)
+	}
+	if o.CollocationThreshold > 0 {
+		if o.Model == nil {
+			return o, fmt.Errorf("fleet: CollocationThreshold requires a trained collocation model")
+		}
+		// Before the Recluster clone and the compat binding below, so both see
+		// the overridden cutoff.
+		o.Model = o.Model.WithThreshold(o.CollocationThreshold)
 	}
 	if o.Recluster {
 		if o.Model == nil {
@@ -400,6 +447,16 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.EstimateScale < 0 || math.IsInf(o.EstimateScale, 0) || math.IsNaN(o.EstimateScale) {
 		return o, fmt.Errorf("fleet: invalid EstimateScale %v", o.EstimateScale)
+	}
+	if o.PreemptMargin < 0 || math.IsInf(o.PreemptMargin, 0) || math.IsNaN(o.PreemptMargin) ||
+		(o.PreemptMargin > 0 && o.PreemptMargin < 1) {
+		return o, fmt.Errorf("fleet: invalid PreemptMargin %v (want >= 1, or 0 for the default)", o.PreemptMargin)
+	}
+	if math.IsInf(o.PriorityExponent, 0) || math.IsNaN(o.PriorityExponent) {
+		return o, fmt.Errorf("fleet: invalid PriorityExponent %v", o.PriorityExponent)
+	}
+	if o.FeedbackRounds < 0 {
+		return o, fmt.Errorf("fleet: negative FeedbackRounds %d", o.FeedbackRounds)
 	}
 	if o.Admission == "" {
 		o.Admission = AdmitQueueBound
@@ -590,6 +647,48 @@ func byDescendingLoad(profs []tenantProfile) []int {
 		return profs[order[a]].estCycles > profs[order[b]].estCycles
 	})
 	return order
+}
+
+// applyPriorities rewrites tenant scheduling priorities under the
+// PriorityExponent knob: each tenant's authored priority is multiplied by
+// (ref/est)^w against the geometric-mean service estimate ref, clamped to
+// [1/64, 64] so the scheduler's positive-finite priority contract holds for
+// any exponent in the search space. Tenants are shallow-copied — callers'
+// workloads are never mutated. With w == 0 the input slice returns unchanged.
+func applyPriorities(tenants []*trace.Workload, profs []tenantProfile, w float64) []*trace.Workload {
+	if w == 0 {
+		return tenants
+	}
+	var logSum float64
+	n := 0
+	for _, p := range profs {
+		if p.estCycles > 0 {
+			logSum += math.Log(p.estCycles)
+			n++
+		}
+	}
+	if n == 0 {
+		return tenants
+	}
+	ref := math.Exp(logSum / float64(n))
+	out := make([]*trace.Workload, len(tenants))
+	for i, t := range tenants {
+		bias := 1.0
+		if profs[i].estCycles > 0 {
+			bias = math.Pow(ref/profs[i].estCycles, w)
+		}
+		if bias < 1.0/64 {
+			bias = 1.0 / 64
+		} else if bias > 64 {
+			bias = 64
+		}
+		base := t.Priority
+		if base <= 0 {
+			base = 1
+		}
+		out[i] = t.WithPriority(base * bias)
+	}
+	return out
 }
 
 // leastLoaded returns the eligible core with the smallest summed service

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"v10/internal/baseline"
@@ -52,6 +53,12 @@ type TenantStats struct {
 
 	SLOCycles        float64 `json:"slo_cycles"`
 	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
+	// EstAvgLatencyCycles is the dispatcher's mean *predicted* latency over
+	// this tenant's admissions (booked completion minus arrival, carried debt
+	// included) — comparing it against AvgLatencyCycles measures how far the
+	// estimate-driven front end is from ground truth, and the FeedbackRounds
+	// calibration loop shrinks exactly that gap.
+	EstAvgLatencyCycles float64 `json:"est_avg_latency_cycles,omitempty"`
 	P95LatencyCycles float64 `json:"p95_latency_cycles"`
 	P99LatencyCycles float64 `json:"p99_latency_cycles"`
 	GoodputHz        float64 `json:"goodput_hz"` // SLO-compliant req/s over the arrival window
@@ -169,6 +176,23 @@ type Result struct {
 
 	// Control is the elastic control plane's run record (nil on static runs).
 	Control *ControlOutcome `json:"control,omitempty"`
+
+	// Calibration records the realized-latency feedback trajectory, one entry
+	// per pass (nil without Options.FeedbackRounds). The final entry belongs
+	// to the pass this Result measures.
+	Calibration []CalibrationRound `json:"calibration,omitempty"`
+}
+
+// CalibrationRound is one pass of the realized-latency feedback loop.
+type CalibrationRound struct {
+	Round int `json:"round"`
+	// Drift is the mean relative gap between the dispatcher's predicted and
+	// the realized per-tenant mean latency: mean over served tenants of
+	// |est − real| / real. The feedback regression test pins that it shrinks.
+	Drift float64 `json:"drift"`
+	// Scales are the per-tenant booking-estimate multipliers this pass ran
+	// with (all 1 on round 0).
+	Scales []float64 `json:"scales"`
 }
 
 // coreJob is one core's prepared simulation input.
@@ -206,6 +230,60 @@ func Run(tenants []*trace.Workload, o Options) (*Result, error) {
 	if len(tenants) == 0 {
 		return nil, errors.New("fleet: no tenants")
 	}
+	if o.FeedbackRounds == 0 {
+		return runOnce(tenants, o)
+	}
+
+	// Realized-latency feedback: run, compare each tenant's predicted mean
+	// latency against what the cycle-accurate cores measured, rescale the
+	// booking estimates by the realized/predicted ratio, and repeat. The loop
+	// is a fixed-point iteration toward estimates the fleet actually
+	// realizes; every pass is itself deterministic, so the whole trajectory
+	// is reproducible from the seed.
+	calib := make([]float64, len(tenants))
+	for i := range calib {
+		calib[i] = 1
+	}
+	var rounds []CalibrationRound
+	for r := 0; ; r++ {
+		o.calib = append([]float64(nil), calib...)
+		res, runErr := runOnce(tenants, o)
+		if res == nil {
+			return nil, runErr
+		}
+		round := CalibrationRound{Round: r, Scales: o.calib}
+		n := 0
+		for _, ts := range res.Tenants {
+			if ts.Completed > 0 && ts.EstAvgLatencyCycles > 0 && ts.AvgLatencyCycles > 0 {
+				round.Drift += math.Abs(ts.EstAvgLatencyCycles-ts.AvgLatencyCycles) / ts.AvgLatencyCycles
+				n++
+			}
+		}
+		if n > 0 {
+			round.Drift /= float64(n)
+		}
+		rounds = append(rounds, round)
+		res.Calibration = rounds
+		if runErr != nil || r == o.FeedbackRounds {
+			return res, runErr
+		}
+		for t, ts := range res.Tenants {
+			if ts.Completed > 0 && ts.EstAvgLatencyCycles > 0 && ts.AvgLatencyCycles > 0 {
+				calib[t] *= ts.AvgLatencyCycles / ts.EstAvgLatencyCycles
+				if calib[t] < 0.05 {
+					calib[t] = 0.05
+				} else if calib[t] > 20 {
+					calib[t] = 20
+				}
+			}
+		}
+	}
+}
+
+// runOnce is a single estimate-driven pass of the serving pipeline; o must
+// already be defaulted. Run's feedback loop calls it once per calibration
+// round.
+func runOnce(tenants []*trace.Workload, o Options) (*Result, error) {
 	if o.Arrivals != nil && len(o.Arrivals) != len(tenants) {
 		return nil, &sched.ArrivalError{Workload: -1, Index: -1,
 			Reason: fmt.Sprintf("fleet Arrivals has %d schedules for %d tenants",
@@ -223,8 +301,10 @@ func Run(tenants []*trace.Workload, o Options) (*Result, error) {
 	}
 
 	profs := profileTenants(tenants, o)
+	tenants = applyPriorities(tenants, profs, o.PriorityExponent)
 	var homes [][]int
 	if o.PinnedPlacement != nil {
+		var err error
 		homes, err = pinnedHomes(o.PinnedPlacement, len(tenants), o.Cores)
 		if err != nil {
 			return nil, err
@@ -471,6 +551,7 @@ func runCore(c int, job coreJob, o Options, p perturb) *coreOut {
 		Seed:          o.Seed + 0xc0e + uint64(c),
 		Scheme:        o.Scheme,
 		Tracer:        tr,
+		PreemptMargin: o.PreemptMargin,
 		HaltAtCycle:   p.halt,
 		StallWindows:  p.stall,
 		HBMWindows:    p.hbm,
@@ -651,6 +732,9 @@ func tenantStats(tenants []*trace.Workload, profs []tenantProfile, homes [][]int
 			ts.Shed += cs.drainShed[t]
 		}
 		ts.SLOCycles = o.SLOFactor * profs[t].estCycles
+		if t < len(disp.estLatCnt) && disp.estLatCnt[t] > 0 {
+			ts.EstAvgLatencyCycles = disp.estLatSum[t] / float64(disp.estLatCnt[t])
+		}
 
 		var wins []TenantWindow
 		if o.StatsWindowCycles > 0 {

@@ -1,0 +1,182 @@
+// Package tune is the policy-search harness: a seeded, deterministic
+// evolutionary search over the serving stack's cross-layer knob space —
+// per-core scheduler quantum and preemption margin, dispatcher queue bound
+// and priority bias, collocation threshold, migration backoff, and the
+// elastic control plane's cooldown/drain parameters — scored against a fixed
+// corpus of seeded fleet scenarios (steady-state serving, fault injection,
+// LLM prefill/decode traffic, autoscaling). The search reports a Pareto
+// front over (goodput, p99 latency, Jain fairness) and a constrained winner
+// that must beat the default knobs on goodput without giving up tail
+// latency. Search results are bit-identical for a given seed at any worker
+// count: all randomness lives in the serial breeding phase, and scenario
+// evaluations are pure functions of the knob vector.
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// Knobs is the typed cross-layer policy vector the search optimizes. Every
+// field overrides one tunable of the serving stack; Apply maps them onto a
+// fleet.Options. The zero value is invalid — start from DefaultKnobs.
+type Knobs struct {
+	// QuantumCycles is the per-core scheduler's preemption time slice
+	// (npu.CoreConfig.TimeSlice). Default 32768.
+	QuantumCycles int64 `json:"quantum_cycles"`
+	// PreemptMargin is the scheduler's preemption benefit margin: a waiting
+	// workload preempts only when its accumulated-rate product exceeds the
+	// running one's by this factor. Default 1.25.
+	PreemptMargin float64 `json:"preempt_margin"`
+	// PriorityExponent biases tenant priorities by estimated service time:
+	// each tenant's priority is scaled by (ref/est)^w. Positive favors short
+	// tenants, negative long ones, 0 leaves priorities as authored.
+	PriorityExponent float64 `json:"priority_exponent"`
+	// QueueLimit bounds each core's dispatcher queue. Default 8.
+	QueueLimit int `json:"queue_limit"`
+	// CollocationThreshold is the advisor's predicted-beneficial cutoff for
+	// placement grouping and the spill/migration gates. Default 1.3.
+	CollocationThreshold float64 `json:"collocation_threshold"`
+	// MigrationBackoffCycles is the base of the exponential backoff between
+	// failed migration attempts after a core failure. Default 250e3.
+	MigrationBackoffCycles int64 `json:"migration_backoff_cycles"`
+	// CooldownIntervals is the elastic control plane's refractory period
+	// between scale decisions, in control intervals. Default 2.
+	CooldownIntervals int `json:"cooldown_intervals"`
+	// SlowdownLimit is predictive admission's ceiling on predicted
+	// (wait+service)/service. Default 2.5.
+	SlowdownLimit float64 `json:"slowdown_limit"`
+	// DrainOccupancy is the mean queue occupancy at or below which the
+	// control plane may drain a core. Default 0.25.
+	DrainOccupancy float64 `json:"drain_occupancy"`
+}
+
+// DefaultKnobs returns the serving stack's built-in operating point — the
+// baseline every search candidate is scored against.
+func DefaultKnobs() Knobs {
+	return Knobs{
+		QuantumCycles:          32768,
+		PreemptMargin:          1.25,
+		PriorityExponent:       0,
+		QueueLimit:             8,
+		CollocationThreshold:   1.3,
+		MigrationBackoffCycles: 250_000,
+		CooldownIntervals:      2,
+		SlowdownLimit:          2.5,
+		DrainOccupancy:         0.25,
+	}
+}
+
+// KnobError reports one knob whose value falls outside its legal range. It
+// is the shared validation currency of the tuner, the policy loaders, and
+// the serving CLIs: every path that accepts a knob vector rejects it with
+// the same error shape.
+type KnobError struct {
+	Knob     string  // JSON name of the offending knob
+	Value    float64 // the rejected value
+	Min, Max float64 // the legal closed range
+	Reason   string  // "not finite", "below minimum", "above maximum"
+}
+
+func (e *KnobError) Error() string {
+	return fmt.Sprintf("tune: knob %s = %v %s (legal range [%v, %v])",
+		e.Knob, e.Value, e.Reason, e.Min, e.Max)
+}
+
+// Validate checks every knob against its search-space range and returns a
+// *KnobError for the first violation (in knob declaration order), nil when
+// the vector is legal.
+func (k Knobs) Validate() error {
+	for _, s := range knobSpecs {
+		v := s.get(&k)
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			return &KnobError{Knob: s.name, Value: v, Min: s.min, Max: s.max, Reason: "not finite"}
+		case v < s.min:
+			return &KnobError{Knob: s.name, Value: v, Min: s.min, Max: s.max, Reason: "below minimum"}
+		case v > s.max:
+			return &KnobError{Knob: s.name, Value: v, Min: s.min, Max: s.max, Reason: "above maximum"}
+		}
+	}
+	return nil
+}
+
+// key is the canonical cache/dedup identity of a knob vector: its fields in
+// declaration order. Two Knobs compare equal iff their keys match.
+func (k Knobs) key() string {
+	var b strings.Builder
+	for i, s := range knobSpecs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%s=%g", s.name, s.get(&k))
+	}
+	return b.String()
+}
+
+// Policy is the on-disk form of a tuned knob vector: the knobs plus the
+// provenance of the search that produced them. cmd/v10tune writes it;
+// v10serve -tuned and the regression gates load it.
+type Policy struct {
+	Description string      `json:"description,omitempty"`
+	Seed        uint64      `json:"seed,omitempty"`
+	Generations int         `json:"generations,omitempty"`
+	Population  int         `json:"population,omitempty"`
+	Evaluations int         `json:"evaluations,omitempty"`
+	Objectives  *Objectives `json:"objectives,omitempty"`
+	Knobs       Knobs       `json:"knobs"`
+}
+
+// LoadPolicy reads and validates a tuned-policy JSON file. Unknown fields,
+// malformed JSON, and out-of-range or non-finite knob values are all
+// rejected — a policy that loads is safe to Apply.
+func LoadPolicy(path string) (*Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tune: reading policy: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var p Policy
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("tune: parsing policy %s: %w", path, err)
+	}
+	if err := p.Knobs.Validate(); err != nil {
+		return nil, fmt.Errorf("tune: policy %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// Save writes the policy as indented JSON.
+func (p *Policy) Save(path string) error {
+	if err := p.Knobs.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Ranges describes the search space as knob → [min, max], in a form the
+// CLIs can print and schema checks can assert against.
+func Ranges() map[string][2]float64 {
+	out := make(map[string][2]float64, len(knobSpecs))
+	for _, s := range knobSpecs {
+		out[s.name] = [2]float64{s.min, s.max}
+	}
+	return out
+}
+
+// KnobNames lists the knob JSON names in declaration order.
+func KnobNames() []string {
+	out := make([]string, len(knobSpecs))
+	for i, s := range knobSpecs {
+		out[i] = s.name
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package tune
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDefaultKnobsValid(t *testing.T) {
+	if err := DefaultKnobs().Validate(); err != nil {
+		t.Fatalf("DefaultKnobs invalid: %v", err)
+	}
+	if err := Tuned().Validate(); err != nil {
+		t.Fatalf("Tuned invalid: %v", err)
+	}
+}
+
+// TestValidateRejectsIllegalKnobs drives every knob out of range on both
+// sides plus NaN/Inf, and checks the shared KnobError shape each time.
+func TestValidateRejectsIllegalKnobs(t *testing.T) {
+	ranges := Ranges()
+	for _, name := range KnobNames() {
+		r := ranges[name]
+		cases := []struct {
+			value  float64
+			reason string
+		}{
+			{r[0] - 1, "below minimum"},
+			{r[1] * 16, "above maximum"},
+			{math.NaN(), "not finite"},
+			{math.Inf(1), "not finite"},
+		}
+		for _, c := range cases {
+			k := DefaultKnobs()
+			setKnob(t, &k, name, c.value)
+			err := k.Validate()
+			if err == nil {
+				t.Fatalf("%s = %v: want error, got nil", name, c.value)
+			}
+			ke, ok := err.(*KnobError)
+			if !ok {
+				t.Fatalf("%s = %v: want *KnobError, got %T (%v)", name, c.value, err, err)
+			}
+			if ke.Knob != name || ke.Reason != c.reason {
+				t.Fatalf("%s = %v: got knob %q reason %q, want reason %q", name, c.value, ke.Knob, ke.Reason, c.reason)
+			}
+			if ke.Min != r[0] || ke.Max != r[1] {
+				t.Fatalf("%s: KnobError range [%v, %v] != Ranges() [%v, %v]", name, ke.Min, ke.Max, r[0], r[1])
+			}
+			msg := ke.Error()
+			for _, want := range []string{name, c.reason, "legal range"} {
+				if !strings.Contains(msg, want) {
+					t.Fatalf("%s: error %q missing %q", name, msg, want)
+				}
+			}
+		}
+	}
+}
+
+// setKnob assigns a raw value to a knob by JSON name through the spec table.
+// NaN/Inf survive the integer casts as valid-to-reject garbage only for the
+// float fields, so integer knobs get their illegal values via the field.
+func setKnob(t *testing.T, k *Knobs, name string, v float64) {
+	t.Helper()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		switch name {
+		// int64/int fields cannot hold NaN; their "not finite" arm is
+		// unreachable, so exercise it on the float view of the nearest field.
+		case "quantum_cycles", "queue_limit", "migration_backoff_cycles", "cooldown_intervals":
+			t.Skip("integer knob cannot represent a non-finite value")
+		}
+	}
+	for i := range knobSpecs {
+		if knobSpecs[i].name == name {
+			knobSpecs[i].set(k, v)
+			return
+		}
+	}
+	t.Fatalf("unknown knob %q", name)
+}
+
+func TestKnobKeyDistinguishesVectors(t *testing.T) {
+	a, b := DefaultKnobs(), DefaultKnobs()
+	if a.key() != b.key() {
+		t.Fatalf("equal knobs, different keys:\n%s\n%s", a.key(), b.key())
+	}
+	b.PreemptMargin += 0.01
+	if a.key() == b.key() {
+		t.Fatalf("different knobs share key %s", a.key())
+	}
+	for _, name := range KnobNames() {
+		if !strings.Contains(a.key(), name+"=") {
+			t.Fatalf("key %q missing knob %s", a.key(), name)
+		}
+	}
+}
+
+func TestPolicySaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.json")
+	obj := &Objectives{Goodput: 1.1, P99: 0.99, Fairness: 0.8}
+	p := &Policy{Description: "round trip", Seed: 7, Generations: 3, Population: 4,
+		Evaluations: 11, Objectives: obj, Knobs: Tuned()}
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPolicy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Knobs != p.Knobs || got.Seed != 7 || got.Generations != 3 ||
+		got.Population != 4 || got.Evaluations != 11 || *got.Objectives != *obj {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, p)
+	}
+}
+
+func TestSaveRejectsInvalidKnobs(t *testing.T) {
+	bad := DefaultKnobs()
+	bad.QueueLimit = 0
+	p := &Policy{Knobs: bad}
+	err := p.Save(filepath.Join(t.TempDir(), "bad.json"))
+	if err == nil {
+		t.Fatal("Save accepted out-of-range knobs")
+	}
+	if _, ok := err.(*KnobError); !ok {
+		t.Fatalf("want *KnobError, got %T (%v)", err, err)
+	}
+}
+
+func TestLoadPolicyRejections(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"missing.json", "", "reading policy"},
+		{"garbage.json", "not json", "parsing policy"},
+		{"unknown.json", `{"knobs": {"quantum_cycles": 32768}, "bogus_field": 1}`, "unknown field"},
+		{"range.json", `{"knobs": {"quantum_cycles": 1, "preempt_margin": 1.25,
+			"priority_exponent": 0, "queue_limit": 8, "collocation_threshold": 1.3,
+			"migration_backoff_cycles": 250000, "cooldown_intervals": 2,
+			"slowdown_limit": 2.5, "drain_occupancy": 0.25}}`, "below minimum"},
+		{"nonfinite.json", `{"knobs": {"quantum_cycles": 32768, "preempt_margin": 1e999,
+			"priority_exponent": 0, "queue_limit": 8, "collocation_threshold": 1.3,
+			"migration_backoff_cycles": 250000, "cooldown_intervals": 2,
+			"slowdown_limit": 2.5, "drain_occupancy": 0.25}}`, "parsing policy"},
+	}
+	for _, c := range cases {
+		path := filepath.Join(dir, c.name)
+		if c.body != "" {
+			path = write(c.name, c.body)
+		}
+		_, err := LoadPolicy(path)
+		if err == nil {
+			t.Fatalf("%s: want error containing %q, got nil", c.name, c.wantErr)
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("%s: error %q missing %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestRangesCoverEveryKnob(t *testing.T) {
+	ranges := Ranges()
+	names := KnobNames()
+	if len(ranges) != len(names) {
+		t.Fatalf("Ranges has %d entries, KnobNames %d", len(ranges), len(names))
+	}
+	d := DefaultKnobs()
+	for i := range knobSpecs {
+		s := &knobSpecs[i]
+		r, ok := ranges[s.name]
+		if !ok {
+			t.Fatalf("Ranges missing %s", s.name)
+		}
+		if r[0] >= r[1] {
+			t.Fatalf("%s: degenerate range [%v, %v]", s.name, r[0], r[1])
+		}
+		if v := s.get(&d); v < r[0] || v > r[1] {
+			t.Fatalf("%s: default %v outside [%v, %v]", s.name, v, r[0], r[1])
+		}
+	}
+}

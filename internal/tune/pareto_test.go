@@ -1,0 +1,82 @@
+package tune
+
+import (
+	"testing"
+)
+
+func obj(g, p, f float64) Objectives { return Objectives{Goodput: g, P99: p, Fairness: f} }
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b Objectives
+		want bool
+	}{
+		{obj(1.1, 0.9, 0.8), obj(1.0, 1.0, 0.8), true},   // better on two, tied on one
+		{obj(1.0, 1.0, 0.8), obj(1.0, 1.0, 0.8), false},  // identical
+		{obj(1.2, 1.1, 0.8), obj(1.0, 1.0, 0.8), false},  // trades goodput for p99
+		{obj(1.0, 1.0, 0.81), obj(1.0, 1.0, 0.8), true},  // strictly better on one only
+		{obj(0.9, 0.8, 0.9), obj(1.0, 1.0, 0.8), false},  // worse goodput
+		{obj(1.0, 1.0, 0.79), obj(1.0, 1.0, 0.8), false}, // worse fairness
+	}
+	for i, c := range cases {
+		if got := dominates(c.a, c.b); got != c.want {
+			t.Fatalf("case %d: dominates(%+v, %+v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func knobsWithQuantum(q int64) Knobs {
+	k := DefaultKnobs()
+	k.QuantumCycles = q
+	return k
+}
+
+func TestParetoFrontFiltersAndOrders(t *testing.T) {
+	pts := []Point{
+		{Knobs: knobsWithQuantum(4096), Objectives: obj(1.0, 1.0, 0.8)},
+		{Knobs: knobsWithQuantum(8192), Objectives: obj(1.2, 1.1, 0.8)},  // front: goodput leader
+		{Knobs: knobsWithQuantum(16384), Objectives: obj(0.9, 0.7, 0.8)}, // front: p99 leader
+		{Knobs: knobsWithQuantum(32768), Objectives: obj(0.8, 0.9, 0.7)}, // dominated by p99 leader
+		{Knobs: knobsWithQuantum(16384), Objectives: obj(0.9, 0.7, 0.8)}, // duplicate key
+	}
+	front := ParetoFront(pts)
+	if len(front) != 3 {
+		t.Fatalf("front size %d, want 3: %+v", len(front), front)
+	}
+	// Canonical order: goodput descending.
+	wantQ := []int64{8192, 4096, 16384}
+	for i, q := range wantQ {
+		if front[i].Knobs.QuantumCycles != q {
+			t.Fatalf("front[%d].QuantumCycles = %d, want %d", i, front[i].Knobs.QuantumCycles, q)
+		}
+	}
+}
+
+func TestParetoFrontTieBreaks(t *testing.T) {
+	// Equal objectives: order must fall back to the knob key, so the front
+	// is reproducible whatever order the archive presented.
+	a := Point{Knobs: knobsWithQuantum(9000), Objectives: obj(1, 1, 0.8)}
+	b := Point{Knobs: knobsWithQuantum(7000), Objectives: obj(1, 1, 0.8)}
+	f1 := ParetoFront([]Point{a, b})
+	f2 := ParetoFront([]Point{b, a})
+	if len(f1) != 2 || len(f2) != 2 {
+		t.Fatalf("tie fronts sized %d, %d, want 2, 2", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i].Knobs != f2[i].Knobs {
+			t.Fatalf("tie order depends on input order: %+v vs %+v", f1[i].Knobs, f2[i].Knobs)
+		}
+	}
+}
+
+func TestFitnessOrdering(t *testing.T) {
+	lo := fitness(obj(1.0, 1.0, 0.8))
+	hi := fitness(obj(1.2, 0.9, 0.8))
+	if hi <= lo {
+		t.Fatalf("fitness not increasing in quality: %v <= %v", hi, lo)
+	}
+	// The fairness nudge is a quarter-weight term.
+	if d := fitness(obj(1, 1, 1)) - fitness(obj(1, 1, 0)); d != 0.25 {
+		t.Fatalf("fairness weight = %v, want 0.25", d)
+	}
+}

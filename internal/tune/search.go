@@ -1,0 +1,397 @@
+package tune
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"v10/internal/mathx"
+	"v10/internal/parallel"
+)
+
+// Options configure a Search. Corpus and Seed fix the result bit-exactly;
+// Parallel only changes wall-clock time.
+type Options struct {
+	// Seed drives population sampling, crossover, and mutation. Same seed,
+	// same corpus, same budget → bit-identical Result at any Parallel.
+	Seed uint64
+	// Parallel bounds the workers evaluating candidates (0 = GOMAXPROCS,
+	// 1 = serial). All randomness stays in the serial breeding phase, so the
+	// search trajectory is independent of the width.
+	Parallel int
+	// Generations is the number of breeding rounds after the initial
+	// population evaluation (default 8).
+	Generations int
+	// Population is the number of candidates alive per generation
+	// (default 16, minimum 2).
+	Population int
+	// Corpus is the evaluation scenario set (required — see DefaultCorpus).
+	Corpus []Scenario
+	// Progress, when non-nil, receives one line per generation.
+	Progress func(format string, args ...any)
+
+	// Mutation hooks for the search-invariant oracle tests. Each plants a
+	// classic search-harness bug that Verify must catch:
+	//
+	//   - mutSwapObjectives: aggregate objectives computed with goodput and
+	//     p99 transposed (optimizing the wrong thing while the per-scenario
+	//     scores stay honest).
+	//   - mutStaleCache: the evaluation cache returns the first entry ever
+	//     cached for every subsequent candidate (results detached from the
+	//     knobs that claim them).
+	//   - mutDropScenario: the last corpus scenario is silently skipped
+	//     (coverage hole).
+	mutSwapObjectives bool
+	mutStaleCache     bool
+	mutDropScenario   bool
+}
+
+// Result is a completed search: the default-knob baseline, the Pareto front
+// over (goodput, p99, fairness), and the constrained winner.
+type Result struct {
+	Seed        uint64 `json:"seed"`
+	Generations int    `json:"generations"`
+	Population  int    `json:"population"`
+	// Evaluations counts distinct knob vectors actually simulated (cache
+	// hits excluded).
+	Evaluations int `json:"evaluations"`
+	// Baseline is DefaultKnobs scored on the corpus; every point's
+	// objectives are ratios against its scores.
+	Baseline Point `json:"baseline"`
+	// Best is the constrained winner: the front point with the highest
+	// aggregate goodput among those that dominate the baseline on every
+	// scenario; failing that, among those that clear the regression gate
+	// (goodput >= baseline and p99 <= baseline on each GateScenario, with
+	// strictly higher goodput on at least one); failing that, the best
+	// aggregate goodput-up-at-no-worse-p99 point; finally the baseline.
+	Best Point `json:"best"`
+	// Front is the Pareto front in canonical order.
+	Front []Point `json:"front"`
+}
+
+// evaluator scores knob vectors against the corpus with a dedup cache. The
+// batch API is the determinism backbone: the caller presents candidates in
+// a fixed order, misses are evaluated concurrently (each a pure function),
+// and the cache is updated serially in that same order.
+type evaluator struct {
+	corpus   []Scenario
+	parallel int
+	cache    map[string][]ScenarioScore
+	order    []string // cache insertion order (mutStaleCache reads entry 0)
+	evals    int
+
+	mutStale bool
+	mutDrop  bool
+}
+
+func newEvaluator(o Options) *evaluator {
+	return &evaluator{
+		corpus:   o.Corpus,
+		parallel: o.Parallel,
+		cache:    map[string][]ScenarioScore{},
+		mutStale: o.mutStaleCache,
+		mutDrop:  o.mutDropScenario,
+	}
+}
+
+// evalOne runs every corpus scenario for one candidate, serially — the
+// cross-candidate batch is where the parallelism lives.
+func (e *evaluator) evalOne(k Knobs) ([]ScenarioScore, error) {
+	corpus := e.corpus
+	if e.mutDrop && len(corpus) > 1 {
+		corpus = corpus[:len(corpus)-1]
+	}
+	scores := make([]ScenarioScore, len(corpus))
+	for i, sc := range corpus {
+		s, err := sc.Run(k, e.parallel)
+		if err != nil {
+			return nil, err
+		}
+		scores[i] = s
+	}
+	return scores, nil
+}
+
+// scores returns per-scenario scores for every candidate in batch, in batch
+// order, evaluating uncached candidates concurrently.
+func (e *evaluator) scores(batch []Knobs) ([][]ScenarioScore, error) {
+	var missing []Knobs
+	var missingKeys []string
+	seen := map[string]bool{}
+	for _, k := range batch {
+		key := k.key()
+		if _, ok := e.cache[key]; ok || seen[key] {
+			continue
+		}
+		if e.mutStale && len(e.order) > 0 {
+			// The planted staleness bug: reuse the first result ever cached.
+			e.cache[key] = e.cache[e.order[0]]
+			e.order = append(e.order, key)
+			continue
+		}
+		seen[key] = true
+		missing = append(missing, k)
+		missingKeys = append(missingKeys, key)
+	}
+	if len(missing) > 0 {
+		results, err := parallel.Map(context.Background(), len(missing), e.parallel,
+			func(i int) ([]ScenarioScore, error) { return e.evalOne(missing[i]) })
+		if err != nil {
+			return nil, err
+		}
+		for i, key := range missingKeys {
+			e.cache[key] = results[i]
+			e.order = append(e.order, key)
+			e.evals++
+		}
+	}
+	out := make([][]ScenarioScore, len(batch))
+	for i, k := range batch {
+		out[i] = e.cache[k.key()]
+	}
+	return out, nil
+}
+
+// aggregate folds per-scenario scores into baseline-relative objectives.
+// Ratio guards: a zero baseline metric contributes a neutral 1.0 unless the
+// candidate is strictly worse/better, in which case it contributes a fixed
+// 2× penalty/bonus — zero-goodput corners stay comparable without infinities.
+func aggregate(scores, base []ScenarioScore, swap bool) Objectives {
+	var logG, logP, fair float64
+	n := float64(len(scores))
+	for i, s := range scores {
+		b := base[i]
+		logG += math.Log(ratio(s.GoodputHz, b.GoodputHz))
+		logP += math.Log(ratio(s.P99Cycles, b.P99Cycles))
+		fair += s.Fairness
+	}
+	o := Objectives{
+		Goodput:  math.Exp(logG / n),
+		P99:      math.Exp(logP / n),
+		Fairness: fair / n,
+	}
+	if swap {
+		o.Goodput, o.P99 = o.P99, o.Goodput
+	}
+	return o
+}
+
+// ratio is v/b with the zero-baseline guards described at aggregate.
+func ratio(v, b float64) float64 {
+	switch {
+	case b > 0:
+		r := v / b
+		if r < 0.25 {
+			r = 0.25 // floor so one collapsed scenario cannot dominate the geomean
+		} else if r > 4 {
+			r = 4
+		}
+		return r
+	case v > 0:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Search runs the evolutionary knob search: evaluate the seeded initial
+// population (defaults plus uniform samples), then for each generation carry
+// the Pareto elites and breed the rest by tournament selection, blend
+// crossover, and Gaussian mutation. Every evaluated candidate joins the
+// archive; the result reports the archive's Pareto front.
+func Search(o Options) (*Result, error) {
+	if len(o.Corpus) == 0 {
+		return nil, fmt.Errorf("tune: search needs a non-empty corpus")
+	}
+	if o.Generations < 0 {
+		return nil, fmt.Errorf("tune: negative generations %d", o.Generations)
+	}
+	if o.Generations == 0 {
+		o.Generations = 8
+	}
+	if o.Population == 0 {
+		o.Population = 16
+	}
+	if o.Population < 2 {
+		return nil, fmt.Errorf("tune: population %d below minimum 2", o.Population)
+	}
+	progress := o.Progress
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+
+	ev := newEvaluator(o)
+	defaults := DefaultKnobs()
+	baseScores, err := ev.scores([]Knobs{defaults})
+	if err != nil {
+		return nil, err
+	}
+	base := baseScores[0]
+	baseline := Point{Knobs: defaults, Objectives: aggregate(base, base, false), Scores: base}
+
+	rng := mathx.NewRNG(o.Seed ^ 0x7475_6e65) // "tune"
+	pop := make([]Knobs, 0, o.Population)
+	pop = append(pop, defaults)
+	for len(pop) < o.Population {
+		pop = append(pop, sampleKnobs(rng))
+	}
+
+	// The archive holds every evaluated candidate in first-seen order.
+	var archive []Point
+	inArchive := map[string]bool{}
+	absorb := func(ks []Knobs, scs [][]ScenarioScore) {
+		for i, k := range ks {
+			key := k.key()
+			if inArchive[key] {
+				continue
+			}
+			inArchive[key] = true
+			archive = append(archive, Point{
+				Knobs:      k,
+				Objectives: aggregate(scs[i], base, o.mutSwapObjectives),
+				Scores:     scs[i],
+			})
+		}
+	}
+
+	for gen := 0; ; gen++ {
+		scs, err := ev.scores(pop)
+		if err != nil {
+			return nil, err
+		}
+		absorb(pop, scs)
+		front := ParetoFront(archive)
+		progress("gen %d: %d evaluated, front %d, best goodput ratio %.4f",
+			gen, ev.evals, len(front), front[0].Objectives.Goodput)
+		if gen == o.Generations {
+			break
+		}
+
+		// Breed the next population (serial: the only RNG consumer). Elites
+		// are the front in canonical order, capped at half the population.
+		next := make([]Knobs, 0, o.Population)
+		for _, p := range front {
+			if len(next) >= o.Population/2 {
+				break
+			}
+			next = append(next, p.Knobs)
+		}
+		for len(next) < o.Population {
+			p1 := tournament(archive, rng)
+			p2 := tournament(archive, rng)
+			next = append(next, mutateKnobs(crossover(p1.Knobs, p2.Knobs, rng), rng))
+		}
+		pop = next
+	}
+
+	front := ParetoFront(archive)
+	return &Result{
+		Seed:        o.Seed,
+		Generations: o.Generations,
+		Population:  o.Population,
+		Evaluations: ev.evals,
+		Baseline:    baseline,
+		Best:        pickBest(archive, front, baseline),
+		Front:       front,
+	}, nil
+}
+
+// tournament picks the fitter of two uniformly drawn archive points.
+func tournament(archive []Point, rng *mathx.RNG) Point {
+	a := archive[rng.Intn(len(archive))]
+	b := archive[rng.Intn(len(archive))]
+	if fitness(b.Objectives) > fitness(a.Objectives) {
+		return b
+	}
+	return a
+}
+
+// GateScenarios names the corpus cells the committed-policy regression gate
+// stands on: a tuned policy must beat the defaults here, not merely on the
+// aggregate.
+var GateScenarios = map[string]bool{"fleet": true, "faults": true}
+
+// beatsEverywhere reports whether p's raw scores beat the baseline's on
+// every scenario: goodput at least as high (strictly higher somewhere) and
+// p99 no worse anywhere.
+func beatsEverywhere(p, base Point) bool {
+	if len(p.Scores) != len(base.Scores) {
+		return false
+	}
+	strict := false
+	for i, s := range p.Scores {
+		b := base.Scores[i]
+		if s.GoodputHz < b.GoodputHz || s.P99Cycles > b.P99Cycles {
+			return false
+		}
+		if s.GoodputHz > b.GoodputHz {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// BeatsGate reports whether p clears the regression gate against base: on
+// every GateScenario its goodput is at least the baseline's and its p99 no
+// worse, with strictly higher goodput on at least one gate cell.
+func BeatsGate(p, base Point) bool {
+	if len(p.Scores) != len(base.Scores) {
+		return false
+	}
+	strict, seen := false, 0
+	for i, s := range p.Scores {
+		if !GateScenarios[s.Scenario] {
+			continue
+		}
+		b := base.Scores[i]
+		seen++
+		if s.GoodputHz < b.GoodputHz || s.P99Cycles > b.P99Cycles {
+			return false
+		}
+		if s.GoodputHz > b.GoodputHz {
+			strict = true
+		}
+	}
+	return seen > 0 && strict
+}
+
+// pickBest selects the constrained winner described at Result.Best. The
+// gate tier scans the whole archive, not just the front: a gate-passing
+// point is a *constrained* optimum and may legitimately be Pareto-dominated
+// on the unconstrained aggregates. Every tier is deterministic — the front
+// is in canonical order and the archive tier sorts its candidates.
+func pickBest(archive, front []Point, baseline Point) Point {
+	for _, p := range front {
+		if beatsEverywhere(p, baseline) {
+			return p
+		}
+	}
+	var gated []Point
+	for _, p := range archive {
+		if BeatsGate(p, baseline) {
+			gated = append(gated, p)
+		}
+	}
+	if len(gated) > 0 {
+		sort.SliceStable(gated, func(i, j int) bool {
+			a, b := gated[i].Objectives, gated[j].Objectives
+			switch {
+			case a.Goodput != b.Goodput:
+				return a.Goodput > b.Goodput
+			case a.P99 != b.P99:
+				return a.P99 < b.P99
+			case a.Fairness != b.Fairness:
+				return a.Fairness > b.Fairness
+			}
+			return gated[i].Knobs.key() < gated[j].Knobs.key()
+		})
+		return gated[0]
+	}
+	for _, p := range front {
+		if p.Objectives.Goodput > 1 && p.Objectives.P99 <= 1 {
+			return p
+		}
+	}
+	return baseline
+}

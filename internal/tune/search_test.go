@@ -1,0 +1,329 @@
+package tune
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// synthCorpus is a cheap, pure stand-in for DefaultCorpus: three scenarios
+// (two of them gate cells) whose scores are closed-form functions of the
+// knobs, injective enough that distinct vectors score distinctly — which is
+// what lets the freshness oracle catch a stale cache.
+func synthCorpus() []Scenario {
+	mk := func(name string, f func(k Knobs) ScenarioScore) Scenario {
+		return Scenario{Name: name, run: func(k Knobs, _ int) (ScenarioScore, error) {
+			s := f(k)
+			s.Scenario = name
+			return s, nil
+		}}
+	}
+	return []Scenario{
+		mk("fleet", func(k Knobs) ScenarioScore {
+			return ScenarioScore{
+				GoodputHz: 900 + 80*(2-math.Abs(k.PreemptMargin-2)) + 1e-4*float64(k.QuantumCycles),
+				P99Cycles: 4e6 + 3e4*float64(k.QueueLimit) + 1e3*k.SlowdownLimit,
+				Fairness:  0.90 - 0.05*math.Abs(k.PriorityExponent),
+				Completed: 100,
+			}
+		}),
+		mk("faults", func(k Knobs) ScenarioScore {
+			return ScenarioScore{
+				GoodputHz: 600 - 1e-5*math.Abs(float64(k.MigrationBackoffCycles)-500_000),
+				P99Cycles: 9e6 - 2e5*k.DrainOccupancy + 1e4*float64(k.CooldownIntervals),
+				Fairness:  0.75 + 0.02*k.CollocationThreshold,
+				Completed: 80,
+			}
+		}),
+		mk("elastic", func(k Knobs) ScenarioScore {
+			return ScenarioScore{
+				GoodputHz: 500 + 40*k.DrainOccupancy,
+				P99Cycles: 6e6 + 1e5*math.Abs(k.SlowdownLimit-3),
+				Fairness:  0.85,
+				Completed: 60,
+			}
+		}),
+	}
+}
+
+func mustSearch(t *testing.T, o Options) *Result {
+	t.Helper()
+	res, err := Search(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSearchArgumentErrors(t *testing.T) {
+	if _, err := Search(Options{}); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	if _, err := Search(Options{Corpus: synthCorpus(), Population: 1}); err == nil {
+		t.Fatal("population 1 accepted")
+	}
+	if _, err := Search(Options{Corpus: synthCorpus(), Generations: -1}); err == nil {
+		t.Fatal("negative generations accepted")
+	}
+}
+
+// TestSearchDeterministicAcrossParallel is the headline invariant: the same
+// seed yields a bit-identical Result (winner, front, evaluation count — the
+// whole JSON) at any worker width, and across repeated runs.
+func TestSearchDeterministicAcrossParallel(t *testing.T) {
+	base := Options{Seed: 42, Generations: 5, Population: 12, Corpus: synthCorpus()}
+	var blobs [][]byte
+	for _, par := range []int{1, 4, 7, 1} {
+		o := base
+		o.Parallel = par
+		res := mustSearch(t, o)
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	for i := 1; i < len(blobs); i++ {
+		if string(blobs[i]) != string(blobs[0]) {
+			t.Fatalf("run %d diverged from run 0:\n%s\nvs\n%s", i, blobs[i], blobs[0])
+		}
+	}
+}
+
+func TestSearchSeedChangesTrajectory(t *testing.T) {
+	a := mustSearch(t, Options{Seed: 1, Generations: 3, Population: 8, Corpus: synthCorpus()})
+	b := mustSearch(t, Options{Seed: 2, Generations: 3, Population: 8, Corpus: synthCorpus()})
+	ja, _ := json.Marshal(a.Front)
+	jb, _ := json.Marshal(b.Front)
+	if string(ja) == string(jb) {
+		t.Fatal("different seeds produced an identical front — RNG not wired through")
+	}
+}
+
+func TestSearchResultInvariants(t *testing.T) {
+	corpus := synthCorpus()
+	res := mustSearch(t, Options{Seed: 3, Generations: 4, Population: 10, Corpus: corpus,
+		Progress: t.Logf})
+	if res.Evaluations < res.Population {
+		t.Fatalf("only %d evaluations for population %d", res.Evaluations, res.Population)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	if res.Baseline.Objectives != obj(1, 1, res.Baseline.Objectives.Fairness) {
+		t.Fatalf("baseline objectives %+v not the unit ratio", res.Baseline.Objectives)
+	}
+	if err := Verify(res, corpus, 1); err != nil {
+		t.Fatalf("genuine search fails its own oracles: %v", err)
+	}
+}
+
+func TestAggregateAndRatio(t *testing.T) {
+	base := []ScenarioScore{
+		{Scenario: "a", GoodputHz: 100, P99Cycles: 1000, Fairness: 0.5},
+		{Scenario: "b", GoodputHz: 400, P99Cycles: 2000, Fairness: 0.7},
+	}
+	// 2× goodput on one cell, tie on the other → geomean √2; p99 halves on
+	// one cell → geomean 1/√2.
+	cand := []ScenarioScore{
+		{Scenario: "a", GoodputHz: 200, P99Cycles: 1000, Fairness: 0.6},
+		{Scenario: "b", GoodputHz: 400, P99Cycles: 1000, Fairness: 0.8},
+	}
+	got := aggregate(cand, base, false)
+	if math.Abs(got.Goodput-math.Sqrt2) > 1e-12 ||
+		math.Abs(got.P99-1/math.Sqrt2) > 1e-12 ||
+		math.Abs(got.Fairness-0.7) > 1e-12 {
+		t.Fatalf("aggregate = %+v", got)
+	}
+	swapped := aggregate(cand, base, true)
+	if swapped.Goodput != got.P99 || swapped.P99 != got.Goodput {
+		t.Fatalf("swap mutant did not transpose: %+v vs %+v", swapped, got)
+	}
+
+	// Ratio guards.
+	if r := ratio(1, 100); r != 0.25 {
+		t.Fatalf("collapse floor: ratio(1,100) = %v", r)
+	}
+	if r := ratio(100, 1); r != 4 {
+		t.Fatalf("blowup ceiling: ratio(100,1) = %v", r)
+	}
+	if r := ratio(5, 0); r != 2 {
+		t.Fatalf("zero baseline, positive value: ratio = %v", r)
+	}
+	if r := ratio(0, 0); r != 1 {
+		t.Fatalf("both zero: ratio = %v", r)
+	}
+}
+
+func gatePoint(fleetG, fleetP, faultsG, faultsP float64) Point {
+	return Point{Scores: []ScenarioScore{
+		{Scenario: "fleet", GoodputHz: fleetG, P99Cycles: fleetP, Fairness: 0.8},
+		{Scenario: "faults", GoodputHz: faultsG, P99Cycles: faultsP, Fairness: 0.8},
+		{Scenario: "elastic", GoodputHz: 1, P99Cycles: 1, Fairness: 0.8},
+	}}
+}
+
+func TestBeatsGate(t *testing.T) {
+	base := gatePoint(100, 10, 200, 20)
+	cases := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"strictly better everywhere", gatePoint(110, 9, 210, 19), true},
+		{"tie one cell, beat the other", gatePoint(100, 10, 210, 19), true},
+		{"tie both cells", gatePoint(100, 10, 200, 20), false},
+		{"goodput up, p99 worse", gatePoint(110, 11, 210, 19), false},
+		{"goodput down on one gate cell", gatePoint(90, 9, 210, 19), false},
+		{"mismatched score length", Point{}, false},
+	}
+	for _, c := range cases {
+		if got := BeatsGate(c.p, base); got != c.want {
+			t.Fatalf("%s: BeatsGate = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// The non-gate cell must be ignored entirely.
+	p := gatePoint(110, 9, 210, 19)
+	p.Scores[2].GoodputHz = 0.001
+	p.Scores[2].P99Cycles = 1e12
+	if !BeatsGate(p, base) {
+		t.Fatal("non-gate scenario leaked into the gate")
+	}
+}
+
+func TestBeatsEverywhere(t *testing.T) {
+	base := gatePoint(100, 10, 200, 20)
+	if !beatsEverywhere(gatePoint(110, 9, 210, 19), base) {
+		t.Fatal("dominating point rejected")
+	}
+	worse := gatePoint(110, 9, 210, 19)
+	worse.Scores[2].P99Cycles = 2 // non-gate cell p99 regression
+	if beatsEverywhere(worse, base) {
+		t.Fatal("non-gate p99 regression accepted")
+	}
+	if beatsEverywhere(base, base) {
+		t.Fatal("tie accepted as a strict win")
+	}
+}
+
+// TestPickBestGateTierScansArchive pins the fix for the constrained-optimum
+// bug: a gate-passing point that is Pareto-dominated on the unconstrained
+// aggregates (so it is NOT on the front) must still win over a front point
+// that fails the gate.
+func TestPickBestGateTierScansArchive(t *testing.T) {
+	baseline := gatePoint(100, 10, 200, 20)
+	baseline.Knobs = DefaultKnobs()
+	baseline.Objectives = obj(1, 1, 0.8)
+
+	gated := gatePoint(110, 10, 200, 20) // clears the gate...
+	gated.Knobs = knobsWithQuantum(5000)
+	gated.Objectives = obj(1.05, 1.0, 0.8) // ...but is dominated on aggregates
+
+	flashy := gatePoint(200, 30, 100, 20) // dominates on aggregates, fails gate
+	flashy.Knobs = knobsWithQuantum(6000)
+	flashy.Objectives = obj(1.4, 0.9, 0.9)
+
+	archive := []Point{baseline, gated, flashy}
+	front := ParetoFront(archive) // gated is dominated out
+	for _, p := range front {
+		if p.Knobs == gated.Knobs {
+			t.Fatal("test setup broken: gated point expected off-front")
+		}
+	}
+	best := pickBest(archive, front, baseline)
+	if best.Knobs != gated.Knobs {
+		t.Fatalf("pickBest chose %+v, want the off-front gate-passing point", best.Objectives)
+	}
+
+	// Without any gate-passing point, fall through to the aggregate tier.
+	best = pickBest([]Point{baseline, flashy}, ParetoFront([]Point{baseline, flashy}), baseline)
+	if best.Knobs != flashy.Knobs {
+		t.Fatalf("aggregate tier chose %+v", best.Objectives)
+	}
+
+	// And with nothing better than the defaults, keep the defaults.
+	best = pickBest([]Point{baseline}, ParetoFront([]Point{baseline}), baseline)
+	if best.Knobs != baseline.Knobs {
+		t.Fatalf("empty archive tier chose %+v", best.Objectives)
+	}
+}
+
+// The three planted-bug tests: each mutation flips one classic search-harness
+// failure on, runs an otherwise genuine search, and demands that Verify —
+// the same oracle chain the v10tune production path runs before writing any
+// policy — rejects the result with the right diagnosis.
+
+func TestVerifyCatchesSwappedObjectives(t *testing.T) {
+	corpus := synthCorpus()
+	res := mustSearch(t, Options{Seed: 11, Generations: 3, Population: 8, Corpus: corpus,
+		mutSwapObjectives: true})
+	err := Verify(res, corpus, 1)
+	if err == nil {
+		t.Fatal("Verify accepted a search optimizing transposed objectives")
+	}
+	if !strings.Contains(err.Error(), "do not recompute") {
+		t.Fatalf("wrong diagnosis: %v", err)
+	}
+}
+
+func TestVerifyCatchesStaleCache(t *testing.T) {
+	corpus := synthCorpus()
+	res := mustSearch(t, Options{Seed: 11, Generations: 3, Population: 8, Corpus: corpus,
+		mutStaleCache: true})
+	err := Verify(res, corpus, 1)
+	if err == nil {
+		t.Fatal("Verify accepted a search with a stale evaluation cache")
+	}
+	if !strings.Contains(err.Error(), "stale evaluation cache") {
+		t.Fatalf("wrong diagnosis: %v", err)
+	}
+}
+
+func TestVerifyCatchesDroppedScenario(t *testing.T) {
+	corpus := synthCorpus()
+	res := mustSearch(t, Options{Seed: 11, Generations: 3, Population: 8, Corpus: corpus,
+		mutDropScenario: true})
+	err := Verify(res, corpus, 1)
+	if err == nil {
+		t.Fatal("Verify accepted a search that silently dropped a corpus scenario")
+	}
+	if !strings.Contains(err.Error(), "corpus scenarios") {
+		t.Fatalf("wrong diagnosis: %v", err)
+	}
+}
+
+func TestVerifyRejectsEmptyResult(t *testing.T) {
+	if err := Verify(nil, synthCorpus(), 1); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	if err := Verify(&Result{}, synthCorpus(), 1); err == nil {
+		t.Fatal("empty result accepted")
+	}
+}
+
+// TestVerifyCatchesForgedWinner hand-tampers a genuine result to cover the
+// oracle arms a live mutation cannot reach: a Best that is neither on the
+// front nor gate-passing, and a front poisoned with a dominated point.
+func TestVerifyCatchesForgedWinner(t *testing.T) {
+	corpus := synthCorpus()
+	res := mustSearch(t, Options{Seed: 13, Generations: 3, Population: 8, Corpus: corpus})
+
+	forged := *res
+	bad := res.Baseline
+	bad.Knobs.PreemptMargin = 2.9999 // off-front, not baseline, fails gate
+	bad.Objectives = obj(0.5, 2, 0.1)
+	forged.Best = bad
+	if err := Verify(&forged, corpus, 1); err == nil {
+		t.Fatal("forged winner accepted")
+	}
+
+	poisoned := *res
+	weak := res.Front[0]
+	weak.Objectives.Goodput -= 0.5 // now dominated by the original front[0]
+	weak.Knobs.DrainOccupancy = 0.123456
+	poisoned.Front = append([]Point{weak}, res.Front...)
+	if err := Verify(&poisoned, corpus, 1); err == nil {
+		t.Fatal("dominated front point accepted")
+	}
+}

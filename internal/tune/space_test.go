@@ -1,0 +1,118 @@
+package tune
+
+import (
+	"math"
+	"testing"
+
+	"v10/internal/mathx"
+)
+
+func TestNormDenormRoundTrip(t *testing.T) {
+	for i := range knobSpecs {
+		s := &knobSpecs[i]
+		for _, u := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			v := s.denorm(u)
+			if v < s.min || v > s.max {
+				t.Fatalf("%s: denorm(%v) = %v outside [%v, %v]", s.name, u, v, s.min, s.max)
+			}
+			if s.integer && v != math.Round(v) {
+				t.Fatalf("%s: denorm(%v) = %v not integral", s.name, u, v)
+			}
+			// denorm∘norm must be idempotent on realizable values — exactly
+			// for integer knobs, to rounding error for continuous ones.
+			got := s.denorm(s.norm(v))
+			if s.integer && got != v {
+				t.Fatalf("%s: denorm(norm(%v)) = %v", s.name, v, got)
+			}
+			if !s.integer && math.Abs(got-v) > 1e-9*(s.max-s.min) {
+				t.Fatalf("%s: denorm(norm(%v)) = %v", s.name, v, got)
+			}
+		}
+	}
+}
+
+func TestDenormClamps(t *testing.T) {
+	for i := range knobSpecs {
+		s := &knobSpecs[i]
+		if got := s.denorm(-3); got != s.min {
+			t.Fatalf("%s: denorm(-3) = %v, want min %v", s.name, got, s.min)
+		}
+		if got := s.denorm(7); got != s.max {
+			t.Fatalf("%s: denorm(7) = %v, want max %v", s.name, got, s.max)
+		}
+	}
+}
+
+func TestLogKnobsNormalizeInLogSpace(t *testing.T) {
+	for i := range knobSpecs {
+		s := &knobSpecs[i]
+		if !s.log {
+			continue
+		}
+		// The geometric midpoint must land at u = 0.5 exactly.
+		mid := math.Sqrt(s.min * s.max)
+		if u := s.norm(mid); math.Abs(u-0.5) > 1e-12 {
+			t.Fatalf("%s: norm(geomean) = %v, want 0.5", s.name, u)
+		}
+	}
+}
+
+// TestGeneticOperatorsStayLegal hammers sample/crossover/mutate and asserts
+// every produced vector validates — the search can never construct a
+// candidate the serving stack would reject.
+func TestGeneticOperatorsStayLegal(t *testing.T) {
+	rng := mathx.NewRNG(99)
+	prev := DefaultKnobs()
+	for i := 0; i < 200; i++ {
+		k := sampleKnobs(rng)
+		if err := k.Validate(); err != nil {
+			t.Fatalf("sample %d invalid: %v", i, err)
+		}
+		c := crossover(prev, k, rng)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("crossover %d invalid: %v", i, err)
+		}
+		m := mutateKnobs(c, rng)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("mutation %d invalid: %v", i, err)
+		}
+		prev = k
+	}
+}
+
+// TestMutateConsumesFixedRNGStream pins the determinism contract: the RNG
+// variates are drawn per knob whether or not the knob mutates, so two equal
+// generators stay in lockstep across mutateKnobs calls.
+func TestMutateConsumesFixedRNGStream(t *testing.T) {
+	a, b := mathx.NewRNG(5), mathx.NewRNG(5)
+	mutateKnobs(DefaultKnobs(), a)
+	mutateKnobs(Tuned(), b) // different input vector, same stream consumption
+	if av, bv := a.Float64(), b.Float64(); av != bv {
+		t.Fatalf("RNG streams diverged after mutateKnobs: %v != %v", av, bv)
+	}
+}
+
+func TestCrossoverBetweenParents(t *testing.T) {
+	rng := mathx.NewRNG(17)
+	a, b := sampleKnobs(rng), sampleKnobs(rng)
+	for i := 0; i < 50; i++ {
+		c := crossover(a, b, rng)
+		for j := range knobSpecs {
+			s := &knobSpecs[j]
+			ua, ub := s.norm(s.get(&a)), s.norm(s.get(&b))
+			uc := s.norm(s.get(&c))
+			lo, hi := math.Min(ua, ub), math.Max(ua, ub)
+			// Integer rounding may push the child half a grid step outside.
+			slack := 1e-9
+			if s.integer {
+				slack = 0.51 / (s.max - s.min)
+				if s.log {
+					slack = 0.51 * (math.Log(s.max) - math.Log(s.min)) / s.min // coarse but safe
+				}
+			}
+			if uc < lo-slack || uc > hi+slack {
+				t.Fatalf("%s: child %v outside parent segment [%v, %v]", s.name, uc, lo, hi)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package tune
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestTunedPolicyFileMatchesLiteral pins the committed policy file to the
+// Tuned() Go literal, so the gates that run from a test working directory
+// and the CLIs that load the file can never drift apart.
+func TestTunedPolicyFileMatchesLiteral(t *testing.T) {
+	p, err := LoadPolicy(filepath.Join("..", "..", TunedPolicyPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Knobs != Tuned() {
+		t.Fatalf("committed policy knobs diverged from the Tuned() literal:\nfile:    %+v\nliteral: %+v\n(re-run v10tune and update tuned.go, or vice versa)",
+			p.Knobs, Tuned())
+	}
+	if p.Seed != TunedSeed {
+		t.Fatalf("committed policy seed %d, gate expects %d", p.Seed, TunedSeed)
+	}
+	if p.Objectives == nil || p.Objectives.Goodput <= 1 {
+		t.Fatalf("committed policy objectives %+v do not record a goodput win", p.Objectives)
+	}
+}
+
+// TestTunedPolicyBeatsDefaults is the committed-policy regression gate: on
+// the gate cells of the tuned seed's corpus (fleet, faults), the tuned knobs
+// must hold goodput at least at the defaults' with p99 no worse, and win
+// goodput outright on at least one cell. Deterministic — the corpus, both
+// knob vectors, and the simulator are all fixed.
+func TestTunedPolicyBeatsDefaults(t *testing.T) {
+	corpus, err := DefaultCorpus(TunedSeed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, defaults := Tuned(), DefaultKnobs()
+	strictWin := false
+	gateCells := 0
+	for _, sc := range corpus {
+		if !GateScenarios[sc.Name] {
+			continue
+		}
+		gateCells++
+		st, err := sc.Run(tuned, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := sc.Run(defaults, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: tuned goodput %.1f Hz p99 %.0f cy | default goodput %.1f Hz p99 %.0f cy",
+			sc.Name, st.GoodputHz, st.P99Cycles, sd.GoodputHz, sd.P99Cycles)
+		if st.GoodputHz < sd.GoodputHz {
+			t.Errorf("%s: tuned goodput %.2f below default %.2f", sc.Name, st.GoodputHz, sd.GoodputHz)
+		}
+		if st.P99Cycles > sd.P99Cycles {
+			t.Errorf("%s: tuned p99 %.0f worse than default %.0f", sc.Name, st.P99Cycles, sd.P99Cycles)
+		}
+		if st.GoodputHz > sd.GoodputHz {
+			strictWin = true
+		}
+	}
+	if gateCells != len(GateScenarios) {
+		t.Fatalf("only %d of %d gate cells present", gateCells, len(GateScenarios))
+	}
+	if !strictWin {
+		t.Error("tuned policy never strictly beats the defaults' goodput on a gate cell")
+	}
+}

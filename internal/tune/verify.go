@@ -1,0 +1,99 @@
+package tune
+
+import "fmt"
+
+// Verify checks a search result against the search-invariant oracles. It is
+// cheap except for one fresh re-evaluation of Best and runs in the v10tune
+// production path before any policy is written:
+//
+//  1. Coverage: every reported point scored every corpus scenario, in
+//     corpus order (catches silently dropped scenarios).
+//  2. Objective consistency: each point's aggregate objectives recompute
+//     bit-exactly from its per-scenario scores and the baseline's (catches
+//     transposed or re-weighted objectives).
+//  3. Front soundness: the front is mutually non-dominated, contains Best,
+//     and no reported point dominates a front member.
+//  4. Winner constraint: Best either beats the baseline's goodput on every
+//     scenario at no-worse p99, or is an explicitly allowed fallback.
+//  5. Freshness: re-running the corpus on Best's knobs — and on one
+//     non-baseline front point, since a stale cache can leave the winner
+//     at the (genuinely scored) baseline — reproduces the recorded scores
+//     bit-exactly (catches stale or mis-keyed caches).
+func Verify(res *Result, corpus []Scenario, par int) error {
+	if res == nil || len(res.Front) == 0 {
+		return fmt.Errorf("tune: verify: empty result")
+	}
+
+	// 1. Scenario coverage, baseline included.
+	points := append([]Point{res.Baseline, res.Best}, res.Front...)
+	for _, p := range points {
+		if len(p.Scores) != len(corpus) {
+			return fmt.Errorf("tune: verify: point %s scored %d of %d corpus scenarios",
+				p.Knobs.key(), len(p.Scores), len(corpus))
+		}
+		for i, s := range p.Scores {
+			if s.Scenario != corpus[i].Name {
+				return fmt.Errorf("tune: verify: point %s scenario %d is %q, corpus says %q",
+					p.Knobs.key(), i, s.Scenario, corpus[i].Name)
+			}
+		}
+	}
+
+	// 2. Objectives must recompute from the recorded scores.
+	for _, p := range points {
+		want := aggregate(p.Scores, res.Baseline.Scores, false)
+		if p.Objectives != want {
+			return fmt.Errorf("tune: verify: point %s objectives %+v do not recompute from its scores (want %+v)",
+				p.Knobs.key(), p.Objectives, want)
+		}
+	}
+
+	// 3. Front soundness.
+	bestKey := res.Best.Knobs.key()
+	onFront := false
+	for i, p := range res.Front {
+		if p.Knobs.key() == bestKey {
+			onFront = true
+		}
+		for j, q := range res.Front {
+			if i != j && dominates(q.Objectives, p.Objectives) {
+				return fmt.Errorf("tune: verify: front point %s dominates front point %s",
+					q.Knobs.key(), p.Knobs.key())
+			}
+		}
+	}
+	if !onFront && bestKey != res.Baseline.Knobs.key() && !BeatsGate(res.Best, res.Baseline) {
+		return fmt.Errorf("tune: verify: Best %s is neither on the front nor a gate-passing point", bestKey)
+	}
+
+	// 4. Winner constraint (or explicit fallback tiers).
+	if !beatsEverywhere(res.Best, res.Baseline) &&
+		!BeatsGate(res.Best, res.Baseline) &&
+		bestKey != res.Baseline.Knobs.key() &&
+		!(res.Best.Objectives.Goodput > 1 && res.Best.Objectives.P99 <= 1) {
+		return fmt.Errorf("tune: verify: Best %s neither beats the baseline on the gate scenarios nor matches a fallback tier", bestKey)
+	}
+
+	// 5. Fresh re-evaluation of Best plus one non-baseline front point.
+	recheck := []Point{res.Best}
+	for _, p := range res.Front {
+		k := p.Knobs.key()
+		if k != bestKey && k != res.Baseline.Knobs.key() {
+			recheck = append(recheck, p)
+			break
+		}
+	}
+	for _, p := range recheck {
+		for i, sc := range corpus {
+			fresh, err := sc.Run(p.Knobs, par)
+			if err != nil {
+				return fmt.Errorf("tune: verify: re-evaluating %s on %s: %w", p.Knobs.key(), sc.Name, err)
+			}
+			if fresh != p.Scores[i] {
+				return fmt.Errorf("tune: verify: recorded %s score %+v of %s does not reproduce (fresh %+v) — stale evaluation cache?",
+					sc.Name, p.Scores[i], p.Knobs.key(), fresh)
+			}
+		}
+	}
+	return nil
+}

@@ -241,6 +241,21 @@ type FleetOptions struct {
 	// StatsWindowCycles sets the per-tenant windowed-stats bucket width
 	// (default: the control interval under Elastic, otherwise no windows).
 	StatsWindowCycles int64
+
+	// FeedbackRounds closes the loop between estimated and realized latency:
+	// after each round the dispatcher's per-tenant service estimates are
+	// recalibrated against the realized averages and the run repeats with the
+	// calibrated estimates (0 = single pass, no feedback).
+	FeedbackRounds int
+
+	// Tuned, when non-nil, applies a tuned policy's knob vector (see
+	// LoadTunedPolicy and BuiltinTunedKnobs) over the options above: the
+	// scheduler time slice, preemption margin, priority bias, QueueLimit, and
+	// MigrationBackoffCycles are overridden outright, and the collocation
+	// threshold / admission slowdown ceiling / elastic cooldown and drain
+	// knobs apply when the corresponding subsystem is in play. The knobs are
+	// validated against the tuner's legal ranges before the run.
+	Tuned *TunedKnobs
 }
 
 // ServeFleet simulates the tenants' open-loop request streams on a fleet of
@@ -283,6 +298,7 @@ func ServeFleet(tenants []*Workload, scheme Scheme, opt FleetOptions) (*FleetRes
 		SlowdownLimit:     opt.SlowdownLimit,
 		Recluster:         opt.Recluster,
 		StatsWindowCycles: opt.StatsWindowCycles,
+		FeedbackRounds:    opt.FeedbackRounds,
 
 		Faults:                 opt.Faults,
 		HeartbeatCycles:        opt.HeartbeatCycles,
@@ -294,6 +310,14 @@ func ServeFleet(tenants []*Workload, scheme Scheme, opt FleetOptions) (*FleetRes
 	if opt.Advisor != nil {
 		fo.Model = opt.Advisor.model
 		fo.ProfileRequests = opt.Advisor.requests
+	}
+	// Tuned knobs go on last so the layer gating sees the final shape of the
+	// run (model present? predictive admission? elastic?).
+	if opt.Tuned != nil {
+		if err := opt.Tuned.Validate(); err != nil {
+			return nil, err
+		}
+		fo = opt.Tuned.Apply(fo)
 	}
 	return fleet.Run(tenants, fo)
 }
